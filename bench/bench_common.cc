@@ -1,0 +1,63 @@
+#include "bench_common.h"
+
+#include <cstdio>
+#include <cstring>
+#include <cstdlib>
+
+namespace cocco::bench {
+
+BenchArgs
+parseArgs(int argc, char **argv, const char *what)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0) {
+            args.full = true;
+        } else if (std::strcmp(argv[i], "--fast") == 0) {
+            args.full = false;
+        } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+            args.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("%s\n  --fast   CI-sized budgets (default)\n"
+                        "  --full   paper-sized budgets\n"
+                        "  --seed N PRNG seed (default 1)\n",
+                        what);
+            std::exit(0);
+        }
+    }
+    return args;
+}
+
+AcceleratorConfig
+paperAccelerator()
+{
+    return AcceleratorConfig{}; // defaults model the paper platform
+}
+
+BufferConfig
+paperFixedBuffer()
+{
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 1024 * 1024;       // 1MB global buffer
+    buf.weightBytes = 1152 * 1024;    // 1.125MB weight buffer
+    return buf;
+}
+
+std::vector<std::string>
+coExploreModels()
+{
+    return {"ResNet50", "GoogleNet", "RandWire-A", "NasNet"};
+}
+
+void
+banner(const char *title, const BenchArgs &args)
+{
+    std::printf("=== %s ===\n", title);
+    std::printf("mode: %s (seed %llu)\n\n",
+                args.full ? "--full (paper-sized budgets)"
+                          : "--fast (CI-sized budgets)",
+                static_cast<unsigned long long>(args.seed));
+}
+
+} // namespace cocco::bench

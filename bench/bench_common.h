@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: command-line handling
+ * (--fast for CI-sized budgets, --full for paper-sized budgets,
+ * --seed N), and the standard accelerator/buffer setups the paper's
+ * evaluation section uses.
+ */
+
+#ifndef COCCO_BENCH_COMMON_H
+#define COCCO_BENCH_COMMON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/buffer_config.h"
+#include "sim/accelerator.h"
+
+namespace cocco::bench {
+
+/** Parsed harness options. */
+struct BenchArgs
+{
+    bool full = false;   ///< paper-sized sample budgets
+    uint64_t seed = 1;
+
+    /** Samples for partition-only searches (paper: 400,000). */
+    int64_t partitionBudget() const { return full ? 400000 : 4000; }
+
+    /** Samples for co-exploration searches (paper: 50,000). */
+    int64_t coExploreBudget() const { return full ? 50000 : 3000; }
+
+    /** Samples per capacity candidate in two-step schemes. */
+    int64_t perCandidateBudget() const { return full ? 5000 : 400; }
+
+    /** GA population (paper: 500 genomes). */
+    int population() const { return full ? 500 : 50; }
+};
+
+/** Parse --fast/--full/--seed; prints the chosen mode. */
+BenchArgs parseArgs(int argc, char **argv, const char *what);
+
+/** The paper's single-core evaluation platform. */
+AcceleratorConfig paperAccelerator();
+
+/** The fixed buffer of the partition studies: 1MB GLB + 1.125MB WBUF. */
+BufferConfig paperFixedBuffer();
+
+/** The four co-exploration models of Tables 1-3 / Figures 12-14. */
+std::vector<std::string> coExploreModels();
+
+/** Header banner for a harness. */
+void banner(const char *title, const BenchArgs &args);
+
+} // namespace cocco::bench
+
+#endif // COCCO_BENCH_COMMON_H

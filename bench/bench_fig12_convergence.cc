@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Figure 12 reproduction: convergence of the co-exploration methods
+ * (fixed-HW + GA, RS+GA, GS+GA, SA, Cocco) on ResNet50, GoogleNet,
+ * and RandWire. Prints the best-cost-so-far series at 10%-of-budget
+ * checkpoints, plus the Figure 12(d) table: samples needed to reach
+ * 1.05x of Cocco's final cost.
+ *
+ * Expected shape: Cocco converges fastest and lowest; GS+GA is slow
+ * on the models whose optimal capacity is small (GoogleNet/RandWire)
+ * because it sweeps from large to small.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cocco.h"
+#include "search/sa.h"
+#include "search/two_step.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+namespace {
+
+/** Best cost at evenly spaced checkpoints of a trace. */
+std::vector<double>
+checkpoints(const std::vector<TracePoint> &trace, int n, int64_t budget)
+{
+    std::vector<double> out;
+    size_t j = 0;
+    double best = kInfeasiblePenalty;
+    for (int i = 1; i <= n; ++i) {
+        int64_t target = budget * i / n;
+        while (j < trace.size() && trace[j].sample <= target)
+            best = trace[j++].bestCost;
+        out.push_back(best);
+    }
+    return out;
+}
+
+/** First sample index whose best cost is within 1.05x of target. */
+int64_t
+samplesToReach(const std::vector<TracePoint> &trace, double target)
+{
+    for (const TracePoint &tp : trace)
+        if (tp.bestCost <= 1.05 * target)
+            return tp.sample;
+    return -1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "Figure 12: sample efficiency");
+    banner("Figure 12: convergence of co-exploration methods", args);
+
+    // Optional: --csv PREFIX writes one plottable trace file per model.
+    const char *csv_prefix = nullptr;
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], "--csv") == 0)
+            csv_prefix = argv[i + 1];
+
+    AcceleratorConfig accel = paperAccelerator();
+    const int64_t budget = args.coExploreBudget();
+    const std::vector<std::string> models{"ResNet50", "GoogleNet",
+                                          "RandWire-A"};
+
+    Table reach_t({"model", "RS+GA", "GS+GA", "SA", "Cocco"});
+
+    for (const std::string &name : models) {
+        Graph g = buildModel(name);
+        CostModel model(g, accel);
+        DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+
+        struct Series
+        {
+            std::string label;
+            SearchResult result;
+        };
+        std::vector<Series> series;
+
+        // Fixed-HW baselines: partition-only GA whose trace is lifted
+        // into the Formula 2 objective at that fixed size.
+        for (auto [label, buf] :
+             {std::pair{"Buf(S)+GA",
+                        BufferConfig::fixedSmall(BufferStyle::Shared)},
+              std::pair{"Buf(M)+GA",
+                        BufferConfig::fixedMedium(BufferStyle::Shared)},
+              std::pair{"Buf(L)+GA",
+                        BufferConfig::fixedLarge(BufferStyle::Shared)}}) {
+            GaOptions o;
+            o.sampleBudget = budget;
+            o.population = args.population();
+            o.coExplore = false;
+            o.seed = args.seed;
+            DseSpace fixed = DseSpace::fixedSpace(buf);
+            SearchResult r = GeneticSearch(model, fixed, o).run();
+            for (TracePoint &tp : r.trace)
+                if (tp.bestCost < kInfeasiblePenalty)
+                    tp.bestCost = buf.totalBytes() + 0.002 * tp.bestCost;
+            r.bestCost = buf.totalBytes() + 0.002 * r.bestCost;
+            series.push_back({label, std::move(r)});
+        }
+
+        TwoStepOptions ts;
+        ts.sampleBudget = budget;
+        ts.samplesPerCandidate = args.perCandidateBudget();
+        ts.population = args.population();
+        ts.seed = args.seed;
+        series.push_back({"RS+GA", twoStepRandom(model, space, ts)});
+        series.push_back({"GS+GA", twoStepGrid(model, space, ts)});
+
+        SaOptions sa;
+        sa.sampleBudget = budget;
+        sa.seed = args.seed;
+        series.push_back({"SA", simulatedAnnealing(model, space, sa)});
+
+        GaOptions ga;
+        ga.sampleBudget = budget;
+        ga.population = args.population();
+        ga.seed = args.seed;
+        series.push_back({"Cocco", GeneticSearch(model, space, ga).run()});
+
+        // Print the convergence series.
+        std::printf("%s (cost = Formula 2, checkpoints at 10%% of %lld "
+                    "samples):\n",
+                    name.c_str(), static_cast<long long>(budget));
+        Table t({"method", "10%", "20%", "40%", "60%", "80%", "100%"});
+        for (const Series &s : series) {
+            std::vector<double> cp = checkpoints(s.result.trace, 10, budget);
+            t.addRow({s.label, Table::fmtSci(cp[0]), Table::fmtSci(cp[1]),
+                      Table::fmtSci(cp[3]), Table::fmtSci(cp[5]),
+                      Table::fmtSci(cp[7]), Table::fmtSci(cp[9])});
+        }
+        t.print();
+        std::printf("\n");
+
+        if (csv_prefix) {
+            CsvWriter csv({"samples", "method", "best_cost"});
+            for (const Series &s : series)
+                for (const TracePoint &tp : s.result.trace)
+                    csv.addRow({Table::fmtInt(tp.sample), s.label,
+                                Table::fmtSci(tp.bestCost, 6)});
+            std::string path =
+                std::string(csv_prefix) + "_" + name + ".csv";
+            if (csv.writeFile(path))
+                std::printf("(trace written to %s)\n\n", path.c_str());
+        }
+
+        // Figure 12(d): samples to reach 1.05x of Cocco's final cost.
+        double target = series.back().result.bestCost;
+        auto fmt = [&](const SearchResult &r) {
+            int64_t s = samplesToReach(r.trace, target);
+            return s < 0 ? std::string("never") : Table::fmtInt(s);
+        };
+        reach_t.addRow({name, fmt(series[3].result), fmt(series[4].result),
+                        fmt(series[5].result), fmt(series[6].result)});
+    }
+
+    std::printf("Figure 12(d): samples to attain 1.05x of Cocco's final "
+                "cost (fewer = more efficient):\n");
+    reach_t.print();
+    std::printf("\nExpected shape: Cocco needs the fewest samples on every "
+                "model.\n");
+    return 0;
+}

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Figure 14 reproduction: the alpha sweep. Formula 2's preference
+ * hyper-parameter trades buffer capacity against energy: larger alpha
+ * buys more memory for less energy. For each of the four models we
+ * co-explore at alpha in {5e-4, 1e-3, 2e-3, 5e-3, 1e-2} and print the
+ * chosen capacity and the energy normalized to the alpha=5e-4 result.
+ *
+ * Expected shape: capacity grows (weakly) and normalized energy falls
+ * (weakly) with alpha; NasNet demands far more capacity than the rest.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cocco.h"
+#include "util/table.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "Figure 14: alpha trade-off");
+    banner("Figure 14: energy vs capacity preference (alpha sweep)", args);
+
+    AcceleratorConfig accel = paperAccelerator();
+    const std::vector<double> alphas{5e-4, 1e-3, 2e-3, 5e-3, 1e-2};
+
+    for (const std::string &name : coExploreModels()) {
+        Graph g = buildModel(name);
+        CoccoFramework cocco(g, accel);
+
+        Table t({"alpha", "capacity (MB)", "energy (mJ)", "energy norm."});
+        double base_energy = 0;
+        for (double alpha : alphas) {
+            GaOptions o;
+            o.sampleBudget = args.coExploreBudget();
+            o.population = args.population();
+            o.alpha = alpha;
+            o.metric = Metric::Energy;
+            o.seed = args.seed;
+            CoccoResult r = cocco.coExplore(BufferStyle::Shared, o);
+            double energy = r.cost.energyPj;
+            if (base_energy == 0)
+                base_energy = energy;
+            t.addRow({Table::fmtDouble(alpha, 4),
+                      Table::fmtDouble(
+                          static_cast<double>(r.buffer.sharedBytes) /
+                              1048576.0,
+                          2),
+                      Table::fmtDouble(energy / 1e9, 3),
+                      Table::fmtDouble(energy / base_energy, 3)});
+        }
+        std::printf("%s:\n", name.c_str());
+        t.print();
+        std::printf("\n");
+    }
+    std::printf("Expected shape: larger alpha -> larger capacity, lower "
+                "energy;\nNasNet needs the largest buffers (memory-"
+                "intensive, complex structure).\n");
+    return 0;
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Figure 1 reproduction: the effect of on-chip memory capacity on a
+ * computation graph's external memory access. A small buffer only
+ * fuses neighbouring nodes; a large one buffers whole subgraphs,
+ * approaching the floor EMA = #Wgt + #In + #Out; with no buffering at
+ * all the ceiling is ~2 bytes per MAC-operand pair (every operand
+ * from DRAM).
+ *
+ * Uses an 11-node branchy graph like the paper's sketch, plus the
+ * four evaluated models swept across the shared-buffer grid.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/cocco.h"
+#include "models/builder_util.h"
+#include "partition/greedy.h"
+#include "util/table.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+namespace {
+
+/** An 11-node graph shaped like Figure 1's sketch. */
+Graph
+figureOneGraph()
+{
+    ModelBuilder b("fig1");
+    NodeId in = b.input(56, 56, 32, "n_in");
+    NodeId n0 = b.conv(in, 32, 3, 1, "n0");
+    NodeId n1 = b.conv(n0, 32, 3, 1, "n1");
+    NodeId n2 = b.conv(n0, 32, 1, 1, "n2");
+    NodeId n3 = b.conv(n1, 32, 3, 1, "n3");
+    NodeId n4 = b.add({n2, n3}, "n4");
+    NodeId n5 = b.conv(n4, 64, 3, 2, "n5");
+    NodeId n6 = b.conv(n5, 64, 3, 1, "n6");
+    NodeId n7 = b.conv(n5, 64, 1, 1, "n7");
+    NodeId n8 = b.add({n6, n7}, "n8");
+    NodeId n9 = b.conv(n8, 64, 3, 1, "n9");
+    b.conv(n9, 64, 1, 1, "n10");
+    return b.take();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "Figure 1: capacity vs EMA");
+    banner("Figure 1: on-chip capacity vs external memory access", args);
+
+    AcceleratorConfig accel = paperAccelerator();
+    Graph g = figureOneGraph();
+    CostModel model(g, accel);
+
+    int64_t min_ema = g.totalWeightBytes() + g.outBytes(0) +
+                      g.outBytes(g.size() - 1);
+    std::printf("toy graph: %d nodes; Min EMA = #Wgt + #In + #Out = "
+                "%.2f MB; Max EMA ~ 2 x #OPs = %.2f MB\n\n",
+                g.size(), min_ema / 1048576.0,
+                2.0 * g.totalMacs() / 1048576.0);
+
+    Table t({"shared buffer", "subgraphs", "EMA (MB)", "vs Min EMA"});
+    for (int64_t kb : {16, 48, 128, 512, 2048}) {
+        BufferConfig buf;
+        buf.style = BufferStyle::Shared;
+        buf.sharedBytes = kb * 1024;
+        Partition p = greedyPartition(g, model, buf, Metric::EMA);
+        GraphCost c = model.partitionCost(p, buf);
+        t.addRow({Table::fmtKB(buf.sharedBytes),
+                  Table::fmtInt(static_cast<int64_t>(p.blocks().size())),
+                  Table::fmtDouble(c.emaBytes / 1048576.0, 3),
+                  Table::fmtDouble(static_cast<double>(c.emaBytes) /
+                                       static_cast<double>(min_ema),
+                                   2) +
+                      "x"});
+    }
+    t.print();
+
+    std::printf("\nSame sweep on the evaluated models (EMA in MB, greedy "
+                "partition):\n");
+    Table t2({"model", "192KB", "576KB", "1152KB", "3072KB", "Min EMA"});
+    for (const std::string &name : coExploreModels()) {
+        Graph m = buildModel(name);
+        CostModel mm(m, accel);
+        std::vector<std::string> row{name};
+        for (int64_t kb : {192, 576, 1152, 3072}) {
+            BufferConfig buf;
+            buf.style = BufferStyle::Shared;
+            buf.sharedBytes = kb * 1024;
+            Partition p = greedyPartition(m, mm, buf, Metric::EMA);
+            row.push_back(Table::fmtDouble(
+                mm.partitionCost(p, buf).emaBytes / 1048576.0, 1));
+        }
+        int64_t floor_ema = m.totalWeightBytes() + m.outBytes(0);
+        for (NodeId v : m.outputs())
+            floor_ema += m.outBytes(v);
+        row.push_back(Table::fmtDouble(floor_ema / 1048576.0, 1));
+        t2.addRow(row);
+    }
+    t2.print();
+    std::printf("\nExpected shape: EMA falls monotonically toward the Min-"
+                "EMA floor as capacity grows\n(the Figure 1 trade-off; the "
+                "area cost of that capacity is Figure 2/14's axis).\n");
+    return 0;
+}

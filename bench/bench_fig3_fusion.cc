@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 3 reproduction: external memory access and average bandwidth
+ * requirement when fusing L = 1 / 3 / 5 consecutive layers into
+ * subgraphs, on ResNet50, GoogleNet, RandWire, and NasNet, with the
+ * paper's 2TOPS core (1MB global buffer + 1.125MB weight buffer).
+ *
+ * The paper reports 42.3%..74.7% EMA reduction and 26.8%..67.8%
+ * bandwidth reduction going from L=1 to L=5, with diminishing returns
+ * after L=3; this harness prints the same rows plus the reductions.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "models/models.h"
+#include "partition/repair.h"
+#include "sim/cost_model.h"
+#include "util/table.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "Figure 3: layer-fusion effect");
+    banner("Figure 3: EMA and avg bandwidth vs subgraph size (L)", args);
+
+    AcceleratorConfig accel = paperAccelerator();
+    BufferConfig buf = paperFixedBuffer();
+
+    Table ema_t({"model", "L=1 EMA(MB)", "L=3 EMA(MB)", "L=5 EMA(MB)",
+                 "L3 vs L1", "L5 vs L1"});
+    Table bw_t({"model", "L=1 BW(GB/s)", "L=3 BW(GB/s)", "L=5 BW(GB/s)",
+                "L3 vs L1", "L5 vs L1"});
+
+    for (const std::string &name : coExploreModels()) {
+        Graph g = buildModel(name);
+        CostModel model(g, accel);
+
+        double ema[3] = {0, 0, 0};
+        double bw[3] = {0, 0, 0};
+        const int ls[3] = {1, 3, 5};
+        for (int i = 0; i < 3; ++i) {
+            // Fixed-size fusion along topological order; capacity
+            // repair splits anything that does not fit the buffers.
+            Partition p = Partition::fixedRuns(g, ls[i]);
+            p = repairToCapacity(g, std::move(p), model, buf);
+            GraphCost c = model.partitionCost(p, buf);
+            ema[i] = static_cast<double>(c.emaBytes) / (1024.0 * 1024.0);
+            bw[i] = c.avgBwGBps;
+        }
+
+        auto pct = [](double base, double v) {
+            return Table::fmtPercent((v - base) / base, 1);
+        };
+        ema_t.addRow({name, Table::fmtDouble(ema[0], 1),
+                      Table::fmtDouble(ema[1], 1),
+                      Table::fmtDouble(ema[2], 1), pct(ema[0], ema[1]),
+                      pct(ema[0], ema[2])});
+        bw_t.addRow({name, Table::fmtDouble(bw[0], 2),
+                     Table::fmtDouble(bw[1], 2), Table::fmtDouble(bw[2], 2),
+                     pct(bw[0], bw[1]), pct(bw[0], bw[2])});
+    }
+
+    std::printf("External memory access (paper: -42.3%%..-74.7%% at L=5):\n");
+    ema_t.print();
+    std::printf("\nAverage bandwidth requirement (paper: -26.8%%..-67.8%% "
+                "at L=5):\n");
+    bw_t.print();
+    std::printf("\nExpected shape: large L=1 -> L=3 drop, marginal L=3 -> "
+                "L=5 gain.\n");
+    return 0;
+}

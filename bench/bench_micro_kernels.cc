@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the framework's hot paths: the
+ * tile-flow derivation, subgraph profiling (with and without the
+ * memoization cache), partition repair, and one GA generation. These
+ * are the kernels that bound how many samples per second the search
+ * can evaluate.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "models/models.h"
+#include "partition/repair.h"
+#include "search/ga.h"
+#include "search/operators.h"
+#include "sim/cost_model.h"
+#include "tileflow/footprint.h"
+#include "util/logging.h"
+
+using namespace cocco;
+
+namespace {
+
+const Graph &
+resnet()
+{
+    static const Graph g = buildResNet50();
+    return g;
+}
+
+std::vector<NodeId>
+windowOf(const Graph &g, int start, int len)
+{
+    std::vector<NodeId> out;
+    for (int i = start; i < start + len && i < g.size(); ++i)
+        out.push_back(i);
+    return out;
+}
+
+} // namespace
+
+static void
+BM_TileFlowDerivation(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    std::vector<NodeId> sub = windowOf(g, 3, static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        ExecutionScheme s = deriveConsumptionScheme(g, sub, 4);
+        benchmark::DoNotOptimize(s.actFootprintBytes);
+    }
+}
+BENCHMARK(BM_TileFlowDerivation)->Arg(1)->Arg(4)->Arg(16)->Arg(32);
+
+static void
+BM_BestSchemeMapper(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    std::vector<NodeId> sub = windowOf(g, 3, 8);
+    for (auto _ : state) {
+        ExecutionScheme s = bestScheme(g, sub);
+        benchmark::DoNotOptimize(s.outTile);
+    }
+}
+BENCHMARK(BM_BestSchemeMapper);
+
+static void
+BM_SubgraphProfileCold(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    AcceleratorConfig accel;
+    std::vector<NodeId> sub = windowOf(g, 3, 8);
+    for (auto _ : state) {
+        state.PauseTiming();
+        CostModel model(g, accel); // fresh cache each iteration
+        state.ResumeTiming();
+        benchmark::DoNotOptimize(model.profile(sub).actFootprintBytes);
+    }
+}
+BENCHMARK(BM_SubgraphProfileCold);
+
+static void
+BM_SubgraphProfileCached(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    std::vector<NodeId> sub = windowOf(g, 3, 8);
+    model.profile(sub); // warm
+    for (auto _ : state)
+        benchmark::DoNotOptimize(model.profile(sub).actFootprintBytes);
+}
+BENCHMARK(BM_SubgraphProfileCached);
+
+static void
+BM_PartitionCost(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 1024 * 1024;
+    Partition p = Partition::fixedRuns(g, 3);
+    p = repairToCapacity(g, std::move(p), model, buf);
+    for (auto _ : state) {
+        GraphCost c = model.partitionCost(p, buf);
+        benchmark::DoNotOptimize(c.energyPj);
+    }
+}
+BENCHMARK(BM_PartitionCost);
+
+static void
+BM_RepairStructure(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    Rng rng(5);
+    Partition junk;
+    junk.block.resize(g.size());
+    for (int &b : junk.block)
+        b = static_cast<int>(rng.index(12));
+    for (auto _ : state) {
+        Partition p = junk;
+        p = repairStructure(g, std::move(p));
+        benchmark::DoNotOptimize(p.numBlocks);
+    }
+}
+BENCHMARK(BM_RepairStructure);
+
+static void
+BM_CrossoverOperator(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+    Rng rng(7);
+    Genome dad = randomGenome(g, space, rng);
+    Genome mom = randomGenome(g, space, rng);
+    for (auto _ : state) {
+        Genome child = crossover(g, space, dad, mom, rng);
+        benchmark::DoNotOptimize(child.part.numBlocks);
+    }
+}
+BENCHMARK(BM_CrossoverOperator);
+
+static void
+BM_GaGeneration(benchmark::State &state)
+{
+    const Graph &g = resnet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+    for (auto _ : state) {
+        GaOptions o;
+        o.population = 20;
+        o.sampleBudget = 40; // init + one generation
+        o.seed = 11;
+        SearchResult r = GeneticSearch(model, space, o).run();
+        benchmark::DoNotOptimize(r.bestCost);
+    }
+}
+BENCHMARK(BM_GaGeneration);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Design-space report: run a recorded co-exploration on a model,
+ * extract the capacity/energy Pareto front with the alpha range that
+ * selects each point (the economics behind the paper's Figure 14),
+ * then render the execution timeline of the recommended configuration
+ * (which subgraphs are compute- vs communication-bound).
+ *
+ * Usage: design_space_report [model] [sample_budget]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "core/cocco.h"
+#include "search/pareto.h"
+#include "sim/timeline.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace cocco;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "GoogleNet";
+    int64_t budget = argc > 2 ? std::atoll(argv[2]) : 4000;
+
+    Graph g = buildModel(name);
+    AcceleratorConfig accel;
+    CoccoFramework cocco(g, accel);
+
+    GaOptions opts;
+    opts.sampleBudget = budget;
+    opts.alpha = 0.002;
+    opts.metric = Metric::Energy;
+    opts.recordPoints = true;
+    CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+
+    std::printf("%s: %lld samples recorded, recommended buffer %s\n\n",
+                name.c_str(), static_cast<long long>(r.samples),
+                r.buffer.str().c_str());
+
+    // --- Pareto front over the sampled design points. ---
+    auto front = paretoFront(r.points);
+    std::printf("Capacity/energy Pareto front (%zu undominated points):\n",
+                front.size());
+    Table t({"capacity", "energy (mJ)", "selected for alpha in"});
+    for (const ParetoPoint &p : front) {
+        std::string hi =
+            p.alphaHi == std::numeric_limits<double>::infinity()
+                ? "inf"
+                : strprintf("%.2E", p.alphaHi);
+        std::string range = strprintf("[%.2E, %s)", p.alphaLo, hi.c_str());
+        t.addRow({Table::fmtKB(p.bufferBytes),
+                  Table::fmtDouble(p.metric / 1e9, 3), range});
+    }
+    t.print();
+
+    const ParetoPoint &chosen = selectByAlpha(front, opts.alpha);
+    std::printf("\nAt alpha=%.4f the front selects %s — the search "
+                "returned %s.\n\n",
+                opts.alpha, Table::fmtKB(chosen.bufferBytes).c_str(),
+                r.buffer.str().c_str());
+
+    // --- Execution timeline of the recommendation. ---
+    Timeline tl = buildTimeline(cocco.model(), r.partition, r.buffer);
+    std::printf("Execution timeline (%zu subgraphs, %.0f%% compute-bound "
+                "windows):\n%s",
+                tl.entries.size(), tl.computeBoundFraction() * 100.0,
+                tl.gantt().c_str());
+    return 0;
+}

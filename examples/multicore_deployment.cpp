@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Multi-core deployment study: scale GoogleNet across 1/2/4 crossbar-
+ * connected cores at several batch sizes, co-exploring the shared
+ * buffer size per configuration — the paper's Section 5.4.2/5.4.3
+ * methodology as a user-facing workflow.
+ *
+ * Usage: multicore_deployment [sample_budget]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cocco.h"
+#include "util/table.h"
+
+using namespace cocco;
+
+int
+main(int argc, char **argv)
+{
+    int64_t budget = argc > 1 ? std::atoll(argv[1]) : 2500;
+
+    Graph g = buildModel("GoogleNet");
+    std::printf("Model: %s — %d nodes\n\n", g.name().c_str(), g.size());
+
+    Table t({"cores", "batch", "energy (mJ)", "latency (ms)",
+             "buffer/core"});
+    for (int cores : {1, 2, 4}) {
+        for (int batch : {1, 2, 8}) {
+            AcceleratorConfig accel;
+            accel.cores = cores;
+            accel.batch = batch;
+
+            CoccoFramework cocco(g, accel);
+            GaOptions opts;
+            opts.sampleBudget = budget;
+            opts.alpha = 0.002;
+            opts.metric = Metric::Energy;
+            CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+
+            t.addRow({Table::fmtInt(cores), Table::fmtInt(batch),
+                      Table::fmtDouble(r.cost.energyPj / 1e9, 2),
+                      Table::fmtDouble(r.cost.latencyMs(), 2),
+                      r.buffer.str()});
+        }
+        t.addRule();
+    }
+    t.print();
+
+    std::printf("\nEnergy rises slightly with core count (crossbar weight"
+                " rotation),\nlatency drops sub-linearly, and the required"
+                " per-core buffer shrinks\nas weights are sharded — the"
+                " trends of the paper's Table 3.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Quickstart: build ResNet50, run Cocco's hardware-mapping
+ * co-exploration for a shared buffer, and print the recommended
+ * memory configuration with the resulting partition and costs.
+ *
+ * Usage: quickstart [sample_budget]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/cocco.h"
+#include "util/table.h"
+
+using namespace cocco;
+
+int
+main(int argc, char **argv)
+{
+    int64_t budget = argc > 1 ? std::atoll(argv[1]) : 4000;
+
+    Graph g = buildModel("ResNet50");
+    std::printf("Model: %s — %d nodes, %d edges, %.2f GMACs, %.1f MB "
+                "weights\n",
+                g.name().c_str(), g.size(), g.numEdges(),
+                g.totalMacs() / 1e9,
+                g.totalWeightBytes() / (1024.0 * 1024.0));
+
+    AcceleratorConfig accel; // Simba-like: 2.048 TOPS, 16 GB/s DRAM
+    std::printf("Platform: %.3f TOPS, %.0f GB/s DRAM per core\n\n",
+                accel.peakTops(), accel.dramGBpsPerCore);
+
+    CoccoFramework cocco(g, accel);
+
+    GaOptions opts;
+    opts.sampleBudget = budget;
+    opts.population = 100;
+    opts.alpha = 0.002;
+    opts.metric = Metric::Energy;
+
+    CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+
+    std::printf("Co-exploration finished after %lld samples.\n",
+                static_cast<long long>(r.samples));
+    std::printf("Recommended shared buffer: %s\n", r.buffer.str().c_str());
+    std::printf("Objective (Formula 2, alpha=%.4f): %.3E\n\n", opts.alpha,
+                r.objective);
+
+    Table t({"metric", "value"});
+    t.addRow({"subgraphs", Table::fmtInt(r.cost.subgraphs)});
+    t.addRow({"EMA", Table::fmtMB(static_cast<double>(r.cost.emaBytes))});
+    t.addRow({"energy", Table::fmtDouble(r.cost.energyPj / 1e9, 3) + " mJ"});
+    t.addRow({"latency", Table::fmtDouble(r.cost.latencyMs(), 3) + " ms"});
+    t.addRow({"avg BW", Table::fmtDouble(r.cost.avgBwGBps, 2) + " GB/s"});
+    t.print();
+
+    // Show the first few subgraphs of the recommended execution plan.
+    std::printf("\nFirst subgraphs of the execution strategy:\n");
+    auto blocks = r.partition.blocks();
+    for (size_t b = 0; b < blocks.size() && b < 5; ++b) {
+        std::printf("  subgraph %zu:", b);
+        for (NodeId v : blocks[b])
+            std::printf(" %s", g.layer(v).name.c_str());
+        std::printf("\n");
+    }
+    if (blocks.size() > 5)
+        std::printf("  ... (%zu total)\n", blocks.size());
+    return 0;
+}

@@ -1,0 +1,68 @@
+#include "core/cocco.h"
+
+namespace cocco {
+
+CoccoFramework::CoccoFramework(const Graph &g, const AcceleratorConfig &accel)
+    : g_(g), model_(std::make_unique<CostModel>(g, accel))
+{
+}
+
+CoccoResult
+CoccoFramework::package(const SearchResult &r, const DseSpace &space,
+                        const GaOptions &opts) const
+{
+    CoccoResult out;
+    out.buffer = r.best.buffer(space);
+    out.partition = r.best.part;
+    out.cost = r.bestGraphCost;
+    out.objective = r.bestCost;
+    out.samples = r.samples;
+    out.trace = r.trace;
+    out.points = r.points;
+    (void)opts;
+    return out;
+}
+
+namespace {
+
+/** Wrap seed partitions as genomes with mid-grid hardware points. */
+std::vector<Genome>
+wrapSeeds(const std::vector<Partition> &parts, const DseSpace &space)
+{
+    std::vector<Genome> seeds;
+    for (const Partition &p : parts) {
+        Genome g;
+        g.part = p;
+        g.actIdx = space.actGrid.count / 2;
+        g.weightIdx = space.weightGrid.count / 2;
+        g.sharedIdx = space.sharedGrid.count / 2;
+        seeds.push_back(std::move(g));
+    }
+    return seeds;
+}
+
+} // namespace
+
+CoccoResult
+CoccoFramework::coExplore(BufferStyle style, const GaOptions &opts,
+                          const std::vector<Partition> &seed_partitions)
+{
+    GaOptions o = opts;
+    o.coExplore = true;
+    DseSpace space = DseSpace::paperSpace(style);
+    GeneticSearch search(*model_, space, o);
+    return package(search.run(wrapSeeds(seed_partitions, space)), space, o);
+}
+
+CoccoResult
+CoccoFramework::partitionOnly(const BufferConfig &buffer, GaOptions opts,
+                              const std::vector<Partition> &seed_partitions)
+{
+    opts.coExplore = false;
+    DseSpace space = DseSpace::fixedSpace(buffer);
+    GeneticSearch search(*model_, space, opts);
+    return package(search.run(wrapSeeds(seed_partitions, space)), space,
+                   opts);
+}
+
+} // namespace cocco

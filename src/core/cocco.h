@@ -1,0 +1,88 @@
+/**
+ * @file
+ * CoccoFramework: the one-stop public API (paper Figure 10).
+ *
+ * Feed it a model graph, the accelerator description, and the memory
+ * design-space requirements; it runs the five stages (initialization,
+ * crossover, mutation, evaluation with in-situ tuning, selection) and
+ * returns the recommended memory configuration, the graph execution
+ * strategy (partition), and the evaluated costs.
+ *
+ * Typical use:
+ * @code
+ *   Graph g = buildModel("ResNet50");
+ *   CoccoFramework cocco(g, AcceleratorConfig{});
+ *   CoccoResult r = cocco.coExplore(BufferStyle::Shared);
+ *   // r.buffer, r.partition, r.cost ...
+ * @endcode
+ */
+
+#ifndef COCCO_CORE_COCCO_H
+#define COCCO_CORE_COCCO_H
+
+#include <memory>
+
+#include "models/models.h"
+#include "search/ga.h"
+#include "search/sa.h"
+#include "search/two_step.h"
+#include "sim/cost_model.h"
+
+namespace cocco {
+
+/** Final recommendation returned by the framework. */
+struct CoccoResult
+{
+    BufferConfig buffer;    ///< recommended memory configuration
+    Partition partition;    ///< graph execution strategy
+    GraphCost cost;         ///< evaluated performance
+    double objective = 0.0; ///< Formula 2 value (or Formula 1 when
+                            ///< partition-only)
+    int64_t samples = 0;
+    std::vector<TracePoint> trace;
+    std::vector<SamplePoint> points;
+};
+
+/** The hardware-mapping co-exploration framework. */
+class CoccoFramework
+{
+  public:
+    /**
+     * @param g     the workload (kept by reference; must outlive this)
+     * @param accel the accelerator platform
+     */
+    CoccoFramework(const Graph &g, const AcceleratorConfig &accel);
+
+    /** The shared evaluation environment (memoized simulator). */
+    CostModel &model() { return *model_; }
+
+    /**
+     * Hardware-mapping co-exploration (Formula 2) over the paper's
+     * capacity grid for @p style. Optional @p seed_partitions join
+     * the initial population (the paper's flexible initialization:
+     * warm-start the GA from other algorithms' results); each is
+     * paired with a mid-grid hardware point.
+     */
+    CoccoResult coExplore(BufferStyle style, const GaOptions &opts = {},
+                          const std::vector<Partition> &seed_partitions = {});
+
+    /**
+     * Partition-only optimization (Formula 1) under a fixed buffer,
+     * optionally warm-started from @p seed_partitions.
+     */
+    CoccoResult partitionOnly(const BufferConfig &buffer,
+                              GaOptions opts = {},
+                              const std::vector<Partition> &seed_partitions =
+                                  {});
+
+  private:
+    CoccoResult package(const SearchResult &r, const DseSpace &space,
+                        const GaOptions &opts) const;
+
+    const Graph &g_;
+    std::unique_ptr<CostModel> model_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_CORE_COCCO_H

@@ -1,0 +1,90 @@
+#include "core/serialize.h"
+
+#include "util/json.h"
+
+namespace cocco {
+
+std::string
+partitionToJson(const Graph &g, const Partition &p)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("model", g.name());
+    w.key("subgraphs").beginArray();
+    for (const auto &blk : p.blocks()) {
+        w.beginArray();
+        for (NodeId v : blk)
+            w.value(g.layer(v).name);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+schemeToJson(const Graph &g, const ExecutionScheme &s)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("out_tile", s.outTile);
+    w.field("act_footprint_bytes", s.actFootprintBytes);
+    w.field("regions", s.numRegions);
+    w.field("upd_consistent", s.updConsistent);
+    w.key("nodes").beginArray();
+    for (const NodeScheme &ns : s.nodes) {
+        w.beginObject();
+        w.field("name", g.layer(ns.node).name);
+        w.field("external", ns.external);
+        w.field("output", ns.is_output);
+        w.field("delta_h", ns.deltaH);
+        w.field("delta_w", ns.deltaW);
+        w.field("x_h", ns.xH);
+        w.field("x_w", ns.xW);
+        w.field("upd_num", ns.updNum);
+        w.field("main_bytes", ns.mainBytes);
+        w.field("side_bytes", ns.sideBytes);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+resultToJson(const Graph &g, const CoccoResult &r)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("model", g.name());
+    w.key("buffer").beginObject();
+    w.field("style", r.buffer.style == BufferStyle::Shared ? "shared"
+                                                           : "separate");
+    w.field("act_bytes", r.buffer.actBytes);
+    w.field("weight_bytes", r.buffer.weightBytes);
+    w.field("shared_bytes", r.buffer.sharedBytes);
+    w.field("total_bytes", r.buffer.totalBytes());
+    w.endObject();
+    w.key("cost").beginObject();
+    w.field("feasible", r.cost.feasible);
+    w.field("subgraphs", r.cost.subgraphs);
+    w.field("ema_bytes", r.cost.emaBytes);
+    w.field("energy_pj", r.cost.energyPj);
+    w.field("latency_cycles", r.cost.latencyCycles);
+    w.field("avg_bw_gbps", r.cost.avgBwGBps);
+    w.endObject();
+    w.field("objective", r.objective);
+    w.field("samples", r.samples);
+    w.key("subgraphs").beginArray();
+    for (const auto &blk : r.partition.blocks()) {
+        w.beginArray();
+        for (NodeId v : blk)
+            w.value(g.layer(v).name);
+        w.endArray();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace cocco

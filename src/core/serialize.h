@@ -1,0 +1,29 @@
+/**
+ * @file
+ * JSON serialization of the framework's artifacts — the recommended
+ * configuration, the partition, per-subgraph execution schemes —
+ * so downstream compilers/visualizers can consume search results.
+ */
+
+#ifndef COCCO_CORE_SERIALIZE_H
+#define COCCO_CORE_SERIALIZE_H
+
+#include <string>
+
+#include "core/cocco.h"
+#include "tileflow/scheme.h"
+
+namespace cocco {
+
+/** Serialize a partition (block list with layer names). */
+std::string partitionToJson(const Graph &g, const Partition &p);
+
+/** Serialize a derived execution scheme (per-node Delta/x/upd/regions). */
+std::string schemeToJson(const Graph &g, const ExecutionScheme &s);
+
+/** Serialize a full CoccoResult (buffer, costs, partition). */
+std::string resultToJson(const Graph &g, const CoccoResult &r);
+
+} // namespace cocco
+
+#endif // COCCO_CORE_SERIALIZE_H

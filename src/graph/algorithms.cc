@@ -1,0 +1,176 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+std::vector<NodeId>
+topoOrder(const Graph &g)
+{
+    std::vector<NodeId> order(g.size());
+    std::iota(order.begin(), order.end(), 0);
+    return order;
+}
+
+std::vector<int>
+nodeDepths(const Graph &g)
+{
+    std::vector<int> depth(g.size(), 0);
+    for (NodeId v = 0; v < g.size(); ++v) {
+        int d = 0;
+        for (NodeId u : g.preds(v))
+            d = std::max(d, depth[u] + 1);
+        depth[v] = d;
+    }
+    return depth;
+}
+
+std::vector<NodeId>
+depthOrder(const Graph &g)
+{
+    std::vector<int> depth = nodeDepths(g);
+    std::vector<NodeId> order(g.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return depth[a] < depth[b];
+    });
+    return order;
+}
+
+bool
+isWeaklyConnected(const Graph &g, const std::vector<NodeId> &nodes)
+{
+    if (nodes.size() <= 1)
+        return true;
+    return weakComponents(g, nodes).size() == 1;
+}
+
+std::vector<std::vector<NodeId>>
+weakComponents(const Graph &g, const std::vector<NodeId> &nodes)
+{
+    std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+    std::unordered_set<NodeId> visited;
+    std::vector<std::vector<NodeId>> comps;
+
+    std::vector<NodeId> sorted = nodes;
+    std::sort(sorted.begin(), sorted.end());
+
+    for (NodeId seed : sorted) {
+        if (visited.count(seed))
+            continue;
+        std::vector<NodeId> comp;
+        std::vector<NodeId> stack{seed};
+        visited.insert(seed);
+        while (!stack.empty()) {
+            NodeId v = stack.back();
+            stack.pop_back();
+            comp.push_back(v);
+            auto visit = [&](NodeId w) {
+                if (in_set.count(w) && !visited.count(w)) {
+                    visited.insert(w);
+                    stack.push_back(w);
+                }
+            };
+            for (NodeId u : g.preds(v))
+                visit(u);
+            for (NodeId u : g.succs(v))
+                visit(u);
+        }
+        std::sort(comp.begin(), comp.end());
+        comps.push_back(std::move(comp));
+    }
+    return comps;
+}
+
+bool
+quotientRespectsPrecedence(const Graph &g, const std::vector<int> &block)
+{
+    if (static_cast<int>(block.size()) != g.size())
+        panic("block assignment size mismatch");
+    for (NodeId v = 0; v < g.size(); ++v)
+        for (NodeId u : g.preds(v))
+            if (block[u] > block[v])
+                return false;
+    return true;
+}
+
+bool
+quotientIsAcyclic(const Graph &g, const std::vector<int> &block)
+{
+    if (static_cast<int>(block.size()) != g.size())
+        panic("block assignment size mismatch");
+
+    // Collect distinct block ids and inter-block edges.
+    std::unordered_map<int, int> idx;
+    for (int b : block)
+        if (!idx.count(b)) {
+            int next = static_cast<int>(idx.size());
+            idx[b] = next;
+        }
+    int nb = static_cast<int>(idx.size());
+    std::vector<std::unordered_set<int>> adj(nb);
+    std::vector<int> indeg(nb, 0);
+    for (NodeId v = 0; v < g.size(); ++v) {
+        int bv = idx[block[v]];
+        for (NodeId u : g.preds(v)) {
+            int bu = idx[block[u]];
+            if (bu != bv && adj[bu].insert(bv).second)
+                ++indeg[bv];
+        }
+    }
+    // Kahn's algorithm.
+    std::vector<int> queue;
+    for (int b = 0; b < nb; ++b)
+        if (indeg[b] == 0)
+            queue.push_back(b);
+    int seen = 0;
+    while (!queue.empty()) {
+        int b = queue.back();
+        queue.pop_back();
+        ++seen;
+        for (int w : adj[b])
+            if (--indeg[w] == 0)
+                queue.push_back(w);
+    }
+    return seen == nb;
+}
+
+std::vector<NodeId>
+boundaryInputs(const Graph &g, const std::vector<NodeId> &nodes)
+{
+    std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+    std::unordered_set<NodeId> result;
+    for (NodeId v : nodes)
+        for (NodeId u : g.preds(v))
+            if (!in_set.count(u))
+                result.insert(u);
+    std::vector<NodeId> out(result.begin(), result.end());
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::vector<NodeId>
+escapingOutputs(const Graph &g, const std::vector<NodeId> &nodes)
+{
+    std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+    std::vector<NodeId> out;
+    for (NodeId v : nodes) {
+        bool escapes = g.succs(v).empty();
+        for (NodeId w : g.succs(v))
+            if (!in_set.count(w)) {
+                escapes = true;
+                break;
+            }
+        if (escapes)
+            out.push_back(v);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+} // namespace cocco

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Graph algorithms shared by the tile-flow, partitioning, and search
+ * layers: topological ordering, depth layering, connectivity of node
+ * subsets, and validity of quotient (partition) graphs.
+ */
+
+#ifndef COCCO_GRAPH_ALGORITHMS_H
+#define COCCO_GRAPH_ALGORITHMS_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cocco {
+
+/**
+ * Topological order of the whole graph. Node ids are already a valid
+ * topological order by construction (producers precede consumers), so
+ * this is the identity permutation; provided for clarity at call sites.
+ */
+std::vector<NodeId> topoOrder(const Graph &g);
+
+/**
+ * Depth of each node: Input nodes have depth 0; otherwise
+ * 1 + max(depth of producers). Used by the DP baseline's depth-order
+ * sequencing (Irregular-NN).
+ */
+std::vector<int> nodeDepths(const Graph &g);
+
+/**
+ * Node ids sorted by (depth, id): the sequential order the DP baseline
+ * partitions along.
+ */
+std::vector<NodeId> depthOrder(const Graph &g);
+
+/**
+ * @return true if the node subset @p nodes is weakly connected in @p g
+ * (connected when edge direction is ignored). Empty sets and singletons
+ * are connected.
+ */
+bool isWeaklyConnected(const Graph &g, const std::vector<NodeId> &nodes);
+
+/**
+ * Split a node subset into weakly-connected components.
+ * @return one vector of node ids per component, each sorted ascending;
+ * components ordered by their smallest node id.
+ */
+std::vector<std::vector<NodeId>>
+weakComponents(const Graph &g, const std::vector<NodeId> &nodes);
+
+/**
+ * Check whether the block assignment @p block (node -> block id) has an
+ * acyclic quotient graph with blocks numbered in a valid execution
+ * order, i.e. for every edge (u, v): block[u] <= block[v].
+ */
+bool quotientRespectsPrecedence(const Graph &g,
+                                const std::vector<int> &block);
+
+/**
+ * @return true if the quotient graph induced by @p block is acyclic
+ * (ignoring the numeric order of block ids).
+ */
+bool quotientIsAcyclic(const Graph &g, const std::vector<int> &block);
+
+/**
+ * For each node, the set of graph-input-reachable ancestors is implied;
+ * this helper returns, for a node set S, the ids of *boundary inputs*:
+ * producers outside S that feed some node in S (deduplicated, sorted).
+ */
+std::vector<NodeId> boundaryInputs(const Graph &g,
+                                   const std::vector<NodeId> &nodes);
+
+/**
+ * For a node set S, the ids of nodes in S whose output escapes S
+ * (consumed by a node outside S, or a model output). Sorted ascending.
+ */
+std::vector<NodeId> escapingOutputs(const Graph &g,
+                                    const std::vector<NodeId> &nodes);
+
+} // namespace cocco
+
+#endif // COCCO_GRAPH_ALGORITHMS_H

@@ -1,0 +1,73 @@
+#include "graph/dot.h"
+
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+const char *kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                          "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+
+std::string
+nodeLabel(const Graph &g, NodeId v)
+{
+    const Layer &l = g.layer(v);
+    return strprintf("%s\\n%s %dx%dx%d", l.name.c_str(),
+                     layerKindName(l.kind), l.outH, l.outW, l.outC);
+}
+
+std::string
+edges(const Graph &g)
+{
+    std::string out;
+    for (NodeId v = 0; v < g.size(); ++v)
+        for (NodeId u : g.preds(v))
+            out += strprintf("  n%d -> n%d;\n", u, v);
+    return out;
+}
+
+} // namespace
+
+std::string
+toDot(const Graph &g)
+{
+    std::string out = strprintf("digraph \"%s\" {\n  rankdir=TB;\n"
+                                "  node [shape=box, style=filled, "
+                                "fillcolor=\"#eeeeee\"];\n",
+                                g.name().c_str());
+    for (NodeId v = 0; v < g.size(); ++v)
+        out += strprintf("  n%d [label=\"%s\"];\n", v,
+                         nodeLabel(g, v).c_str());
+    out += edges(g);
+    out += "}\n";
+    return out;
+}
+
+std::string
+toDot(const Graph &g, const Partition &p)
+{
+    if (static_cast<int>(p.block.size()) != g.size())
+        panic("toDot: partition does not cover the graph");
+
+    std::string out = strprintf("digraph \"%s\" {\n  rankdir=TB;\n"
+                                "  node [shape=box, style=filled];\n",
+                                g.name().c_str());
+    auto blocks = p.blocks();
+    for (size_t b = 0; b < blocks.size(); ++b) {
+        const char *colour = kPalette[b % (sizeof(kPalette) /
+                                           sizeof(kPalette[0]))];
+        out += strprintf("  subgraph cluster_%zu {\n"
+                         "    label=\"subgraph %zu\";\n",
+                         b, b);
+        for (NodeId v : blocks[b])
+            out += strprintf("    n%d [label=\"%s\", fillcolor=\"%s\"];\n",
+                             v, nodeLabel(g, v).c_str(), colour);
+        out += "  }\n";
+    }
+    out += edges(g);
+    out += "}\n";
+    return out;
+}
+
+} // namespace cocco

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Graphviz DOT export of computation graphs, optionally coloured by a
+ * partition (one colour per subgraph, clustered). Handy for
+ * inspecting the execution strategies the search produces.
+ */
+
+#ifndef COCCO_GRAPH_DOT_H
+#define COCCO_GRAPH_DOT_H
+
+#include <string>
+
+#include "graph/graph.h"
+#include "partition/partition.h"
+
+namespace cocco {
+
+/** Render @p g as a DOT digraph. */
+std::string toDot(const Graph &g);
+
+/**
+ * Render @p g with nodes grouped into subgraph clusters according to
+ * @p p (must cover the graph).
+ */
+std::string toDot(const Graph &g, const Partition &p);
+
+} // namespace cocco
+
+#endif // COCCO_GRAPH_DOT_H

@@ -1,0 +1,86 @@
+#include "graph/graph.h"
+
+#include "util/logging.h"
+
+namespace cocco {
+
+Graph::Graph(std::string name)
+    : name_(std::move(name))
+{
+}
+
+NodeId
+Graph::addNode(const Layer &layer, const std::vector<NodeId> &inputs)
+{
+    NodeId id = static_cast<NodeId>(layers_.size());
+    for (NodeId u : inputs) {
+        if (u < 0 || u >= id)
+            fatal("node '%s': input id %d out of range [0, %d)",
+                  layer.name.c_str(), u, id);
+    }
+    if (layer.kind == LayerKind::Input && !inputs.empty())
+        fatal("input node '%s' cannot have producers", layer.name.c_str());
+    if (layer.kind != LayerKind::Input && inputs.empty())
+        fatal("non-input node '%s' needs at least one producer",
+              layer.name.c_str());
+    if (layer.outH < 1 || layer.outW < 1 || layer.outC < 1 ||
+        layer.kernel < 1 || layer.stride < 1) {
+        fatal("node '%s': non-positive shape/kernel/stride",
+              layer.name.c_str());
+    }
+
+    layers_.push_back(layer);
+    preds_.push_back(inputs);
+    succs_.emplace_back();
+    num_edges_ += static_cast<int>(inputs.size());
+
+    int in_ch = 0;
+    for (NodeId u : inputs) {
+        succs_[u].push_back(id);
+        in_ch += layers_[u].outC;
+    }
+    in_channels_.push_back(in_ch);
+
+    int64_t wb = layer.weightBytes(in_ch);
+    int64_t mc = layer.macs(in_ch);
+    weight_bytes_.push_back(wb);
+    macs_.push_back(mc);
+    total_weight_bytes_ += wb;
+    total_macs_ += mc;
+
+    if (layer.kind == LayerKind::Input)
+        input_nodes_.push_back(id);
+    return id;
+}
+
+std::vector<NodeId>
+Graph::outputs() const
+{
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < size(); ++v)
+        if (succs_[v].empty())
+            out.push_back(v);
+    return out;
+}
+
+std::string
+Graph::str() const
+{
+    std::string s = strprintf("%s: %d nodes, %d edges, %.2f MMACs, "
+                              "%.2f MB weights\n",
+                              name_.c_str(), size(), num_edges_,
+                              total_macs_ / 1e6,
+                              total_weight_bytes_ / (1024.0 * 1024.0));
+    for (NodeId v = 0; v < size(); ++v) {
+        const Layer &l = layers_[v];
+        s += strprintf("  [%3d] %-24s %-7s %dx%dx%d F=%d s=%d preds={",
+                       v, l.name.c_str(), layerKindName(l.kind), l.outH,
+                       l.outW, l.outC, l.kernel, l.stride);
+        for (size_t i = 0; i < preds_[v].size(); ++i)
+            s += (i ? "," : "") + strprintf("%d", preds_[v][i]);
+        s += "}\n";
+    }
+    return s;
+}
+
+} // namespace cocco

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The DNN computation graph G = (V, E): a DAG of Layer nodes.
+ *
+ * Node ids are dense indices [0, size). Edges (u, v) mean "the output
+ * of u is an input of v". The graph is append-only: models are built
+ * once by the builders in src/models/ and then treated as immutable by
+ * the partitioning and search layers.
+ */
+
+#ifndef COCCO_GRAPH_GRAPH_H
+#define COCCO_GRAPH_GRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/layer.h"
+
+namespace cocco {
+
+/** Dense node id. */
+using NodeId = int;
+
+/** A DAG of layers with per-node derived byte/MAC metadata. */
+class Graph
+{
+  public:
+    /** Create an empty graph with an optional model name. */
+    explicit Graph(std::string name = "graph");
+
+    /**
+     * Append a node.
+     * @param layer   the layer payload
+     * @param inputs  producer node ids (must be < the new node's id)
+     * @return the new node's id
+     */
+    NodeId addNode(const Layer &layer, const std::vector<NodeId> &inputs = {});
+
+    /** Model name ("ResNet50", ...). */
+    const std::string &name() const { return name_; }
+
+    /** Number of nodes. */
+    int size() const { return static_cast<int>(layers_.size()); }
+
+    /** Number of edges. */
+    int numEdges() const { return num_edges_; }
+
+    /** Layer payload of node @p v. */
+    const Layer &layer(NodeId v) const { return layers_[v]; }
+
+    /** Producer ids of node @p v (in insertion order). */
+    const std::vector<NodeId> &preds(NodeId v) const { return preds_[v]; }
+
+    /** Consumer ids of node @p v (in insertion order). */
+    const std::vector<NodeId> &succs(NodeId v) const { return succs_[v]; }
+
+    /** Sum of producers' output channels (input channel count of @p v). */
+    int inChannels(NodeId v) const { return in_channels_[v]; }
+
+    /** Weight bytes of node @p v. */
+    int64_t weightBytes(NodeId v) const { return weight_bytes_[v]; }
+
+    /** MAC count of node @p v. */
+    int64_t macs(NodeId v) const { return macs_[v]; }
+
+    /** Output activation bytes of node @p v. */
+    int64_t outBytes(NodeId v) const { return layers_[v].outBytes(); }
+
+    /** Total weight bytes of the model. */
+    int64_t totalWeightBytes() const { return total_weight_bytes_; }
+
+    /** Total MACs of the model. */
+    int64_t totalMacs() const { return total_macs_; }
+
+    /** Ids of Input-kind nodes. */
+    const std::vector<NodeId> &inputs() const { return input_nodes_; }
+
+    /** Ids of nodes with no consumers (model outputs). */
+    std::vector<NodeId> outputs() const;
+
+    /** @return true if @p v is an Input placeholder. */
+    bool isInput(NodeId v) const
+    {
+        return layers_[v].kind == LayerKind::Input;
+    }
+
+    /** One-line per-node dump for debugging. */
+    std::string str() const;
+
+  private:
+    std::string name_;
+    std::vector<Layer> layers_;
+    std::vector<std::vector<NodeId>> preds_;
+    std::vector<std::vector<NodeId>> succs_;
+    std::vector<int> in_channels_;
+    std::vector<int64_t> weight_bytes_;
+    std::vector<int64_t> macs_;
+    std::vector<NodeId> input_nodes_;
+    int num_edges_ = 0;
+    int64_t total_weight_bytes_ = 0;
+    int64_t total_macs_ = 0;
+};
+
+} // namespace cocco
+
+#endif // COCCO_GRAPH_GRAPH_H

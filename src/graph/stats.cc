@@ -1,0 +1,61 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "graph/algorithms.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+double
+GraphStats::actWeightRatio() const
+{
+    if (totalWeightBytes == 0)
+        return totalActBytes > 0 ? 1e18 : 0.0;
+    return static_cast<double>(totalActBytes) /
+           static_cast<double>(totalWeightBytes);
+}
+
+std::string
+GraphStats::str() const
+{
+    return strprintf(
+        "nodes=%d edges=%d depth=%d width=%d fan-out<=%d fan-in<=%d\n"
+        "branch nodes=%d merge nodes=%d\n"
+        "activations=%.2f MB (peak tensor %.2f MB), weights=%.2f MB "
+        "(act/wgt %.2f)\nMACs=%.2f G\n",
+        nodes, edges, depth, maxWidth, maxFanOut, maxFanIn, branchNodes,
+        mergeNodes, totalActBytes / 1048576.0, peakActBytes / 1048576.0,
+        totalWeightBytes / 1048576.0, actWeightRatio(), totalMacs / 1e9);
+}
+
+GraphStats
+computeStats(const Graph &g)
+{
+    GraphStats s;
+    s.nodes = g.size();
+    s.edges = g.numEdges();
+    s.totalWeightBytes = g.totalWeightBytes();
+    s.totalMacs = g.totalMacs();
+
+    std::vector<int> depth = nodeDepths(g);
+    std::map<int, int> width;
+    for (NodeId v = 0; v < g.size(); ++v) {
+        s.depth = std::max(s.depth, depth[v]);
+        ++width[depth[v]];
+        s.maxFanOut =
+            std::max(s.maxFanOut, static_cast<int>(g.succs(v).size()));
+        s.maxFanIn =
+            std::max(s.maxFanIn, static_cast<int>(g.preds(v).size()));
+        s.branchNodes += g.succs(v).size() > 1;
+        s.mergeNodes += g.preds(v).size() > 1;
+        s.totalActBytes += g.outBytes(v);
+        s.peakActBytes = std::max(s.peakActBytes, g.outBytes(v));
+    }
+    for (auto [d, w] : width)
+        s.maxWidth = std::max(s.maxWidth, w);
+    return s;
+}
+
+} // namespace cocco

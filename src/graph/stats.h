@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Workload statistics: the graph-level features Cocco's search
+ * exploits (depth, width, branching, activation/weight balance).
+ * Used by the CLI's describe command and handy when judging which
+ * partitioners a topology will favour.
+ */
+
+#ifndef COCCO_GRAPH_STATS_H
+#define COCCO_GRAPH_STATS_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cocco {
+
+/** Summary statistics of one computation graph. */
+struct GraphStats
+{
+    int nodes = 0;
+    int edges = 0;
+    int depth = 0;           ///< longest path length (edges)
+    int maxWidth = 0;        ///< max nodes sharing one depth level
+    int maxFanOut = 0;
+    int maxFanIn = 0;
+    int branchNodes = 0;     ///< nodes with >1 consumer
+    int mergeNodes = 0;      ///< nodes with >1 producer
+    int64_t totalActBytes = 0;
+    int64_t totalWeightBytes = 0;
+    int64_t totalMacs = 0;
+    int64_t peakActBytes = 0; ///< largest single tensor
+
+    /** Activations-to-weights byte ratio (inf-safe). */
+    double actWeightRatio() const;
+
+    /** Multi-line human-readable report. */
+    std::string str() const;
+};
+
+/** Compute statistics for @p g. */
+GraphStats computeStats(const Graph &g);
+
+} // namespace cocco
+
+#endif // COCCO_GRAPH_STATS_H

@@ -1,0 +1,100 @@
+#include "mem/buffer_config.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+constexpr int64_t kKB = 1024;
+} // namespace
+
+int64_t
+BufferConfig::totalBytes() const
+{
+    return style == BufferStyle::Shared ? sharedBytes
+                                        : actBytes + weightBytes;
+}
+
+std::string
+BufferConfig::str() const
+{
+    if (style == BufferStyle::Shared)
+        return strprintf("%lldKB", static_cast<long long>(sharedBytes / kKB));
+    return strprintf("A=%lldKB W=%lldKB",
+                     static_cast<long long>(actBytes / kKB),
+                     static_cast<long long>(weightBytes / kKB));
+}
+
+BufferConfig
+BufferConfig::fixedSmall(BufferStyle style)
+{
+    BufferConfig c;
+    c.style = style;
+    c.actBytes = 512 * kKB;
+    c.weightBytes = 576 * kKB;
+    c.sharedBytes = 576 * kKB;
+    return c;
+}
+
+BufferConfig
+BufferConfig::fixedMedium(BufferStyle style)
+{
+    BufferConfig c;
+    c.style = style;
+    c.actBytes = 1024 * kKB;
+    c.weightBytes = 1152 * kKB;
+    c.sharedBytes = 1152 * kKB;
+    return c;
+}
+
+BufferConfig
+BufferConfig::fixedLarge(BufferStyle style)
+{
+    BufferConfig c;
+    c.style = style;
+    c.actBytes = 2048 * kKB;
+    c.weightBytes = 2304 * kKB;
+    c.sharedBytes = 2304 * kKB;
+    return c;
+}
+
+int64_t
+CapacityGrid::value(int i) const
+{
+    int clamped = std::clamp(i, 0, count - 1);
+    return minBytes + static_cast<int64_t>(clamped) * stepBytes;
+}
+
+int
+CapacityGrid::indexOf(int64_t bytes) const
+{
+    if (stepBytes <= 0)
+        panic("CapacityGrid with non-positive step");
+    int64_t i = (bytes - minBytes + stepBytes / 2) / stepBytes;
+    return std::clamp<int>(static_cast<int>(i), 0, count - 1);
+}
+
+CapacityGrid
+globalBufferGrid()
+{
+    // 128KB .. 2048KB step 64KB -> 31 candidates.
+    return {128 * kKB, 64 * kKB, 31};
+}
+
+CapacityGrid
+weightBufferGrid()
+{
+    // 144KB .. 2304KB step 72KB -> 31 candidates.
+    return {144 * kKB, 72 * kKB, 31};
+}
+
+CapacityGrid
+sharedBufferGrid()
+{
+    // 128KB .. 3072KB step 64KB -> 47 candidates.
+    return {128 * kKB, 64 * kKB, 47};
+}
+
+} // namespace cocco

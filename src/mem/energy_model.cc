@@ -1,0 +1,23 @@
+#include "mem/energy_model.h"
+
+#include <cmath>
+
+namespace cocco {
+
+double
+EnergyModel::sramPjPerByte(int64_t capacity_bytes) const
+{
+    double kb = static_cast<double>(capacity_bytes) / 1024.0;
+    if (kb < 1.0)
+        kb = 1.0;
+    return sramBasePjPerByte + sramSlopePjPerByte * std::sqrt(kb);
+}
+
+double
+EnergyModel::sramAreaMm2(int64_t capacity_bytes) const
+{
+    return sramAreaMm2PerMB * static_cast<double>(capacity_bytes) /
+           (1024.0 * 1024.0);
+}
+
+} // namespace cocco

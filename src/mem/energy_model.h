@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Technology energy/area model standing in for the paper's 12nm
+ * synthesized-RTL numbers (see DESIGN.md, substitution table).
+ *
+ * Anchored constants:
+ *   - DRAM access: 12.5 pJ/bit = 100 pJ/B (paper Section 5.1.2)
+ *   - SRAM read/write: CACTI-shaped  e(pJ/B) = a + b * sqrt(KB),
+ *     calibrated so a 1MB buffer costs ~1 pJ/B (~20x an 8-bit MAC,
+ *     matching the paper's "dozens of times a MAC" remark)
+ *   - 8-bit MAC: 0.05 pJ
+ *   - SRAM area: ~1.2 mm^2/MB in 12nm (paper Figure 2 commentary)
+ *   - crossbar hop: 4 pJ/B including endpoint SRAM accesses
+ *     (Arteris-like NoC substitute)
+ */
+
+#ifndef COCCO_MEM_ENERGY_MODEL_H
+#define COCCO_MEM_ENERGY_MODEL_H
+
+#include <cstdint>
+
+namespace cocco {
+
+/** Technology constants; defaults model a 12nm node at 1 GHz. */
+struct EnergyModel
+{
+    double dramPjPerByte = 100.0;  ///< 12.5 pJ/bit
+    double sramBasePjPerByte = 0.2;
+    double sramSlopePjPerByte = 0.025; ///< multiplied by sqrt(capacity KB)
+    double macPj = 0.05;           ///< one 8-bit MAC
+    /** Per-byte cost of a core-to-core crossbar transfer, including
+     *  the SRAM read/write at both endpoints (Arteris-like NoC). */
+    double crossbarPjPerByte = 4.0;
+    double sramAreaMm2PerMB = 1.2;
+
+    /** SRAM access energy (pJ/byte) for a buffer of @p capacity_bytes. */
+    double sramPjPerByte(int64_t capacity_bytes) const;
+
+    /** Silicon area (mm^2) of @p capacity_bytes of SRAM. */
+    double sramAreaMm2(int64_t capacity_bytes) const;
+
+    /** Total DRAM energy (pJ) for @p bytes transferred. */
+    double dramEnergyPj(int64_t bytes) const { return dramPjPerByte * bytes; }
+
+    /** Total MAC energy (pJ) for @p macs operations. */
+    double macEnergyPj(int64_t macs) const { return macPj * macs; }
+};
+
+} // namespace cocco
+
+#endif // COCCO_MEM_ENERGY_MODEL_H

@@ -1,0 +1,67 @@
+#include "mem/layout.h"
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+TileLayout::TileLayout(int tile_h, int tile_w, int channels,
+                       int channel_align, int word_bytes)
+    : tile_h_(tile_h), tile_w_(tile_w), channels_(channels),
+      align_(channel_align), word_bytes_(word_bytes)
+{
+    if (tile_h_ < 1 || tile_w_ < 1 || channels_ < 1)
+        fatal("TileLayout with non-positive tile dimensions");
+    if (align_ < 1 || word_bytes_ < 1)
+        fatal("TileLayout with non-positive alignment");
+    groups_ = static_cast<int>(ceilDiv(channels_, align_));
+}
+
+int64_t
+TileLayout::entriesPerColumn() const
+{
+    // One width-position: ceil(C/8) x P0 entries (Figure 7's
+    // "C/8 x P0 entries" per q0 group).
+    return static_cast<int64_t>(groups_) * tile_h_;
+}
+
+int64_t
+TileLayout::mainEntries() const
+{
+    return entriesPerColumn() * tile_w_;
+}
+
+int64_t
+TileLayout::mainBytes() const
+{
+    return mainEntries() * word_bytes_;
+}
+
+int64_t
+TileLayout::sideEntries(int overlap_rows, int total_w) const
+{
+    if (overlap_rows <= 0 || total_w <= tile_w_)
+        return 0;
+    // (Q - Q0) groups of ceil(C/8) x (Fy - sy) entries.
+    return static_cast<int64_t>(groups_) * overlap_rows *
+           (total_w - tile_w_);
+}
+
+int64_t
+TileLayout::sideBytes(int overlap_rows, int total_w) const
+{
+    return sideEntries(overlap_rows, total_w) * word_bytes_;
+}
+
+int64_t
+TileLayout::entryOf(int p, int q, int c) const
+{
+    if (p < 0 || p >= tile_h_ || q < 0 || q >= tile_w_ || c < 0 ||
+        c >= channels_)
+        panic("TileLayout::entryOf out of range (%d, %d, %d)", p, q, c);
+    int group = c / align_;
+    // Column-major over q (inner loop), then channel groups, then rows.
+    return (static_cast<int64_t>(q) * groups_ + group) * tile_h_ + p;
+}
+
+} // namespace cocco

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * NWHC8c data-layout model (paper Figure 7): tensors live in the
+ * global buffer aligned to 8-channel groups, organized as Q0 groups
+ * of ceil(C/8) x P0 entries for the MAIN region and (Q - Q0) groups
+ * of ceil(C/8) x (Fy - sy) entries for the SIDE region. This class
+ * computes entry counts and buffer addresses for tile elements — the
+ * arithmetic a DMA engine / buffer-region manager performs.
+ */
+
+#ifndef COCCO_MEM_LAYOUT_H
+#define COCCO_MEM_LAYOUT_H
+
+#include <cstdint>
+
+namespace cocco {
+
+/** Address arithmetic for one node's region under NWHC8c. */
+class TileLayout
+{
+  public:
+    /**
+     * @param tile_h MAIN tile height P0
+     * @param tile_w MAIN tile width Q0
+     * @param channels tensor channel count C
+     * @param channel_align channel group width (8 in the paper)
+     * @param word_bytes bytes per buffer word (8 for the 64-bit GLB)
+     */
+    TileLayout(int tile_h, int tile_w, int channels, int channel_align = 8,
+               int word_bytes = 8);
+
+    /** Channel groups: ceil(C / align). */
+    int channelGroups() const { return groups_; }
+
+    /** Buffer entries of one width-column of the MAIN tile. */
+    int64_t entriesPerColumn() const;
+
+    /** Total MAIN-region entries (Q0 columns). */
+    int64_t mainEntries() const;
+
+    /** Total MAIN-region bytes (entries x word size). */
+    int64_t mainBytes() const;
+
+    /**
+     * SIDE-region entries for overlap rows (Fy - sy) across the
+     * (total_w - Q0) columns outside the tile.
+     */
+    int64_t sideEntries(int overlap_rows, int total_w) const;
+
+    /** SIDE-region bytes. */
+    int64_t sideBytes(int overlap_rows, int total_w) const;
+
+    /**
+     * Linear entry offset of element (p, q, c) inside the MAIN
+     * region: column-major over q (the inner loop dimension), then
+     * channel group, then row. Panics if out of range.
+     */
+    int64_t entryOf(int p, int q, int c) const;
+
+  private:
+    int tile_h_;
+    int tile_w_;
+    int channels_;
+    int align_;
+    int word_bytes_;
+    int groups_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_MEM_LAYOUT_H

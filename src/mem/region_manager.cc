@@ -1,0 +1,55 @@
+#include "mem/region_manager.h"
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+RegionManager::RegionManager(int max_regions, int address_bits)
+    : max_regions_(max_regions), address_bits_(address_bits)
+{
+    if (max_regions_ < 1)
+        fatal("RegionManager needs at least one region");
+    if (address_bits_ < 1 || address_bits_ > 48)
+        fatal("implausible address width %d", address_bits_);
+}
+
+int64_t
+RegionManager::registerFileBytes() const
+{
+    // 2N entries, each address_bits wide, rounded up to whole bytes.
+    return ceilDiv(static_cast<int64_t>(2) * max_regions_ * address_bits_, 8);
+}
+
+RegionAllocation
+RegionManager::allocate(const ExecutionScheme &scheme,
+                        int64_t buffer_bytes) const
+{
+    RegionAllocation alloc;
+    alloc.regionLimitOk = scheme.numRegions <= max_regions_;
+
+    int64_t cursor = 0;
+    for (const NodeScheme &ns : scheme.nodes) {
+        Region main;
+        main.node = ns.node;
+        main.side = false;
+        main.start = cursor;
+        main.end = cursor + ns.mainBytes;
+        cursor = main.end;
+        alloc.regions.push_back(main);
+        if (ns.sideBytes > 0) {
+            Region side;
+            side.node = ns.node;
+            side.side = true;
+            side.start = cursor;
+            side.end = cursor + ns.sideBytes;
+            cursor = side.end;
+            alloc.regions.push_back(side);
+        }
+    }
+    alloc.usedBytes = cursor;
+    alloc.fits = alloc.regionLimitOk && cursor <= buffer_bytes;
+    return alloc;
+}
+
+} // namespace cocco

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Model of the buffer-region manager of paper Figure 8: a 2N-depth
+ * register file whose entry pairs hold the start/end address of each
+ * logical region in the global buffer. N bounds the number of regions
+ * a subgraph may use (N = 64 in the paper's test chip; each node uses
+ * one MAIN region and, when it keeps horizontal overlap, one SIDE
+ * region).
+ *
+ * The class both (a) validates that an execution scheme's regions fit
+ * the register file and the buffer, producing the concrete address
+ * map, and (b) reports the hardware overhead of the manager itself
+ * (272 bytes of register file for N = 64 with 17-bit addresses).
+ */
+
+#ifndef COCCO_MEM_REGION_MANAGER_H
+#define COCCO_MEM_REGION_MANAGER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tileflow/scheme.h"
+
+namespace cocco {
+
+/** One allocated logical region. */
+struct Region
+{
+    NodeId node = -1;
+    bool side = false;   ///< SIDE region (vs MAIN)
+    int64_t start = 0;   ///< byte offset in the buffer
+    int64_t end = 0;     ///< exclusive byte offset
+};
+
+/** Result of allocating a scheme's regions into a buffer. */
+struct RegionAllocation
+{
+    bool fits = false;          ///< regions and bytes both fit
+    bool regionLimitOk = false; ///< region count within N
+    std::vector<Region> regions;
+    int64_t usedBytes = 0;
+};
+
+/** The buffer-region manager model. */
+class RegionManager
+{
+  public:
+    /**
+     * @param max_regions N, the register-file depth / 2 (default 64)
+     * @param address_bits address width per entry (default 17: 1MB
+     *        buffer of 64-bit words)
+     */
+    explicit RegionManager(int max_regions = 64, int address_bits = 17);
+
+    /** Maximum number of simultaneously allocated regions. */
+    int maxRegions() const { return max_regions_; }
+
+    /** Register-file size in bytes (2N entries of address_bits). */
+    int64_t registerFileBytes() const;
+
+    /**
+     * Lay the scheme's MAIN and SIDE regions contiguously into a
+     * buffer of @p buffer_bytes. Fails (fits = false) if the region
+     * count exceeds N or the bytes exceed the buffer.
+     */
+    RegionAllocation allocate(const ExecutionScheme &scheme,
+                              int64_t buffer_bytes) const;
+
+  private:
+    int max_regions_;
+    int address_bits_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_MEM_REGION_MANAGER_H

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Internal convenience wrapper used by the model builders: tracks the
+ * spatial size implied by each node so callers only give channel
+ * counts, kernels, and strides. Output spatial size uses "same"
+ * padding semantics: out = ceil(in / stride).
+ */
+
+#ifndef COCCO_MODELS_BUILDER_UTIL_H
+#define COCCO_MODELS_BUILDER_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+/** Fluent helper for assembling model graphs. */
+class ModelBuilder
+{
+  public:
+    explicit ModelBuilder(std::string name) : g_(std::move(name)) {}
+
+    /** Add the model input tensor. */
+    NodeId
+    input(int h, int w, int c, const std::string &name = "input")
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Input;
+        l.outH = h;
+        l.outW = w;
+        l.outC = c;
+        return g_.addNode(l);
+    }
+
+    /** Dense convolution (FC when k == 1 and spatial == 1). */
+    NodeId
+    conv(NodeId in, int out_c, int k, int s, const std::string &name)
+    {
+        return addSpatial(LayerKind::Conv, {in}, out_c, k, s, name);
+    }
+
+    /** Depth-wise convolution with weights (channels preserved). */
+    NodeId
+    dwconv(NodeId in, int k, int s, const std::string &name)
+    {
+        return addSpatial(LayerKind::DWConv, {in}, g_.layer(in).outC, k, s,
+                          name);
+    }
+
+    /** Pooling (depth-wise, no weights). */
+    NodeId
+    pool(NodeId in, int k, int s, const std::string &name)
+    {
+        return addSpatial(LayerKind::Pool, {in}, g_.layer(in).outC, k, s,
+                          name);
+    }
+
+    /** Global average pool: collapses spatial dims to 1x1. */
+    NodeId
+    globalPool(NodeId in, const std::string &name)
+    {
+        const Layer &p = g_.layer(in);
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Pool;
+        l.outH = 1;
+        l.outW = 1;
+        l.outC = p.outC;
+        l.kernel = p.outH;
+        l.stride = p.outH;
+        return g_.addNode(l, {in});
+    }
+
+    /** Element-wise add of same-shape tensors. */
+    NodeId
+    add(const std::vector<NodeId> &ins, const std::string &name)
+    {
+        if (ins.size() < 2)
+            fatal("add '%s' needs >= 2 inputs", name.c_str());
+        const Layer &p = g_.layer(ins[0]);
+        for (NodeId i : ins)
+            if (g_.layer(i).outH != p.outH || g_.layer(i).outW != p.outW ||
+                g_.layer(i).outC != p.outC)
+                fatal("add '%s': shape mismatch", name.c_str());
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Eltwise;
+        l.outH = p.outH;
+        l.outW = p.outW;
+        l.outC = p.outC;
+        return g_.addNode(l, ins);
+    }
+
+    /** Channel concatenation of same-spatial tensors. */
+    NodeId
+    concat(const std::vector<NodeId> &ins, const std::string &name)
+    {
+        if (ins.size() < 2)
+            fatal("concat '%s' needs >= 2 inputs", name.c_str());
+        const Layer &p = g_.layer(ins[0]);
+        int c = 0;
+        for (NodeId i : ins) {
+            if (g_.layer(i).outH != p.outH || g_.layer(i).outW != p.outW)
+                fatal("concat '%s': spatial mismatch", name.c_str());
+            c += g_.layer(i).outC;
+        }
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Concat;
+        l.outH = p.outH;
+        l.outW = p.outW;
+        l.outC = c;
+        return g_.addNode(l, ins);
+    }
+
+    /** Activation-activation matmul producing h x w x c. */
+    NodeId
+    matmul(NodeId a, NodeId b, int h, int w, int c, const std::string &name)
+    {
+        Layer l;
+        l.name = name;
+        l.kind = LayerKind::Matmul;
+        l.outH = h;
+        l.outW = w;
+        l.outC = c;
+        return g_.addNode(l, {a, b});
+    }
+
+    /** Fully-connected layer treated as 1x1 conv at the input's spatial. */
+    NodeId
+    fc(NodeId in, int out_c, const std::string &name)
+    {
+        return conv(in, out_c, 1, 1, name);
+    }
+
+    /** Access the graph under construction. */
+    Graph &graph() { return g_; }
+    const Graph &graph() const { return g_; }
+
+    /** Move the finished graph out. */
+    Graph take() { return std::move(g_); }
+
+  private:
+    NodeId
+    addSpatial(LayerKind kind, const std::vector<NodeId> &ins, int out_c,
+               int k, int s, const std::string &name)
+    {
+        const Layer &p = g_.layer(ins[0]);
+        Layer l;
+        l.name = name;
+        l.kind = kind;
+        l.outH = static_cast<int>(ceilDiv(p.outH, s));
+        l.outW = static_cast<int>(ceilDiv(p.outW, s));
+        l.outC = out_c;
+        l.kernel = k;
+        l.stride = s;
+        return g_.addNode(l, ins);
+    }
+
+    Graph g_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_MODELS_BUILDER_UTIL_H

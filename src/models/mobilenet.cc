@@ -1,0 +1,84 @@
+/**
+ * @file
+ * MobileNetV2 (Sandler et al., CVPR'18) at 224x224x3 — the inverted
+ * residual / linear bottleneck architecture the paper cites among
+ * modern residual structures — and a FSRCNN-style super-resolution
+ * network at 1280x720, the class of workload SR-CNN's selective
+ * caching targets (huge activations, tiny weights: the extreme
+ * fusion-friendly case).
+ */
+
+#include "models/builder_util.h"
+#include "models/models.h"
+
+namespace cocco {
+
+namespace {
+
+/**
+ * One inverted residual block: 1x1 expand (t x), 3x3 depth-wise,
+ * 1x1 linear project, with a residual add when stride 1 and the
+ * channel count is preserved.
+ */
+NodeId
+invertedResidual(ModelBuilder &b, NodeId in, int expand, int out_c,
+                 int stride, const std::string &p)
+{
+    const Layer &li = b.graph().layer(in);
+    int mid = li.outC * expand;
+    NodeId y = in;
+    if (expand != 1)
+        y = b.conv(y, mid, 1, 1, p + "_expand");
+    y = b.dwconv(y, 3, stride, p + "_dw");
+    y = b.conv(y, out_c, 1, 1, p + "_project");
+    if (stride == 1 && li.outC == out_c)
+        y = b.add({in, y}, p + "_add");
+    return y;
+}
+
+} // namespace
+
+Graph
+buildMobileNetV2()
+{
+    ModelBuilder b("MobileNetV2");
+    NodeId x = b.input(224, 224, 3);
+    x = b.conv(x, 32, 3, 2, "stem");
+
+    // (expansion t, channels c, repeats n, stride s) per the paper.
+    struct Stage { int t, c, n, s; };
+    const Stage stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2}, {6, 32, 3, 2},
+                            {6, 64, 4, 2},  {6, 96, 3, 1}, {6, 160, 3, 2},
+                            {6, 320, 1, 1}};
+    int blk = 0;
+    for (const Stage &st : stages) {
+        for (int i = 0; i < st.n; ++i) {
+            int stride = i == 0 ? st.s : 1;
+            x = invertedResidual(b, x, st.t, st.c, stride,
+                                 strprintf("ir%d", ++blk));
+        }
+    }
+    x = b.conv(x, 1280, 1, 1, "head");
+    x = b.globalPool(x, "avgpool");
+    x = b.fc(x, 1000, "fc1000");
+    return b.take();
+}
+
+Graph
+buildSRCNN()
+{
+    // FSRCNN-style: feature extraction, shrink, mapping stack,
+    // expand, reconstruction — all on a 1280x720 frame. Activations
+    // dwarf the weights, so inter-layer fusion is the whole game.
+    ModelBuilder b("SRCNN");
+    NodeId x = b.input(720, 1280, 3);
+    x = b.conv(x, 56, 5, 1, "feature");
+    x = b.conv(x, 12, 1, 1, "shrink");
+    for (int i = 0; i < 6; ++i)
+        x = b.conv(x, 12, 3, 1, strprintf("map%d", i + 1));
+    x = b.conv(x, 56, 1, 1, "expand");
+    x = b.conv(x, 12, 9, 1, "reconstruct"); // 12 = 3 x (2x2 upscale)
+    return b.take();
+}
+
+} // namespace cocco

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Builders for the networks evaluated in the paper (Section 5.1.1):
+ * plain (VGG16), multi-branch (ResNet50/152, GoogleNet, Transformer,
+ * GPT), and irregular (RandWire-A/B, NasNet).
+ *
+ * Conventions (as in the paper): FC layers become 1x1 convolutions;
+ * pooling and element-wise layers are analysed as depth-wise
+ * convolutions without weights; scalar ops are hidden in the pipeline
+ * and not represented.
+ */
+
+#ifndef COCCO_MODELS_MODELS_H
+#define COCCO_MODELS_MODELS_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cocco {
+
+/** VGG16 at 224x224 (plain structure, 16 weight layers). */
+Graph buildVGG16();
+
+/** ResNet50 at 224x224 (bottleneck residual blocks). */
+Graph buildResNet50();
+
+/** ResNet152 at 224x224. */
+Graph buildResNet152();
+
+/** GoogleNet (Inception-v1) at 224x224. */
+Graph buildGoogleNet();
+
+/** Transformer encoder (base: 6 layers, d=512, ffn=2048, seq=512). */
+Graph buildTransformer();
+
+/** GPT-1 decoder stack (12 layers, d=768, ffn=3072, seq=512). */
+Graph buildGPT();
+
+/**
+ * RandWire network generated with the Watts-Strogatz random-graph
+ * regime from the RandWire paper.
+ * @param variant 'A' = small regime (WS(32, 4, 0.75), C=78);
+ *                'B' = regular regime (WS(32, 8, 0.75), C=109)
+ * @param seed    generator seed (deterministic per seed)
+ */
+Graph buildRandWire(char variant, uint64_t seed = 1);
+
+/** NasNet-A-like network (stacked normal/reduction cells, 331x331). */
+Graph buildNasNet();
+
+/** MobileNetV2 at 224x224 (inverted residual bottlenecks). */
+Graph buildMobileNetV2();
+
+/** FSRCNN-style super-resolution network on a 1280x720 frame. */
+Graph buildSRCNN();
+
+/**
+ * Build a model by name. Recognized names: VGG16, ResNet50, ResNet152,
+ * GoogleNet, Transformer, GPT, RandWire-A, RandWire-B, NasNet.
+ * Unknown names are a user error (fatal).
+ */
+Graph buildModel(const std::string &name);
+
+/** All recognized model names, in the paper's presentation order. */
+std::vector<std::string> allModelNames();
+
+} // namespace cocco
+
+#endif // COCCO_MODELS_MODELS_H

@@ -1,0 +1,47 @@
+#include "models/random_dag.h"
+
+#include <algorithm>
+
+#include "models/builder_util.h"
+#include "util/random.h"
+
+namespace cocco {
+
+Graph
+buildRandomDag(uint64_t seed, const RandomDagOptions &opts)
+{
+    Rng rng(seed ^ 0x5eed5eed5eed5eedULL);
+    ModelBuilder b(strprintf("RandomDag-%llu",
+                             static_cast<unsigned long long>(seed)));
+
+    std::vector<NodeId> convs;
+    convs.push_back(
+        b.input(opts.spatial, opts.spatial, opts.channels, "input"));
+
+    for (int i = 0; i < opts.convNodes; ++i) {
+        // Pick 1..maxFanIn distinct producers, biased toward recent
+        // nodes with optional long skips.
+        std::vector<NodeId> producers{convs.back()};
+        int extra = 0;
+        while (extra < opts.maxFanIn - 1 && rng.bernoulli(opts.skipProb))
+            ++extra;
+        for (int e = 0; e < extra; ++e) {
+            NodeId cand = convs[rng.index(convs.size())];
+            if (std::find(producers.begin(), producers.end(), cand) ==
+                producers.end())
+                producers.push_back(cand);
+        }
+
+        NodeId in = producers.size() == 1
+                        ? producers[0]
+                        : b.add(producers, strprintf("agg%d", i));
+        int kernel =
+            1 + 2 * static_cast<int>(rng.index(
+                        static_cast<size_t>(opts.maxKernel / 2) + 1));
+        convs.push_back(
+            b.conv(in, opts.channels, kernel, 1, strprintf("conv%d", i)));
+    }
+    return b.take();
+}
+
+} // namespace cocco

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Synthetic layered random DAGs for stress/property testing: every
+ * node is a stride-1 convolution over a fixed spatial/channel shape,
+ * multi-producer nodes aggregate through element-wise adds, so any
+ * generated graph is shape-consistent and exercises reconvergent
+ * topologies the partitioners must handle.
+ */
+
+#ifndef COCCO_MODELS_RANDOM_DAG_H
+#define COCCO_MODELS_RANDOM_DAG_H
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace cocco {
+
+/** Knobs for the synthetic DAG generator. */
+struct RandomDagOptions
+{
+    int convNodes = 24;     ///< number of conv layers
+    int maxFanIn = 3;       ///< max producers sampled per node
+    int spatial = 32;       ///< H = W of every tensor
+    int channels = 16;      ///< C of every tensor
+    int maxKernel = 5;      ///< kernels sampled from {1, 3, ..., maxKernel}
+    double skipProb = 0.5;  ///< probability of extra far producers
+};
+
+/** Generate a deterministic random DAG for @p seed. */
+Graph buildRandomDag(uint64_t seed, const RandomDagOptions &opts = {});
+
+} // namespace cocco
+
+#endif // COCCO_MODELS_RANDOM_DAG_H

@@ -1,0 +1,43 @@
+#include "models/models.h"
+
+#include "util/logging.h"
+
+namespace cocco {
+
+Graph
+buildModel(const std::string &name)
+{
+    if (name == "VGG16")
+        return buildVGG16();
+    if (name == "ResNet50")
+        return buildResNet50();
+    if (name == "ResNet152")
+        return buildResNet152();
+    if (name == "GoogleNet")
+        return buildGoogleNet();
+    if (name == "Transformer")
+        return buildTransformer();
+    if (name == "GPT")
+        return buildGPT();
+    if (name == "RandWire-A" || name == "RandWire")
+        return buildRandWire('A');
+    if (name == "RandWire-B")
+        return buildRandWire('B');
+    if (name == "NasNet")
+        return buildNasNet();
+    if (name == "MobileNetV2")
+        return buildMobileNetV2();
+    if (name == "SRCNN")
+        return buildSRCNN();
+    fatal("unknown model '%s'", name.c_str());
+}
+
+std::vector<std::string>
+allModelNames()
+{
+    return {"VGG16",       "ResNet50", "ResNet152",  "GoogleNet",
+            "Transformer", "GPT",      "RandWire-A", "RandWire-B",
+            "NasNet",      "MobileNetV2", "SRCNN"};
+}
+
+} // namespace cocco

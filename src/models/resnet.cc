@@ -1,0 +1,74 @@
+/**
+ * @file
+ * ResNet50 / ResNet152 (He et al., CVPR'16) bottleneck variants at
+ * 224x224x3. Stage plan: conv1 7x7/2, maxpool 3x3/2, then bottleneck
+ * stages [3,4,6,3] (ResNet50) or [3,8,36,3] (ResNet152), global pool,
+ * FC-1000.
+ */
+
+#include "models/builder_util.h"
+#include "models/models.h"
+
+namespace cocco {
+
+namespace {
+
+/**
+ * One bottleneck block: 1x1 reduce -> 3x3 -> 1x1 expand, with a
+ * projection shortcut on the first block of a stage.
+ */
+NodeId
+bottleneck(ModelBuilder &b, NodeId in, int mid_c, int out_c, int stride,
+           bool project, const std::string &prefix)
+{
+    NodeId y = b.conv(in, mid_c, 1, stride, prefix + "_1x1a");
+    y = b.conv(y, mid_c, 3, 1, prefix + "_3x3");
+    y = b.conv(y, out_c, 1, 1, prefix + "_1x1b");
+
+    NodeId shortcut = in;
+    if (project)
+        shortcut = b.conv(in, out_c, 1, stride, prefix + "_proj");
+    return b.add({shortcut, y}, prefix + "_add");
+}
+
+Graph
+buildResNet(const char *name, const int blocks[4])
+{
+    ModelBuilder b(name);
+    NodeId x = b.input(224, 224, 3);
+    x = b.conv(x, 64, 7, 2, "conv1");
+    x = b.pool(x, 3, 2, "pool1");
+
+    const int mid_c[4] = {64, 128, 256, 512};
+    for (int stage = 0; stage < 4; ++stage) {
+        int out_c = mid_c[stage] * 4;
+        for (int blk = 0; blk < blocks[stage]; ++blk) {
+            int stride = (stage > 0 && blk == 0) ? 2 : 1;
+            bool project = (blk == 0);
+            x = bottleneck(b, x, mid_c[stage], out_c, stride, project,
+                           strprintf("res%d_%d", stage + 2, blk + 1));
+        }
+    }
+
+    x = b.globalPool(x, "avgpool");
+    x = b.fc(x, 1000, "fc1000");
+    return b.take();
+}
+
+} // namespace
+
+Graph
+buildResNet50()
+{
+    const int blocks[4] = {3, 4, 6, 3};
+    return buildResNet("ResNet50", blocks);
+}
+
+Graph
+buildResNet152()
+{
+    const int blocks[4] = {3, 8, 36, 3};
+    return buildResNet("ResNet152", blocks);
+}
+
+} // namespace cocco

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Transformer encoder (Vaswani et al., NIPS'17, base configuration)
+ * and GPT-1 decoder stack (Radford et al., 2018).
+ *
+ * Tokens map to the height dimension (H = sequence length, W = 1,
+ * C = model width); FC projections are 1x1 convolutions, attention
+ * score/context products are activation-activation Matmul nodes, and
+ * residual connections are element-wise adds. LayerNorm and softmax
+ * are scalar pipeline ops and not represented (paper Section 5.1.1).
+ */
+
+#include "models/builder_util.h"
+#include "models/models.h"
+
+namespace cocco {
+
+namespace {
+
+/** One attention + FFN block appended at @p x; returns the block output. */
+NodeId
+transformerBlock(ModelBuilder &b, NodeId x, int seq, int d_model, int d_ffn,
+                 const std::string &prefix)
+{
+    NodeId q = b.fc(x, d_model, prefix + "_q");
+    NodeId k = b.fc(x, d_model, prefix + "_k");
+    NodeId v = b.fc(x, d_model, prefix + "_v");
+
+    // scores = Q K^T : seq x seq map.
+    NodeId scores = b.matmul(q, k, seq, 1, seq, prefix + "_qk");
+    // context = scores V : seq x d_model.
+    NodeId ctx = b.matmul(scores, v, seq, 1, d_model, prefix + "_sv");
+    NodeId proj = b.fc(ctx, d_model, prefix + "_proj");
+    NodeId res1 = b.add({x, proj}, prefix + "_add1");
+
+    NodeId ff1 = b.fc(res1, d_ffn, prefix + "_ffn1");
+    NodeId ff2 = b.fc(ff1, d_model, prefix + "_ffn2");
+    return b.add({res1, ff2}, prefix + "_add2");
+}
+
+Graph
+buildStack(const char *name, int layers, int seq, int d_model, int d_ffn)
+{
+    ModelBuilder b(name);
+    NodeId x = b.input(seq, 1, d_model);
+    for (int i = 0; i < layers; ++i)
+        x = transformerBlock(b, x, seq, d_model, d_ffn,
+                             strprintf("l%d", i + 1));
+    return b.take();
+}
+
+} // namespace
+
+Graph
+buildTransformer()
+{
+    return buildStack("Transformer", 6, 512, 512, 2048);
+}
+
+Graph
+buildGPT()
+{
+    return buildStack("GPT", 12, 512, 768, 3072);
+}
+
+} // namespace cocco

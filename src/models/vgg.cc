@@ -1,0 +1,42 @@
+/**
+ * @file
+ * VGG16 (Simonyan & Zisserman, ICLR'15), configuration D: 13 conv
+ * layers + 5 max-pools + 3 FC layers, input 224x224x3.
+ */
+
+#include "models/builder_util.h"
+#include "models/models.h"
+
+namespace cocco {
+
+Graph
+buildVGG16()
+{
+    ModelBuilder b("VGG16");
+    NodeId x = b.input(224, 224, 3);
+
+    struct Stage { int convs; int channels; };
+    const Stage stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+
+    int idx = 0;
+    for (int s = 0; s < 5; ++s) {
+        for (int c = 0; c < stages[s].convs; ++c) {
+            x = b.conv(x, stages[s].channels, 3, 1,
+                       strprintf("conv%d_%d", s + 1, c + 1));
+            ++idx;
+        }
+        x = b.pool(x, 2, 2, strprintf("pool%d", s + 1));
+    }
+    (void)idx;
+
+    // FC layers as 1x1 convolutions over a 1x1 spatial map. The first
+    // FC consumes the flattened 7x7x512 tensor; model it as a global
+    // 7x7 convolution to 4096 channels (identical weights and MACs).
+    x = b.conv(x, 4096, 7, 7, "fc6");
+    x = b.fc(x, 4096, "fc7");
+    x = b.fc(x, 1000, "fc8");
+
+    return b.take();
+}
+
+} // namespace cocco

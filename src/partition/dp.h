@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The DP baseline of Irregular-NN (paper Section 4.2.3): layers are
+ * arranged by depth order and dynamic programming assigns contiguous
+ * runs of that sequence to subgraphs. The search space is restricted
+ * to depth-contiguous blocks, which is exactly the limitation the
+ * paper points out for non-plain structures.
+ */
+
+#ifndef COCCO_PARTITION_DP_H
+#define COCCO_PARTITION_DP_H
+
+#include "mem/buffer_config.h"
+#include "partition/partition.h"
+#include "sim/cost_model.h"
+
+namespace cocco {
+
+/**
+ * Run the depth-order DP. @p max_run bounds the block length
+ * considered (the region manager allows at most 64 nodes anyway).
+ * Returns a valid partition.
+ */
+Partition dpPartition(const Graph &g, CostModel &model,
+                      const BufferConfig &buf, Metric metric,
+                      int max_run = 64);
+
+} // namespace cocco
+
+#endif // COCCO_PARTITION_DP_H

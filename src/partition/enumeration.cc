@@ -1,0 +1,264 @@
+#include "partition/enumeration.h"
+
+#include <algorithm>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Fixed-width bitset usable as a hash key. */
+struct Bits
+{
+    std::vector<uint64_t> w;
+
+    explicit Bits(int n) : w((n + 63) / 64, 0) {}
+
+    bool
+    get(int i) const
+    {
+        return (w[i / 64] >> (i % 64)) & 1ULL;
+    }
+
+    void
+    set(int i)
+    {
+        w[i / 64] |= 1ULL << (i % 64);
+    }
+
+    bool operator==(const Bits &o) const { return w == o.w; }
+
+    int
+    count() const
+    {
+        int c = 0;
+        for (uint64_t x : w)
+            c += __builtin_popcountll(x);
+        return c;
+    }
+};
+
+struct BitsHash
+{
+    size_t
+    operator()(const Bits &b) const
+    {
+        uint64_t h = 0xcbf29ce484222325ULL;
+        for (uint64_t x : b.w)
+            h = (h ^ x) * 0x100000001b3ULL;
+        return static_cast<size_t>(h);
+    }
+};
+
+struct MemoEntry
+{
+    double cost = kInf;
+    std::vector<NodeId> firstBlock;
+};
+
+double
+metricOf(const SubgraphCost &c, Metric m)
+{
+    return m == Metric::EMA ? static_cast<double>(c.emaBytes) : c.energyPj;
+}
+
+/** The enumeration engine; holds the shared search state. */
+class Enumerator
+{
+  public:
+    Enumerator(const Graph &g, CostModel &model, const BufferConfig &buf,
+               Metric metric, const EnumerationOptions &opts)
+        : g_(g), model_(model), buf_(buf), metric_(metric), opts_(opts)
+    {
+        // Monotone pruning bound: resident weights can never exceed
+        // the weight (or shared) capacity for a multi-node block.
+        weight_prune_ = buf.style == BufferStyle::Shared
+                            ? buf.sharedBytes
+                            : buf.weightBytes;
+    }
+
+    EnumerationResult
+    run()
+    {
+        EnumerationResult res;
+        Bits empty(g_.size());
+        double c = solve(empty);
+        res.statesVisited = static_cast<int64_t>(memo_.size());
+        res.candidatesTried = candidates_;
+        res.complete = !aborted_ && c < kInf;
+        if (res.complete) {
+            res.cost = c;
+            res.best = reconstruct();
+        }
+        return res;
+    }
+
+  private:
+    double
+    solve(const Bits &ideal)
+    {
+        if (ideal.count() == g_.size())
+            return 0.0;
+        auto it = memo_.find(ideal);
+        if (it != memo_.end())
+            return it->second.cost;
+        if (aborted_)
+            return kInf;
+        if (static_cast<int64_t>(memo_.size()) >= opts_.stateBudget) {
+            aborted_ = true;
+            return kInf;
+        }
+
+        MemoEntry entry;
+
+        // Enumerate candidate next blocks: connected closed sets of
+        // un-executed nodes, grown by weak adjacency from each ready
+        // node, deduplicated by set hash.
+        std::unordered_set<size_t> seen;
+        std::vector<std::vector<NodeId>> frontier;
+        for (NodeId v = 0; v < g_.size(); ++v) {
+            if (ideal.get(v))
+                continue;
+            bool ready = true;
+            for (NodeId u : g_.preds(v))
+                if (!ideal.get(u)) {
+                    ready = false;
+                    break;
+                }
+            if (ready)
+                frontier.push_back({v});
+        }
+
+        auto set_key = [&](const std::vector<NodeId> &s) {
+            uint64_t h = 0xcbf29ce484222325ULL;
+            for (NodeId v : s)
+                h = (h ^ static_cast<uint64_t>(v + 1)) * 0x100000001b3ULL;
+            return static_cast<size_t>(h);
+        };
+        for (auto &s : frontier)
+            seen.insert(set_key(s));
+
+        while (!frontier.empty()) {
+            if (aborted_)
+                break;
+            std::vector<NodeId> s = std::move(frontier.back());
+            frontier.pop_back();
+
+            // Every expansion counts toward the work budget: on wide
+            // graphs the number of *grown* (not necessarily closed)
+            // connected sets explodes long before the closed ones do.
+            ++candidates_;
+            if (candidates_ > opts_.candidateBudget) {
+                aborted_ = true;
+                break;
+            }
+
+            // Closed iff every member's producers are executed or
+            // inside the set.
+            bool closed = true;
+            int64_t weights = 0;
+            for (NodeId v : s) {
+                weights += g_.weightBytes(v);
+                for (NodeId u : g_.preds(v))
+                    if (!ideal.get(u) &&
+                        !std::binary_search(s.begin(), s.end(), u)) {
+                        closed = false;
+                    }
+            }
+
+            if (closed) {
+                SubgraphCost c = model_.subgraphCost(s, buf_);
+                if (c.feasible) {
+                    Bits next = ideal;
+                    for (NodeId v : s)
+                        next.set(v);
+                    double sub = solve(next);
+                    double total = metricOf(c, metric_) + sub;
+                    if (total < entry.cost) {
+                        entry.cost = total;
+                        entry.firstBlock = s;
+                    }
+                }
+            }
+
+            // Grow by weak adjacency.
+            if (static_cast<int>(s.size()) >= opts_.maxBlockNodes)
+                continue;
+            if (weights > weight_prune_ && s.size() > 1)
+                continue;
+            std::unordered_set<NodeId> ext;
+            for (NodeId v : s) {
+                for (NodeId u : g_.preds(v))
+                    if (!ideal.get(u) &&
+                        !std::binary_search(s.begin(), s.end(), u))
+                        ext.insert(u);
+                for (NodeId u : g_.succs(v))
+                    if (!ideal.get(u) &&
+                        !std::binary_search(s.begin(), s.end(), u))
+                        ext.insert(u);
+            }
+            for (NodeId x : ext) {
+                std::vector<NodeId> grown = s;
+                grown.insert(
+                    std::lower_bound(grown.begin(), grown.end(), x), x);
+                size_t key = set_key(grown);
+                if (seen.insert(key).second)
+                    frontier.push_back(std::move(grown));
+            }
+        }
+
+        auto [ins, ok] = memo_.emplace(ideal, std::move(entry));
+        (void)ok;
+        return ins->second.cost;
+    }
+
+    Partition
+    reconstruct() const
+    {
+        Partition p;
+        p.block.assign(g_.size(), -1);
+        Bits ideal(g_.size());
+        int b = 0;
+        while (ideal.count() < g_.size()) {
+            auto it = memo_.find(ideal);
+            if (it == memo_.end() || it->second.firstBlock.empty())
+                panic("enumeration reconstruction lost its trail");
+            for (NodeId v : it->second.firstBlock) {
+                p.block[v] = b;
+                ideal.set(v);
+            }
+            ++b;
+        }
+        p.numBlocks = b;
+        return p;
+    }
+
+    const Graph &g_;
+    CostModel &model_;
+    const BufferConfig &buf_;
+    Metric metric_;
+    EnumerationOptions opts_;
+    int64_t weight_prune_ = 0;
+    int64_t candidates_ = 0;
+    bool aborted_ = false;
+    std::unordered_map<Bits, MemoEntry, BitsHash> memo_;
+};
+
+} // namespace
+
+EnumerationResult
+enumeratePartition(const Graph &g, CostModel &model, const BufferConfig &buf,
+                   Metric metric, const EnumerationOptions &opts)
+{
+    Enumerator e(g, model, buf, metric, opts);
+    return e.run();
+}
+
+} // namespace cocco

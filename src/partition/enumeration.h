@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Exact enumeration baseline (paper Section 4.2.1): dynamic
+ * programming over the ideal lattice of the DAG. A state is the
+ * downward-closed set of already-executed nodes ("record only one
+ * subgraph in the state" — the improved variant the paper uses);
+ * transitions append one connected, capacity-feasible subgraph whose
+ * external producers are all executed.
+ *
+ * The state space is small for chain-like networks (VGG, ResNets,
+ * GoogleNet) and explodes for wide irregular graphs; a state budget
+ * turns the search into a best-effort that reports completeness,
+ * mirroring the paper's "cannot complete in reasonable time" entries.
+ */
+
+#ifndef COCCO_PARTITION_ENUMERATION_H
+#define COCCO_PARTITION_ENUMERATION_H
+
+#include <cstdint>
+
+#include "mem/buffer_config.h"
+#include "partition/partition.h"
+#include "sim/cost_model.h"
+
+namespace cocco {
+
+/** Outcome of the enumeration. */
+struct EnumerationResult
+{
+    bool complete = false;    ///< search finished within budget
+    double cost = 0.0;        ///< optimal metric cost (if complete)
+    Partition best;           ///< optimal partition (if complete)
+    int64_t statesVisited = 0;
+    int64_t candidatesTried = 0;
+};
+
+/** Tuning knobs for the enumeration. */
+struct EnumerationOptions
+{
+    int64_t stateBudget = 200000;     ///< max distinct ideals
+    int64_t candidateBudget = 4000000; ///< max subgraph expansions
+    int maxBlockNodes = 64;           ///< region-manager bound
+};
+
+/** Run the exact ideal-lattice DP. */
+EnumerationResult enumeratePartition(const Graph &g, CostModel &model,
+                                     const BufferConfig &buf, Metric metric,
+                                     const EnumerationOptions &opts = {});
+
+} // namespace cocco
+
+#endif // COCCO_PARTITION_ENUMERATION_H

@@ -1,0 +1,119 @@
+#include "partition/greedy.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/algorithms.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+double
+metricOf(const SubgraphCost &c, Metric m)
+{
+    return m == Metric::EMA ? static_cast<double>(c.emaBytes) : c.energyPj;
+}
+
+} // namespace
+
+Partition
+greedyPartition(const Graph &g, CostModel &model, const BufferConfig &buf,
+                Metric metric)
+{
+    Partition p = Partition::singletons(g);
+
+    while (true) {
+        p.canonicalize(g);
+        auto blocks = p.blocks();
+        int nb = static_cast<int>(blocks.size());
+        if (nb <= 1)
+            break;
+
+        // Per-block metric cost.
+        std::vector<double> bcost(nb);
+        std::vector<bool> bfeas(nb);
+        for (int b = 0; b < nb; ++b) {
+            SubgraphCost c = model.subgraphCost(blocks[b], buf);
+            bcost[b] = metricOf(c, metric);
+            bfeas[b] = c.feasible;
+        }
+
+        // Quotient adjacency and reachability (for cycle-safety of a
+        // merge): merging A and B is unsafe iff some third block C has
+        // A ->* C ->* B.
+        std::vector<std::set<int>> qadj(nb);
+        for (NodeId v = 0; v < g.size(); ++v)
+            for (NodeId u : g.preds(v))
+                if (p.block[u] != p.block[v])
+                    qadj[p.block[u]].insert(p.block[v]);
+
+        int words = (nb + 63) / 64;
+        std::vector<std::vector<uint64_t>> reach(
+            nb, std::vector<uint64_t>(words, 0));
+        auto set_bit = [&](std::vector<uint64_t> &bs, int i) {
+            bs[i / 64] |= (1ULL << (i % 64));
+        };
+        auto get_bit = [&](const std::vector<uint64_t> &bs, int i) {
+            return (bs[i / 64] >> (i % 64)) & 1ULL;
+        };
+        // Canonical ids are topologically ordered: sweep backwards.
+        for (int b = nb - 1; b >= 0; --b) {
+            set_bit(reach[b], b);
+            for (int w : qadj[b])
+                for (int k = 0; k < words; ++k)
+                    reach[b][k] |= reach[w][k];
+        }
+        auto merge_safe = [&](int a, int b) {
+            // Safe unless a path a -> c -> b exists through c != a, b.
+            for (int c : qadj[a]) {
+                if (c == b)
+                    continue;
+                if (get_bit(reach[c], b))
+                    return false;
+            }
+            return true;
+        };
+
+        // Evaluate all edge-adjacent merges.
+        double best_benefit = 0.0;
+        int best_a = -1, best_b = -1;
+        for (int a = 0; a < nb; ++a) {
+            for (int b : qadj[a]) {
+                if (!bfeas[a] || !bfeas[b])
+                    continue;
+                if (!merge_safe(a, b))
+                    continue;
+                std::vector<NodeId> merged = blocks[a];
+                merged.insert(merged.end(), blocks[b].begin(),
+                              blocks[b].end());
+                std::sort(merged.begin(), merged.end());
+                SubgraphCost mc = model.subgraphCost(merged, buf);
+                if (!mc.feasible)
+                    continue;
+                double benefit =
+                    bcost[a] + bcost[b] - metricOf(mc, metric);
+                if (benefit > best_benefit) {
+                    best_benefit = benefit;
+                    best_a = a;
+                    best_b = b;
+                }
+            }
+        }
+        if (best_a < 0)
+            break;
+
+        for (NodeId v : blocks[best_b])
+            p.block[v] = p.block[blocks[best_a].front()];
+    }
+
+    p.canonicalize(g);
+    if (!p.valid(g))
+        panic("greedyPartition produced an invalid partition");
+    return p;
+}
+
+} // namespace cocco

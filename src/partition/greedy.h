@@ -1,0 +1,28 @@
+/**
+ * @file
+ * The greedy baseline (paper Section 4.2.2): Halide's function
+ * grouping applied to graph partition. Start from singleton blocks,
+ * then repeatedly merge the pair of edge-adjacent blocks with the
+ * greatest positive benefit (metric-cost reduction) until no merge
+ * helps. Merges that violate validity or buffer capacity are skipped.
+ */
+
+#ifndef COCCO_PARTITION_GREEDY_H
+#define COCCO_PARTITION_GREEDY_H
+
+#include "mem/buffer_config.h"
+#include "partition/partition.h"
+#include "sim/cost_model.h"
+
+namespace cocco {
+
+/**
+ * Run the greedy merge. @p metric is the cost being minimized
+ * (Formula 1). Returns a valid partition.
+ */
+Partition greedyPartition(const Graph &g, CostModel &model,
+                          const BufferConfig &buf, Metric metric);
+
+} // namespace cocco
+
+#endif // COCCO_PARTITION_GREEDY_H

@@ -1,0 +1,144 @@
+#include "partition/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "graph/algorithms.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+Partition
+Partition::singletons(const Graph &g)
+{
+    Partition p;
+    p.block.resize(g.size());
+    for (NodeId v = 0; v < g.size(); ++v)
+        p.block[v] = v;
+    p.numBlocks = g.size();
+    return p;
+}
+
+Partition
+Partition::fixedRuns(const Graph &g, int run_length)
+{
+    if (run_length < 1)
+        fatal("fixedRuns needs run_length >= 1, got %d", run_length);
+    Partition p;
+    p.block.resize(g.size());
+    for (NodeId v = 0; v < g.size(); ++v)
+        p.block[v] = v / run_length;
+    p.numBlocks = (g.size() + run_length - 1) / run_length;
+    return p;
+}
+
+std::vector<std::vector<NodeId>>
+Partition::blocks() const
+{
+    int nb = 0;
+    for (int b : block)
+        nb = std::max(nb, b + 1);
+    std::vector<std::vector<NodeId>> out(nb);
+    for (NodeId v = 0; v < static_cast<NodeId>(block.size()); ++v)
+        out[block[v]].push_back(v);
+    // Drop empty ids (non-canonical input); keep order.
+    std::vector<std::vector<NodeId>> packed;
+    for (auto &blk : out)
+        if (!blk.empty())
+            packed.push_back(std::move(blk));
+    return packed;
+}
+
+std::vector<NodeId>
+Partition::blockNodes(int b) const
+{
+    std::vector<NodeId> out;
+    for (NodeId v = 0; v < static_cast<NodeId>(block.size()); ++v)
+        if (block[v] == b)
+            out.push_back(v);
+    return out;
+}
+
+void
+Partition::canonicalize(const Graph &g)
+{
+    if (static_cast<int>(block.size()) != g.size())
+        panic("partition size %zu != graph size %d", block.size(), g.size());
+
+    // Build the quotient graph over the distinct block ids present.
+    std::map<int, int> idx; // old id -> dense index
+    for (int b : block)
+        idx.emplace(b, 0);
+    int nb = 0;
+    for (auto &kv : idx)
+        kv.second = nb++;
+
+    std::vector<std::set<int>> adj(nb);
+    std::vector<int> indeg(nb, 0);
+    std::vector<NodeId> min_node(nb, g.size());
+    for (NodeId v = 0; v < g.size(); ++v) {
+        int bv = idx[block[v]];
+        min_node[bv] = std::min(min_node[bv], v);
+        for (NodeId u : g.preds(v)) {
+            int bu = idx[block[u]];
+            if (bu != bv && adj[bu].insert(bv).second)
+                ++indeg[bv];
+        }
+    }
+
+    // Kahn topological order, smallest-min-node first for determinism.
+    auto cmp = [&](int a, int b2) {
+        return min_node[a] != min_node[b2] ? min_node[a] < min_node[b2]
+                                           : a < b2;
+    };
+    std::set<int, decltype(cmp)> ready(cmp);
+    for (int b = 0; b < nb; ++b)
+        if (indeg[b] == 0)
+            ready.insert(b);
+
+    std::vector<int> new_id(nb, -1);
+    int next = 0;
+    while (!ready.empty()) {
+        int b = *ready.begin();
+        ready.erase(ready.begin());
+        new_id[b] = next++;
+        for (int w : adj[b])
+            if (--indeg[w] == 0)
+                ready.insert(w);
+    }
+    if (next != nb)
+        panic("canonicalize on a cyclic quotient graph");
+
+    for (NodeId v = 0; v < g.size(); ++v)
+        block[v] = new_id[idx[block[v]]];
+    numBlocks = nb;
+}
+
+bool
+Partition::valid(const Graph &g) const
+{
+    if (static_cast<int>(block.size()) != g.size())
+        return false;
+    if (!quotientRespectsPrecedence(g, block))
+        return false;
+    for (const auto &blk : blocks())
+        if (!isWeaklyConnected(g, blk))
+            return false;
+    return true;
+}
+
+std::string
+Partition::str() const
+{
+    std::string s;
+    for (const auto &blk : blocks()) {
+        s += "{";
+        for (size_t i = 0; i < blk.size(); ++i)
+            s += (i ? "," : "") + strprintf("%d", blk[i]);
+        s += "}";
+    }
+    return s;
+}
+
+} // namespace cocco

@@ -1,0 +1,197 @@
+#include "partition/repair.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+namespace {
+
+/** Reassign every block to the weak components it decomposes into. */
+void
+splitComponents(const Graph &g, Partition &p)
+{
+    int next = 0;
+    for (int &b : p.block)
+        next = std::max(next, b + 1);
+    for (const auto &blk : p.blocks()) {
+        auto comps = weakComponents(g, blk);
+        if (comps.size() <= 1)
+            continue;
+        // Leave the first component in place; move the rest.
+        for (size_t c = 1; c < comps.size(); ++c) {
+            for (NodeId v : comps[c])
+                p.block[v] = next;
+            ++next;
+        }
+    }
+}
+
+/**
+ * Find block ids that lie on a quotient cycle (non-empty only when
+ * the quotient is cyclic): the ids Kahn's algorithm cannot drain.
+ */
+std::vector<int>
+cyclicBlocks(const Graph &g, const Partition &p)
+{
+    std::unordered_map<int, int> idx;
+    for (int b : p.block)
+        if (!idx.count(b)) {
+            int n = static_cast<int>(idx.size());
+            idx[b] = n;
+        }
+    int nb = static_cast<int>(idx.size());
+    std::vector<std::unordered_set<int>> adj(nb);
+    std::vector<int> indeg(nb, 0);
+    for (NodeId v = 0; v < g.size(); ++v) {
+        int bv = idx[p.block[v]];
+        for (NodeId u : g.preds(v)) {
+            int bu = idx[p.block[u]];
+            if (bu != bv && adj[bu].insert(bv).second)
+                ++indeg[bv];
+        }
+    }
+    std::deque<int> q;
+    for (int b = 0; b < nb; ++b)
+        if (indeg[b] == 0)
+            q.push_back(b);
+    std::vector<bool> drained(nb, false);
+    while (!q.empty()) {
+        int b = q.front();
+        q.pop_front();
+        drained[b] = true;
+        for (int w : adj[b])
+            if (--indeg[w] == 0)
+                q.push_back(w);
+    }
+    std::vector<int> out;
+    for (auto &[orig, dense] : idx)
+        if (!drained[dense])
+            out.push_back(orig);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+/** Split block @p b of @p p at its median node id into two blocks. */
+void
+splitAtMedian(const Graph &g, Partition &p, int b)
+{
+    std::vector<NodeId> nodes = p.blockNodes(b);
+    if (nodes.size() < 2)
+        panic("splitAtMedian on a singleton block");
+    int next = 0;
+    for (int x : p.block)
+        next = std::max(next, x + 1);
+    // Node ids are topologically ordered; move the upper half out.
+    size_t half = nodes.size() / 2;
+    for (size_t i = half; i < nodes.size(); ++i)
+        p.block[nodes[i]] = next;
+    (void)g;
+}
+
+} // namespace
+
+Partition
+repairStructure(const Graph &g, Partition p)
+{
+    if (static_cast<int>(p.block.size()) != g.size())
+        panic("repairStructure: assignment size mismatch");
+
+    splitComponents(g, p);
+    while (true) {
+        std::vector<int> cyc = cyclicBlocks(g, p);
+        if (cyc.empty())
+            break;
+        // Split the largest offending block; component-split the result
+        // so connectivity is restored before the next check.
+        int pick = cyc.front();
+        size_t best_size = 0;
+        for (int b : cyc) {
+            size_t sz = p.blockNodes(b).size();
+            if (sz > best_size) {
+                best_size = sz;
+                pick = b;
+            }
+        }
+        if (best_size < 2)
+            panic("quotient cycle among singleton blocks");
+        splitAtMedian(g, p, pick);
+        splitComponents(g, p);
+    }
+    p.canonicalize(g);
+    return p;
+}
+
+Partition
+repairToCapacity(const Graph &g, Partition p, CostModel &model,
+                 const BufferConfig &buf)
+{
+    p = repairStructure(g, p);
+
+    // Iteratively split infeasible multi-node blocks. Splitting can
+    // create new blocks, so sweep until a fixed point.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &blk : p.blocks()) {
+            if (blk.size() < 2)
+                continue;
+            if (model.fits(blk, buf))
+                continue;
+            // Split at the median; structural repair renumbers and
+            // restores connectivity.
+            int b = p.block[blk.front()];
+            splitAtMedian(g, p, b);
+            p = repairStructure(g, p);
+            changed = true;
+            break;
+        }
+
+        // Double-buffered weight prefetch: adjacent blocks' weights
+        // must co-reside. Split the heavier multi-node block of a
+        // violating pair; singleton pairs cannot be repaired here and
+        // stay penalized at evaluation.
+        if (!changed && model.accel().doubleBufferWeights) {
+            int64_t cap = buf.style == BufferStyle::Shared
+                              ? buf.sharedBytes
+                              : buf.weightBytes;
+            auto blocks = p.blocks();
+            for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+                int64_t wa = model.profile(blocks[i]).weightBytes;
+                int64_t wb = model.profile(blocks[i + 1]).weightBytes;
+                wa = ceilDiv(wa, model.accel().cores);
+                wb = ceilDiv(wb, model.accel().cores);
+                // Oversized singletons stream in tiles and are exempt
+                // (matching the cost model's feasibility rule).
+                if (wa > cap || wb > cap || wa + wb <= cap)
+                    continue;
+                // Split the heavier block; if it is a singleton,
+                // try the lighter one. Two un-splittable singletons
+                // stay penalized at evaluation.
+                const auto &heavy =
+                    (wa >= wb ? blocks[i] : blocks[i + 1]);
+                const auto &light =
+                    (wa >= wb ? blocks[i + 1] : blocks[i]);
+                const auto *victim =
+                    heavy.size() >= 2
+                        ? &heavy
+                        : (light.size() >= 2 ? &light : nullptr);
+                if (!victim)
+                    continue;
+                splitAtMedian(g, p, p.block[victim->front()]);
+                p = repairStructure(g, p);
+                changed = true;
+                break;
+            }
+        }
+    }
+    return p;
+}
+
+} // namespace cocco

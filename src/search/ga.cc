@@ -1,0 +1,162 @@
+#include "search/ga.h"
+
+#include <algorithm>
+
+#include "partition/repair.h"
+#include "search/operators.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+GeneticSearch::GeneticSearch(CostModel &model, const DseSpace &space,
+                             const GaOptions &opts)
+    : model_(model), space_(space), opts_(opts)
+{
+    if (opts_.population < 2)
+        fatal("GA population must be >= 2");
+    if (opts_.tournament < 1)
+        fatal("GA tournament size must be >= 1");
+}
+
+double
+GeneticSearch::evaluate(Genome &genome)
+{
+    BufferConfig buf = genome.buffer(space_);
+    if (opts_.inSituSplit) {
+        genome.part = repairToCapacity(model_.graph(), std::move(genome.part),
+                                       model_, buf);
+    }
+    GraphCost gc = model_.partitionCost(genome.part, buf);
+    if (opts_.coExplore)
+        return objective(gc, buf, opts_.alpha, opts_.metric);
+    if (!gc.feasible)
+        return kInfeasiblePenalty;
+    return gc.metricValue(opts_.metric);
+}
+
+SearchResult
+GeneticSearch::run(const std::vector<Genome> &seeds)
+{
+    Rng rng(opts_.seed);
+    SearchResult res;
+
+    struct Scored
+    {
+        Genome genome;
+        double cost;
+    };
+    std::vector<Scored> pop;
+    pop.reserve(opts_.population);
+
+    auto record = [&](const Scored &s) {
+        ++res.samples;
+        if (s.cost < res.bestCost) {
+            res.bestCost = s.cost;
+            res.best = s.genome;
+        }
+        res.trace.push_back({res.samples, res.bestCost});
+        if (opts_.recordPoints) {
+            BufferConfig buf = s.genome.buffer(space_);
+            GraphCost gc = model_.partitionCost(s.genome.part, buf);
+            res.points.push_back({res.samples, gc.metricValue(opts_.metric),
+                                  buf.totalBytes()});
+        }
+    };
+
+    // --- Initialization (optionally seeded with external results). ---
+    for (const Genome &s : seeds) {
+        if (static_cast<int>(pop.size()) >= opts_.population)
+            break;
+        Scored sc{s, 0.0};
+        sc.cost = evaluate(sc.genome);
+        record(sc);
+        pop.push_back(std::move(sc));
+    }
+    while (static_cast<int>(pop.size()) < opts_.population) {
+        Scored sc{randomGenome(model_.graph(), space_, rng), 0.0};
+        sc.cost = evaluate(sc.genome);
+        record(sc);
+        pop.push_back(std::move(sc));
+    }
+
+    auto tournament_pick = [&]() -> const Scored & {
+        const Scored *best = &pop[rng.index(pop.size())];
+        for (int t = 1; t < opts_.tournament; ++t) {
+            const Scored &c = pop[rng.index(pop.size())];
+            if (c.cost < best->cost)
+                best = &c;
+        }
+        return *best;
+    };
+
+    // --- Generations. ---
+    while (res.samples < opts_.sampleBudget) {
+        std::vector<Scored> offspring;
+        offspring.reserve(opts_.population);
+        for (int i = 0; i < opts_.population &&
+                        res.samples + static_cast<int64_t>(offspring.size()) <
+                            opts_.sampleBudget;
+             ++i) {
+            Genome child;
+            if (rng.bernoulli(opts_.crossoverRate)) {
+                const Scored &dad = tournament_pick();
+                const Scored &mom = tournament_pick();
+                child = crossover(model_.graph(), space_, dad.genome,
+                                  mom.genome, rng);
+            } else {
+                child = tournament_pick().genome;
+            }
+            if (rng.bernoulli(opts_.mutPartitionRate)) {
+                switch (rng.index(3)) {
+                  case 0:
+                    mutateModifyNode(model_.graph(), child, rng);
+                    break;
+                  case 1:
+                    mutateSplitSubgraph(model_.graph(), child, rng);
+                    break;
+                  default:
+                    mutateMergeSubgraph(model_.graph(), child, rng);
+                }
+            }
+            if (space_.searchHw && rng.bernoulli(opts_.mutDseRate))
+                mutateDse(space_, child, rng);
+
+            Scored sc{std::move(child), 0.0};
+            sc.cost = evaluate(sc.genome);
+            offspring.push_back(std::move(sc));
+        }
+        if (offspring.empty())
+            break;
+        for (const Scored &sc : offspring)
+            record(sc);
+
+        // --- Tournament selection over the merged pool, keeping the
+        //     elite unconditionally. ---
+        std::vector<Scored> pool = std::move(pop);
+        pool.insert(pool.end(), std::make_move_iterator(offspring.begin()),
+                    std::make_move_iterator(offspring.end()));
+        std::sort(pool.begin(), pool.end(),
+                  [](const Scored &a, const Scored &b) {
+                      return a.cost < b.cost;
+                  });
+        pop.clear();
+        int elite = std::min<int>(opts_.elite, static_cast<int>(pool.size()));
+        for (int e = 0; e < elite; ++e)
+            pop.push_back(pool[e]);
+        while (static_cast<int>(pop.size()) < opts_.population) {
+            const Scored *best = &pool[rng.index(pool.size())];
+            for (int t = 1; t < opts_.tournament; ++t) {
+                const Scored &c = pool[rng.index(pool.size())];
+                if (c.cost < best->cost)
+                    best = &c;
+            }
+            pop.push_back(*best);
+        }
+    }
+
+    res.bestBuffer = res.best.buffer(space_);
+    res.bestGraphCost = model_.partitionCost(res.best.part, res.bestBuffer);
+    return res;
+}
+
+} // namespace cocco

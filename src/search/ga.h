@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The Cocco genetic search (paper Section 4.4): initialization,
+ * crossover, mutation, in-situ capacity tuning at evaluation, and
+ * tournament selection, over genomes that pair a graph partition
+ * with a memory configuration.
+ */
+
+#ifndef COCCO_SEARCH_GA_H
+#define COCCO_SEARCH_GA_H
+
+#include <cstdint>
+#include <vector>
+
+#include "search/genome.h"
+#include "sim/cost_model.h"
+#include "util/random.h"
+
+namespace cocco {
+
+/** Best-so-far cost after a given number of samples. */
+struct TracePoint
+{
+    int64_t sample = 0;
+    double bestCost = 0.0;
+};
+
+/** One evaluated genome (for the Figure 13 distribution study). */
+struct SamplePoint
+{
+    int64_t sample = 0;
+    double metric = 0.0;       ///< energy (pJ) or EMA (bytes)
+    int64_t bufferBytes = 0;
+};
+
+/** Result of any search driver (GA, SA, two-step). */
+struct SearchResult
+{
+    Genome best;
+    double bestCost = kInfeasiblePenalty;
+    GraphCost bestGraphCost;
+    BufferConfig bestBuffer;
+    int64_t samples = 0;
+    std::vector<TracePoint> trace;
+    std::vector<SamplePoint> points; ///< filled when recordPoints
+};
+
+/** GA hyper-parameters. */
+struct GaOptions
+{
+    int population = 100;
+    int64_t sampleBudget = 50000;
+    double crossoverRate = 0.6;  ///< fraction of offspring from crossover
+    double mutPartitionRate = 0.5; ///< per-offspring partition mutation
+    double mutDseRate = 0.3;     ///< per-offspring DSE mutation
+    int tournament = 3;
+    int elite = 2;
+    uint64_t seed = 1;
+    double alpha = 0.002;        ///< Formula 2 weight
+    Metric metric = Metric::Energy;
+    bool coExplore = true;       ///< false = Formula 1 (metric only)
+    bool recordPoints = false;   ///< keep every sample (Figure 13)
+    bool inSituSplit = true;     ///< capacity repair at evaluation
+};
+
+/** The genetic optimizer. */
+class GeneticSearch
+{
+  public:
+    /**
+     * @param model evaluation environment (graph + accelerator)
+     * @param space the hardware design space (or frozen buffer)
+     * @param opts  hyper-parameters
+     */
+    GeneticSearch(CostModel &model, const DseSpace &space,
+                  const GaOptions &opts);
+
+    /** Run to the sample budget; optional seed genomes join the
+     *  initial population (flexible initialization). */
+    SearchResult run(const std::vector<Genome> &seeds = {});
+
+    /**
+     * Evaluate one genome: decode buffer, apply in-situ capacity
+     * tuning to the partition, and return the objective value.
+     * Exposed for SA and tests.
+     */
+    double evaluate(Genome &genome);
+
+  private:
+    CostModel &model_;
+    DseSpace space_;
+    GaOptions opts_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_GA_H

@@ -1,0 +1,46 @@
+#include "search/genome.h"
+
+namespace cocco {
+
+DseSpace
+DseSpace::paperSpace(BufferStyle style)
+{
+    DseSpace s;
+    s.style = style;
+    s.actGrid = globalBufferGrid();
+    s.weightGrid = weightBufferGrid();
+    s.sharedGrid = sharedBufferGrid();
+    s.searchHw = true;
+    return s;
+}
+
+DseSpace
+DseSpace::fixedSpace(const BufferConfig &fixed)
+{
+    DseSpace s;
+    s.style = fixed.style;
+    s.actGrid = globalBufferGrid();
+    s.weightGrid = weightBufferGrid();
+    s.sharedGrid = sharedBufferGrid();
+    s.searchHw = false;
+    s.fixed = fixed;
+    return s;
+}
+
+BufferConfig
+Genome::buffer(const DseSpace &space) const
+{
+    if (!space.searchHw)
+        return space.fixed;
+    BufferConfig c;
+    c.style = space.style;
+    if (space.style == BufferStyle::Shared) {
+        c.sharedBytes = space.sharedGrid.value(sharedIdx);
+    } else {
+        c.actBytes = space.actGrid.value(actIdx);
+        c.weightBytes = space.weightGrid.value(weightIdx);
+    }
+    return c;
+}
+
+} // namespace cocco

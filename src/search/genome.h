@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Genome encoding for the co-exploration (paper Section 4.3): a
+ * candidate solution is a graph partition plus a memory configuration
+ * drawn from the capacity candidate grids. In partition-only mode the
+ * hardware part is frozen.
+ */
+
+#ifndef COCCO_SEARCH_GENOME_H
+#define COCCO_SEARCH_GENOME_H
+
+#include "mem/buffer_config.h"
+#include "partition/partition.h"
+
+namespace cocco {
+
+/** The hardware design space being searched. */
+struct DseSpace
+{
+    BufferStyle style = BufferStyle::Separate;
+    CapacityGrid actGrid;
+    CapacityGrid weightGrid;
+    CapacityGrid sharedGrid;
+    bool searchHw = true;      ///< false = partition-only (fixed buffer)
+    BufferConfig fixed;        ///< used when !searchHw
+
+    /** The paper's search space for @p style. */
+    static DseSpace paperSpace(BufferStyle style);
+
+    /** A frozen space around @p fixed (partition-only search). */
+    static DseSpace fixedSpace(const BufferConfig &fixed);
+};
+
+/** One candidate solution. */
+struct Genome
+{
+    Partition part;
+    int actIdx = 0;    ///< global-buffer grid index (Separate)
+    int weightIdx = 0; ///< weight-buffer grid index (Separate)
+    int sharedIdx = 0; ///< shared-buffer grid index (Shared)
+
+    /** Decode the hardware part into a concrete configuration. */
+    BufferConfig buffer(const DseSpace &space) const;
+};
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_GENOME_H

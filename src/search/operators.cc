@@ -1,0 +1,198 @@
+#include "search/operators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <unordered_map>
+
+#include "partition/repair.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+/** Clamp a grid index. */
+int
+clampIdx(int idx, const CapacityGrid &grid)
+{
+    return std::clamp(idx, 0, grid.count - 1);
+}
+
+/** Gaussian integer step on a grid index. */
+int
+gaussStep(int idx, const CapacityGrid &grid, Rng &rng, double sigma)
+{
+    int step = static_cast<int>(std::lround(rng.gaussian() * sigma));
+    if (step == 0)
+        step = rng.bernoulli(0.5) ? 1 : -1;
+    return clampIdx(idx + step, grid);
+}
+
+} // namespace
+
+Genome
+randomGenome(const Graph &g, const DseSpace &space, Rng &rng)
+{
+    Genome genome;
+    genome.part.block.assign(g.size(), 0);
+
+    // Topological sweep; each node joins a block in
+    // [max(pred blocks), next fresh block].
+    int next_block = 0;
+    for (NodeId v = 0; v < g.size(); ++v) {
+        int lo = 0;
+        for (NodeId u : g.preds(v))
+            lo = std::max(lo, genome.part.block[u]);
+        int hi = next_block; // == fresh block id
+        int pick = static_cast<int>(rng.uniformInt(lo, hi));
+        genome.part.block[v] = pick;
+        next_block = std::max(next_block, pick + 1);
+    }
+    genome.part = repairStructure(g, std::move(genome.part));
+
+    if (space.searchHw) {
+        genome.actIdx =
+            static_cast<int>(rng.uniformInt(0, space.actGrid.count - 1));
+        genome.weightIdx =
+            static_cast<int>(rng.uniformInt(0, space.weightGrid.count - 1));
+        genome.sharedIdx =
+            static_cast<int>(rng.uniformInt(0, space.sharedGrid.count - 1));
+    }
+    return genome;
+}
+
+Genome
+crossover(const Graph &g, const DseSpace &space, const Genome &dad,
+          const Genome &mom, Rng &rng)
+{
+    Genome child;
+    child.part.block.assign(g.size(), -1);
+    int next_block = 0;
+
+    for (NodeId v = 0; v < g.size(); ++v) {
+        if (child.part.block[v] >= 0)
+            continue;
+        const Partition &parent =
+            rng.bernoulli(0.5) ? dad.part : mom.part;
+        std::vector<NodeId> sub = parent.blockNodes(parent.block[v]);
+
+        // Partition the reproduced subgraph into decided/undecided.
+        std::vector<NodeId> undecided;
+        std::set<int> decided_blocks;
+        for (NodeId u : sub) {
+            if (child.part.block[u] >= 0)
+                decided_blocks.insert(child.part.block[u]);
+            else
+                undecided.push_back(u);
+        }
+        if (undecided.empty())
+            continue;
+
+        int target;
+        if (!decided_blocks.empty() && rng.bernoulli(0.5)) {
+            // Merge with one of the subgraphs the decided layers
+            // belong to (Figure 9(b), Child-2).
+            std::vector<int> opts(decided_blocks.begin(),
+                                  decided_blocks.end());
+            target = opts[rng.index(opts.size())];
+        } else {
+            // Split out a new subgraph (Child-1).
+            target = next_block++;
+        }
+        for (NodeId u : undecided)
+            child.part.block[u] = target;
+    }
+
+    child.part = repairStructure(g, std::move(child.part));
+
+    if (space.searchHw) {
+        child.actIdx = clampIdx((dad.actIdx + mom.actIdx + 1) / 2,
+                                space.actGrid);
+        child.weightIdx = clampIdx((dad.weightIdx + mom.weightIdx + 1) / 2,
+                                   space.weightGrid);
+        child.sharedIdx = clampIdx((dad.sharedIdx + mom.sharedIdx + 1) / 2,
+                                   space.sharedGrid);
+    }
+    return child;
+}
+
+void
+mutateModifyNode(const Graph &g, Genome &genome, Rng &rng)
+{
+    NodeId v = static_cast<NodeId>(rng.index(g.size()));
+
+    // Candidate targets: blocks of neighbours, or a fresh block.
+    std::vector<int> targets;
+    for (NodeId u : g.preds(v))
+        targets.push_back(genome.part.block[u]);
+    for (NodeId u : g.succs(v))
+        targets.push_back(genome.part.block[u]);
+    int fresh = 0;
+    for (int b : genome.part.block)
+        fresh = std::max(fresh, b + 1);
+    targets.push_back(fresh);
+
+    genome.part.block[v] = targets[rng.index(targets.size())];
+    genome.part = repairStructure(g, std::move(genome.part));
+}
+
+void
+mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng)
+{
+    auto blocks = genome.part.blocks();
+    std::vector<int> multi;
+    for (size_t b = 0; b < blocks.size(); ++b)
+        if (blocks[b].size() >= 2)
+            multi.push_back(static_cast<int>(b));
+    if (multi.empty())
+        return;
+
+    const auto &blk = blocks[multi[rng.index(multi.size())]];
+    // Split at a random interior point of the id-sorted node list.
+    size_t cut = 1 + rng.index(blk.size() - 1);
+    int fresh = 0;
+    for (int b : genome.part.block)
+        fresh = std::max(fresh, b + 1);
+    for (size_t i = cut; i < blk.size(); ++i)
+        genome.part.block[blk[i]] = fresh;
+    genome.part = repairStructure(g, std::move(genome.part));
+}
+
+void
+mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng)
+{
+    // Collect inter-block edges; merging adjacent blocks keeps the
+    // result connected (structural repair handles any cycle fallout).
+    std::vector<std::pair<int, int>> pairs;
+    for (NodeId v = 0; v < g.size(); ++v)
+        for (NodeId u : g.preds(v))
+            if (genome.part.block[u] != genome.part.block[v])
+                pairs.emplace_back(genome.part.block[u],
+                                   genome.part.block[v]);
+    if (pairs.empty())
+        return;
+    auto [a, b] = pairs[rng.index(pairs.size())];
+    for (int &x : genome.part.block)
+        if (x == b)
+            x = a;
+    genome.part = repairStructure(g, std::move(genome.part));
+}
+
+void
+mutateDse(const DseSpace &space, Genome &genome, Rng &rng, double sigma)
+{
+    if (!space.searchHw)
+        return;
+    if (space.style == BufferStyle::Shared) {
+        genome.sharedIdx =
+            gaussStep(genome.sharedIdx, space.sharedGrid, rng, sigma);
+    } else if (rng.bernoulli(0.5)) {
+        genome.actIdx = gaussStep(genome.actIdx, space.actGrid, rng, sigma);
+    } else {
+        genome.weightIdx =
+            gaussStep(genome.weightIdx, space.weightGrid, rng, sigma);
+    }
+}
+
+} // namespace cocco

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The customized GA operators of paper Section 4.4 and Figure 9:
+ * random initialization, the subgraph-reproducing crossover, and the
+ * four mutations (modify-node, split-subgraph, merge-subgraph,
+ * mutation-DSE). Every operator returns a structurally valid genome
+ * (operators call the repair pipeline); capacity enforcement happens
+ * at evaluation time (in-situ tuning).
+ */
+
+#ifndef COCCO_SEARCH_OPERATORS_H
+#define COCCO_SEARCH_OPERATORS_H
+
+#include "search/genome.h"
+#include "util/random.h"
+
+namespace cocco {
+
+/**
+ * Random initialization (Section 4.4.1): P(v) chosen per node in
+ * topological order within its valid range; hardware indices uniform
+ * over the grids.
+ */
+Genome randomGenome(const Graph &g, const DseSpace &space, Rng &rng);
+
+/**
+ * Crossover (Section 4.4.2, Figure 9(b)): each undecided layer picks
+ * a random parent and reproduces that parent's subgraph; collisions
+ * with already-decided layers are resolved by splitting out a new
+ * subgraph or merging with a decided one (both choices sampled).
+ * Hardware indices average (rounded to the grid).
+ */
+Genome crossover(const Graph &g, const DseSpace &space, const Genome &dad,
+                 const Genome &mom, Rng &rng);
+
+/** modify-node (Figure 9(c)): reassign one random node. */
+void mutateModifyNode(const Graph &g, Genome &genome, Rng &rng);
+
+/** split-subgraph (Figure 9(d)): split one random multi-node block. */
+void mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng);
+
+/** merge-subgraph (Figure 9(e)): merge two adjacent blocks. */
+void mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng);
+
+/**
+ * mutation-DSE: gaussian step on the capacity grid indices
+ * (std deviation @p sigma grid steps).
+ */
+void mutateDse(const DseSpace &space, Genome &genome, Rng &rng,
+               double sigma = 2.0);
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_OPERATORS_H

@@ -1,0 +1,78 @@
+#include "search/pareto.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+std::vector<ParetoPoint>
+paretoFront(const std::vector<SamplePoint> &points)
+{
+    // Best metric per capacity.
+    std::map<int64_t, double> best;
+    for (const SamplePoint &pt : points) {
+        auto [it, inserted] = best.emplace(pt.bufferBytes, pt.metric);
+        if (!inserted && pt.metric < it->second)
+            it->second = pt.metric;
+    }
+
+    // Sweep ascending capacity, keep strict metric improvements.
+    std::vector<ParetoPoint> front;
+    double best_metric = std::numeric_limits<double>::infinity();
+    for (auto [bytes, metric] : best) {
+        if (metric < best_metric) {
+            ParetoPoint p;
+            p.bufferBytes = bytes;
+            p.metric = metric;
+            front.push_back(p);
+            best_metric = metric;
+        }
+    }
+
+    // Alpha selection ranges: moving from point i to the larger point
+    // i+1 pays (buf_{i+1} - buf_i) capacity for (metric_i -
+    // metric_{i+1}) metric, so i+1 wins once
+    //   alpha > (buf_{i+1} - buf_i) / (metric_i - metric_{i+1}).
+    for (size_t i = 0; i < front.size(); ++i) {
+        front[i].alphaLo =
+            i == 0 ? 0.0
+                   : static_cast<double>(front[i].bufferBytes -
+                                         front[i - 1].bufferBytes) /
+                         (front[i - 1].metric - front[i].metric);
+        front[i].alphaHi =
+            i + 1 == front.size()
+                ? std::numeric_limits<double>::infinity()
+                : static_cast<double>(front[i + 1].bufferBytes -
+                                      front[i].bufferBytes) /
+                      (front[i].metric - front[i + 1].metric);
+    }
+    // The alpha thresholds of a non-convex front are not monotone;
+    // clamp ranges so selectByAlpha stays well-defined.
+    for (size_t i = 1; i < front.size(); ++i)
+        front[i].alphaLo = std::max(front[i].alphaLo, front[i - 1].alphaLo);
+    return front;
+}
+
+const ParetoPoint &
+selectByAlpha(const std::vector<ParetoPoint> &front, double alpha)
+{
+    if (front.empty())
+        panic("selectByAlpha on an empty front");
+    // Formula 2 minimization over the front (exact, small n).
+    size_t best = 0;
+    double best_cost = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < front.size(); ++i) {
+        double cost = static_cast<double>(front[i].bufferBytes) +
+                      alpha * front[i].metric;
+        if (cost < best_cost) {
+            best_cost = cost;
+            best = i;
+        }
+    }
+    return front[best];
+}
+
+} // namespace cocco

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Pareto-front extraction over the (buffer capacity, metric) plane
+ * from a search's recorded sample points — the analytical content of
+ * the paper's Figures 13/14: which capacity/energy trade-offs are
+ * undominated, and what alpha range selects each of them.
+ */
+
+#ifndef COCCO_SEARCH_PARETO_H
+#define COCCO_SEARCH_PARETO_H
+
+#include <vector>
+
+#include "search/ga.h"
+
+namespace cocco {
+
+/** One undominated (capacity, metric) point. */
+struct ParetoPoint
+{
+    int64_t bufferBytes = 0;
+    double metric = 0.0;
+
+    /**
+     * The alpha range [alphaLo, alphaHi) of Formula 2 for which this
+     * point minimizes BUF + alpha * metric among the front
+     * (alphaHi = +inf for the largest-capacity point).
+     */
+    double alphaLo = 0.0;
+    double alphaHi = 0.0;
+};
+
+/**
+ * Extract the Pareto front (minimal capacity and metric) from sample
+ * points. Points with identical capacity keep only the best metric.
+ * The result is sorted by ascending capacity (hence descending
+ * metric), with the alpha selection ranges filled in.
+ */
+std::vector<ParetoPoint>
+paretoFront(const std::vector<SamplePoint> &points);
+
+/** The front point Formula 2 selects at a given alpha. */
+const ParetoPoint &selectByAlpha(const std::vector<ParetoPoint> &front,
+                                 double alpha);
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_PARETO_H

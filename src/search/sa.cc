@@ -1,0 +1,74 @@
+#include "search/sa.h"
+
+#include <cmath>
+
+#include "search/operators.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+SearchResult
+simulatedAnnealing(CostModel &model, const DseSpace &space,
+                   const SaOptions &opts)
+{
+    Rng rng(opts.seed);
+
+    // Reuse the GA's evaluation (in-situ capacity tuning included).
+    GaOptions ga_opts;
+    ga_opts.alpha = opts.alpha;
+    ga_opts.metric = opts.metric;
+    ga_opts.coExplore = opts.coExplore;
+    GeneticSearch evaluator(model, space, ga_opts);
+
+    SearchResult res;
+    Genome cur = randomGenome(model.graph(), space, rng);
+    double cur_cost = evaluator.evaluate(cur);
+
+    auto record = [&](const Genome &genome, double cost) {
+        ++res.samples;
+        if (cost < res.bestCost) {
+            res.bestCost = cost;
+            res.best = genome;
+        }
+        res.trace.push_back({res.samples, res.bestCost});
+    };
+    record(cur, cur_cost);
+
+    double t0 = std::max(cur_cost * opts.tempStartFrac, 1.0);
+    double t_end = t0 * opts.tempEndFrac;
+
+    while (res.samples < opts.sampleBudget) {
+        double progress =
+            static_cast<double>(res.samples) / opts.sampleBudget;
+        double temp = t0 * std::pow(t_end / t0, progress);
+
+        Genome cand = cur;
+        switch (rng.index(3)) {
+          case 0:
+            mutateModifyNode(model.graph(), cand, rng);
+            break;
+          case 1:
+            mutateSplitSubgraph(model.graph(), cand, rng);
+            break;
+          default:
+            mutateMergeSubgraph(model.graph(), cand, rng);
+        }
+        if (space.searchHw && rng.bernoulli(opts.dseMutationRate))
+            mutateDse(space, cand, rng);
+
+        double cand_cost = evaluator.evaluate(cand);
+        record(cand, cand_cost);
+
+        double delta = cand_cost - cur_cost;
+        if (delta <= 0 || rng.bernoulli(std::exp(-delta / temp))) {
+            cur = std::move(cand);
+            cur_cost = cand_cost;
+        }
+    }
+
+    res.bestBuffer = res.best.buffer(space);
+    res.bestGraphCost = model.partitionCost(res.best.part, res.bestBuffer);
+    return res;
+}
+
+} // namespace cocco

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Simulated-annealing baseline (paper Section 4.2.4): single-state
+ * optimization using the same customized mutation operators and the
+ * same evaluation environment as the GA, with geometric cooling and
+ * Metropolis acceptance.
+ */
+
+#ifndef COCCO_SEARCH_SA_H
+#define COCCO_SEARCH_SA_H
+
+#include "search/ga.h"
+
+namespace cocco {
+
+/** SA hyper-parameters (shares the GA's evaluation options). */
+struct SaOptions
+{
+    int64_t sampleBudget = 50000;
+    double tempStartFrac = 0.1;  ///< T0 as a fraction of the initial cost
+    double tempEndFrac = 1e-5;   ///< final T as a fraction of T0
+    uint64_t seed = 1;
+    double alpha = 0.002;
+    Metric metric = Metric::Energy;
+    bool coExplore = true;
+    double dseMutationRate = 0.3;
+};
+
+/** Run simulated annealing over the same genome space as the GA. */
+SearchResult simulatedAnnealing(CostModel &model, const DseSpace &space,
+                                const SaOptions &opts);
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_SA_H

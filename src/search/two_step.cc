@@ -1,0 +1,147 @@
+#include "search/two_step.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+/** Candidate hardware point = grid indices. */
+struct HwPoint
+{
+    int actIdx = 0;
+    int weightIdx = 0;
+    int sharedIdx = 0;
+};
+
+BufferConfig
+decode(const DseSpace &space, const HwPoint &pt)
+{
+    BufferConfig c;
+    c.style = space.style;
+    if (space.style == BufferStyle::Shared) {
+        c.sharedBytes = space.sharedGrid.value(pt.sharedIdx);
+    } else {
+        c.actBytes = space.actGrid.value(pt.actIdx);
+        c.weightBytes = space.weightGrid.value(pt.weightIdx);
+    }
+    return c;
+}
+
+SearchResult
+runCandidates(CostModel &model, const DseSpace &space,
+              const std::vector<HwPoint> &candidates,
+              const TwoStepOptions &opts)
+{
+    SearchResult global;
+    uint64_t sub_seed = opts.seed;
+
+    for (const HwPoint &pt : candidates) {
+        if (global.samples >= opts.sampleBudget)
+            break;
+        BufferConfig buf = decode(space, pt);
+
+        GaOptions ga;
+        ga.population = opts.population;
+        ga.sampleBudget = std::min<int64_t>(
+            opts.samplesPerCandidate, opts.sampleBudget - global.samples);
+        ga.seed = ++sub_seed;
+        ga.alpha = opts.alpha;
+        ga.metric = opts.metric;
+        ga.coExplore = false; // partition-only under this capacity
+
+        DseSpace fixed = DseSpace::fixedSpace(buf);
+        GeneticSearch search(model, fixed, ga);
+        SearchResult inner = search.run();
+
+        // Fold the inner (metric-only) trace into the global co-opt
+        // objective trace.
+        for (const TracePoint &tp : inner.trace) {
+            double cost = tp.bestCost >= kInfeasiblePenalty
+                              ? tp.bestCost
+                              : buf.totalBytes() + opts.alpha * tp.bestCost;
+            ++global.samples;
+            if (cost < global.bestCost) {
+                global.bestCost = cost;
+                global.best = inner.best;
+                global.bestBuffer = buf;
+            }
+            global.trace.push_back({global.samples, global.bestCost});
+        }
+    }
+
+    if (global.bestCost < kInfeasiblePenalty) {
+        global.bestGraphCost =
+            model.partitionCost(global.best.part, global.bestBuffer);
+    }
+    return global;
+}
+
+} // namespace
+
+SearchResult
+twoStepRandom(CostModel &model, const DseSpace &space,
+              const TwoStepOptions &opts)
+{
+    Rng rng(opts.seed * 31 + 7);
+    int64_t n = std::max<int64_t>(
+        1, opts.sampleBudget / std::max<int64_t>(1,
+                                                 opts.samplesPerCandidate));
+    std::vector<HwPoint> candidates;
+    for (int64_t i = 0; i < n; ++i) {
+        HwPoint pt;
+        pt.actIdx = static_cast<int>(rng.uniformInt(0,
+                                                    space.actGrid.count - 1));
+        pt.weightIdx =
+            static_cast<int>(rng.uniformInt(0, space.weightGrid.count - 1));
+        pt.sharedIdx =
+            static_cast<int>(rng.uniformInt(0, space.sharedGrid.count - 1));
+        candidates.push_back(pt);
+    }
+    return runCandidates(model, space, candidates, opts);
+}
+
+SearchResult
+twoStepGrid(CostModel &model, const DseSpace &space,
+            const TwoStepOptions &opts)
+{
+    int64_t n = std::max<int64_t>(
+        1, opts.sampleBudget / std::max<int64_t>(1,
+                                                 opts.samplesPerCandidate));
+    std::vector<HwPoint> candidates;
+
+    if (space.style == BufferStyle::Shared) {
+        int stride = std::max<int>(
+            1, static_cast<int>(space.sharedGrid.count / n));
+        for (int i = space.sharedGrid.count - 1; i >= 0; i -= stride) {
+            HwPoint pt;
+            pt.sharedIdx = i;
+            candidates.push_back(pt);
+        }
+    } else {
+        // Coarsen both dimensions so the pair count fits the budget,
+        // then walk from large to small total capacity.
+        int total = space.actGrid.count * space.weightGrid.count;
+        int stride = std::max<int>(
+            1, static_cast<int>(std::ceil(std::sqrt(
+                   static_cast<double>(total) / static_cast<double>(n)))));
+        for (int a = space.actGrid.count - 1; a >= 0; a -= stride)
+            for (int w = space.weightGrid.count - 1; w >= 0; w -= stride) {
+                HwPoint pt;
+                pt.actIdx = a;
+                pt.weightIdx = w;
+                candidates.push_back(pt);
+            }
+        std::sort(candidates.begin(), candidates.end(),
+                  [&](const HwPoint &x, const HwPoint &y) {
+                      return decode(space, x).totalBytes() >
+                             decode(space, y).totalBytes();
+                  });
+    }
+    return runCandidates(model, space, candidates, opts);
+}
+
+} // namespace cocco

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Two-step DSE baselines (paper Section 5.1.3): sample memory
+ * capacity candidates first (random search or grid search), then run
+ * a partition-only GA for each candidate with a fixed per-candidate
+ * sample budget; the best (capacity, partition) pair wins. Grid
+ * search walks the candidates from large to small capacity, matching
+ * the paper's setup.
+ */
+
+#ifndef COCCO_SEARCH_TWO_STEP_H
+#define COCCO_SEARCH_TWO_STEP_H
+
+#include "search/ga.h"
+
+namespace cocco {
+
+/** Two-step driver options. */
+struct TwoStepOptions
+{
+    int64_t sampleBudget = 50000;
+    int64_t samplesPerCandidate = 5000; ///< paper: 5,000 per capacity
+    uint64_t seed = 1;
+    double alpha = 0.002;
+    Metric metric = Metric::Energy;
+    int population = 100;
+};
+
+/** Random-search capacity sampling + GA partition (RS+GA). */
+SearchResult twoStepRandom(CostModel &model, const DseSpace &space,
+                           const TwoStepOptions &opts);
+
+/** Grid-search capacity sweep (large to small) + GA partition (GS+GA). */
+SearchResult twoStepGrid(CostModel &model, const DseSpace &space,
+                         const TwoStepOptions &opts);
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_TWO_STEP_H

@@ -1,0 +1,9 @@
+#include "sim/accelerator.h"
+
+// AcceleratorConfig is a plain aggregate with inline helpers; this
+// translation unit exists so the module has a stable home for future
+// non-inline members and keeps the build graph uniform.
+
+namespace cocco {
+
+} // namespace cocco

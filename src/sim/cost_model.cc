@@ -1,0 +1,303 @@
+#include "sim/cost_model.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+#include "sim/mapper.h"
+#include "sim/multicore.h"
+#include "tileflow/footprint.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+namespace {
+
+/** Order-independent hash of a node set. */
+uint64_t
+hashNodeSet(std::vector<NodeId> nodes)
+{
+    std::sort(nodes.begin(), nodes.end());
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (NodeId v : nodes) {
+        uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+        h = (h ^ (x ^ (x >> 31))) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+GraphCost::latencyMs(double clock_ghz) const
+{
+    return latencyCycles / (clock_ghz * 1e6);
+}
+
+double
+GraphCost::metricValue(Metric m) const
+{
+    return m == Metric::EMA ? static_cast<double>(emaBytes) : energyPj;
+}
+
+double
+objective(const GraphCost &cost, const BufferConfig &buf, double alpha,
+          Metric m)
+{
+    if (!cost.feasible)
+        return kInfeasiblePenalty + buf.totalBytes();
+    return static_cast<double>(buf.totalBytes()) +
+           alpha * cost.metricValue(m);
+}
+
+CostModel::CostModel(const Graph &g, const AcceleratorConfig &accel)
+    : g_(g), accel_(accel)
+{
+}
+
+const SubgraphProfile &
+CostModel::profile(const std::vector<NodeId> &nodes)
+{
+    uint64_t key = hashNodeSet(nodes);
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    SubgraphProfile prof;
+    prof.nodeCount = static_cast<int>(nodes.size());
+
+    std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+
+    for (NodeId u : boundaryInputs(g_, nodes))
+        prof.inBytes += g_.outBytes(u);
+    for (NodeId v : escapingOutputs(g_, nodes)) {
+        // Model inputs live in DRAM already; nothing to write back.
+        if (!g_.isInput(v))
+            prof.outBytes += g_.outBytes(v);
+    }
+    for (NodeId v : nodes) {
+        prof.weightBytes += g_.weightBytes(v);
+        prof.macs += g_.macs(v);
+        // A model-input node fused into this subgraph still loads its
+        // tensor from DRAM (when anything here consumes it).
+        if (g_.isInput(v)) {
+            for (NodeId w : g_.succs(v))
+                if (in_set.count(w)) {
+                    prof.inBytes += g_.outBytes(v);
+                    break;
+                }
+        }
+    }
+
+    ExecutionScheme scheme = bestScheme(g_, nodes);
+    prof.actFootprintBytes = scheme.actFootprintBytes;
+    prof.numRegions = scheme.numRegions;
+    prof.outTile = scheme.outTile;
+
+    // Global-buffer traffic: every tensor surfaced in the buffer is
+    // written once (from DRAM for boundary inputs, from the PE array
+    // for produced tensors) and read once per in-subgraph consumer;
+    // escaping tensors are additionally read for write-back.
+    std::unordered_set<NodeId> boundary;
+    for (NodeId v : nodes)
+        for (NodeId u : g_.preds(v))
+            if (!in_set.count(u))
+                boundary.insert(u);
+    auto consumers_in = [&](NodeId u) {
+        int64_t n = 0;
+        for (NodeId w : g_.succs(u))
+            if (in_set.count(w))
+                ++n;
+        return n;
+    };
+    for (NodeId u : boundary)
+        prof.glbTraffic += g_.outBytes(u) * (1 + consumers_in(u));
+    for (NodeId v : nodes) {
+        bool escapes = g_.succs(v).empty();
+        for (NodeId w : g_.succs(v))
+            if (!in_set.count(w))
+                escapes = true;
+        if (g_.isInput(v))
+            escapes = false; // constant data: no write-back read
+        prof.glbTraffic +=
+            g_.outBytes(v) * (1 + consumers_in(v) + (escapes ? 1 : 0));
+    }
+
+    // Weight-buffer traffic: one fill plus one streaming pass into the
+    // PE-local scratchpads (weights are pinned across tile iterations).
+    prof.wbufTraffic = 2 * prof.weightBytes;
+
+    prof.mappedCycles = mappedCycles(g_, nodes, accel_);
+
+    if (nodes.size() == 1) {
+        const Layer &l = g_.layer(nodes.front());
+        prof.kernel = l.kernel;
+        prof.stride = l.stride;
+    }
+
+    auto [ins, ok] = cache_.emplace(key, prof);
+    (void)ok;
+    return ins->second;
+}
+
+SubgraphCost
+CostModel::assemble(const SubgraphProfile &prof, const BufferConfig &buf)
+    const
+{
+    SubgraphCost cost;
+    const int cores = accel_.cores;
+    const int batch = accel_.batch;
+
+    // Effective capacities seen by one core. Weights are sharded
+    // across cores (paper Section 5.4.2); activations are not.
+    int64_t act_cap, weight_cap;
+    if (buf.style == BufferStyle::Shared) {
+        act_cap = buf.sharedBytes;
+        weight_cap = std::max<int64_t>(
+            0, buf.sharedBytes - prof.actFootprintBytes);
+    } else {
+        act_cap = buf.actBytes;
+        weight_cap = buf.weightBytes;
+    }
+    int64_t weight_resident = ceilDiv(prof.weightBytes, cores);
+
+    bool act_fits = prof.actFootprintBytes <= act_cap;
+    bool weight_fits = weight_resident <= weight_cap;
+    bool regions_ok = prof.numRegions <= accel_.maxRegions;
+
+    int64_t in_reload = 1;
+    if (prof.nodeCount == 1) {
+        // A single layer is always executable by further tiling, at
+        // the price of reloading its inputs: once per weight pass
+        // when the weights exceed the buffer (output-channel groups),
+        // and with halo duplication when even the tile-1 activation
+        // working set exceeds the buffer (no inter-row reuse).
+        if (!weight_fits && prof.weightBytes > 0) {
+            int64_t passes =
+                ceilDiv(weight_resident, std::max<int64_t>(weight_cap, 1));
+            in_reload *= std::min<int64_t>(passes, 64);
+        }
+        if (!act_fits) {
+            int64_t halo = std::max(1, prof.kernel / prof.stride);
+            in_reload *= std::min<int64_t>(halo * halo, 64);
+        }
+        cost.feasible = true;
+    } else {
+        cost.feasible = act_fits && weight_fits && regions_ok;
+        if (!cost.feasible)
+            return cost;
+    }
+
+    // --- EMA (per batch of `batch` inferences). ---
+    // Weights are fetched once per subgraph for the whole batch
+    // (inter-sample reuse); activations move per sample.
+    int64_t act_ema = (prof.inBytes * in_reload + prof.outBytes) * batch;
+    int64_t weight_ema = prof.weightBytes;
+    cost.emaBytes = act_ema + weight_ema;
+
+    // --- Energy. ---
+    const EnergyModel &em = accel_.energy;
+    double glb_pj = em.sramPjPerByte(act_cap > 0 ? act_cap : 1);
+    double wbuf_pj = em.sramPjPerByte(
+        buf.style == BufferStyle::Shared ? buf.sharedBytes : buf.weightBytes);
+    double energy = em.dramEnergyPj(cost.emaBytes);
+    energy += static_cast<double>(prof.glbTraffic) * batch * glb_pj;
+    energy += static_cast<double>(prof.wbufTraffic) * wbuf_pj;
+    energy += em.macEnergyPj(prof.macs) * batch;
+    energy += crossbarEnergyPj(prof, accel_);
+    cost.energyPj = energy;
+
+    // --- Latency. ---
+    // Mapped cycles include PE-array under-utilization (channel
+    // padding, depth-wise idling); they lower-bound at macs / peak.
+    cost.computeCycles = static_cast<double>(prof.mappedCycles) * batch /
+                         cores;
+    cost.commCycles = static_cast<double>(cost.emaBytes) /
+                      (accel_.dramBytesPerCycle() * cores);
+    cost.latencyCycles = std::max(cost.computeCycles, cost.commCycles) +
+                         crossbarCycles(prof, accel_);
+    return cost;
+}
+
+SubgraphCost
+CostModel::subgraphCost(const std::vector<NodeId> &nodes,
+                        const BufferConfig &buf)
+{
+    return assemble(profile(nodes), buf);
+}
+
+bool
+CostModel::fits(const std::vector<NodeId> &nodes, const BufferConfig &buf)
+{
+    const SubgraphProfile &prof = profile(nodes);
+    if (prof.nodeCount == 1)
+        return true;
+    return assemble(prof, buf).feasible;
+}
+
+GraphCost
+CostModel::partitionCost(const Partition &p, const BufferConfig &buf)
+{
+    GraphCost total;
+    total.feasible = true;
+    auto blocks = p.blocks();
+    std::vector<SubgraphCost> costs;
+    costs.reserve(blocks.size());
+    for (const auto &blk : blocks) {
+        SubgraphCost c = subgraphCost(blk, buf);
+        ++total.subgraphs;
+        costs.push_back(c);
+        if (!c.feasible) {
+            total.feasible = false;
+            continue;
+        }
+        total.emaBytes += c.emaBytes;
+        total.energyPj += c.energyPj;
+        total.latencyCycles += c.latencyCycles;
+    }
+    if (total.latencyCycles > 0) {
+        // bytes/cycle at clockGhz GHz -> GB/s.
+        total.avgBwGBps = static_cast<double>(total.emaBytes) /
+                          total.latencyCycles * accel_.clockGhz;
+    }
+    // Strict double-buffered prefetch: adjacent subgraphs' weights
+    // must co-reside in the weight (or shared) buffer.
+    if (accel_.doubleBufferWeights) {
+        int64_t cap = buf.style == BufferStyle::Shared ? buf.sharedBytes
+                                                       : buf.weightBytes;
+        for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+            int64_t wa =
+                ceilDiv(profile(blocks[i]).weightBytes, accel_.cores);
+            int64_t wb =
+                ceilDiv(profile(blocks[i + 1]).weightBytes, accel_.cores);
+            // Oversized singletons stream their weights in tiles (the
+            // reload fallback) and are exempt from co-residency.
+            if (wa > cap || wb > cap)
+                continue;
+            if (wa + wb > cap)
+                total.feasible = false;
+        }
+    }
+
+    // Peak demand: each subgraph's activation traffic plus the next
+    // subgraph's weights, prefetched during this window.
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        if (!costs[i].feasible || costs[i].latencyCycles <= 0)
+            continue;
+        const SubgraphProfile &prof = profile(blocks[i]);
+        int64_t act_io =
+            (prof.inBytes + prof.outBytes) * accel_.batch;
+        int64_t prefetch = i + 1 < blocks.size()
+                               ? profile(blocks[i + 1]).weightBytes
+                               : 0;
+        double bw = static_cast<double>(act_io + prefetch) /
+                    costs[i].latencyCycles * accel_.clockGhz;
+        total.peakBwGBps = std::max(total.peakBwGBps, bw);
+    }
+    return total;
+}
+
+} // namespace cocco

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The analytical cost model (paper Section 5.1.2): per-subgraph
+ * external memory access (EMA), energy, latency and bandwidth, and
+ * their aggregation over a partition, including multi-core weight
+ * sharing and batch processing.
+ *
+ * Evaluation is split into two phases for search efficiency:
+ *   1. a buffer-capacity-independent SubgraphProfile (tile-flow
+ *      footprint, traffic, MACs), memoized by node-set hash;
+ *   2. a cheap per-configuration assembly into SubgraphCost.
+ *
+ * EMA of a subgraph = boundary input tensors + escaping output
+ * tensors + layer weights (Figure 1's "Min EMA = #Wgt + #In + #Out"),
+ * with reload penalties when a single layer exceeds the buffers.
+ * Energy = DRAM + global-buffer + weight-buffer + MAC terms.
+ * Latency per subgraph = max(compute cycles, DRAM cycles).
+ */
+
+#ifndef COCCO_SIM_COST_MODEL_H
+#define COCCO_SIM_COST_MODEL_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/buffer_config.h"
+#include "partition/partition.h"
+#include "sim/accelerator.h"
+
+namespace cocco {
+
+/** Optimization metric M of Formulas 1 and 2. */
+enum class Metric
+{
+    EMA,    ///< external memory access, bytes
+    Energy, ///< total energy, pJ
+};
+
+/** Buffer-capacity-independent summary of one subgraph. */
+struct SubgraphProfile
+{
+    int nodeCount = 0;
+    int64_t inBytes = 0;      ///< boundary input tensors
+    int64_t outBytes = 0;     ///< escaping output tensors
+    int64_t weightBytes = 0;  ///< resident weights
+    int64_t macs = 0;
+
+    int64_t actFootprintBytes = 0; ///< best-scheme MAIN+SIDE total
+    int numRegions = 0;
+    int outTile = 1;
+
+    int64_t glbTraffic = 0;   ///< global-buffer bytes moved
+    int64_t wbufTraffic = 0;  ///< weight-buffer bytes moved
+
+    /** PE-array compute cycles per sample (spatial mapper result,
+     *  includes padding-induced under-utilization). */
+    int64_t mappedCycles = 0;
+
+    // Reload modelling for oversized singleton layers.
+    int kernel = 1;
+    int stride = 1;
+};
+
+/** Cost of one subgraph under a concrete buffer configuration. */
+struct SubgraphCost
+{
+    bool feasible = false;    ///< fits buffers and region limit
+    int64_t emaBytes = 0;
+    double energyPj = 0.0;
+    double computeCycles = 0.0;
+    double commCycles = 0.0;
+    double latencyCycles = 0.0;
+};
+
+/** Aggregate cost of a whole partition. */
+struct GraphCost
+{
+    bool feasible = false;    ///< every subgraph feasible
+    int subgraphs = 0;
+    int64_t emaBytes = 0;
+    double energyPj = 0.0;
+    double latencyCycles = 0.0;
+    double avgBwGBps = 0.0;
+
+    /** Peak per-subgraph DRAM demand: this subgraph's activation I/O
+     *  plus the next subgraph's weight prefetch, over its execution
+     *  window (paper Section 5.1.2's bandwidth accounting). */
+    double peakBwGBps = 0.0;
+
+    /** Latency in milliseconds at @p clock_ghz. */
+    double latencyMs(double clock_ghz = 1.0) const;
+
+    /** Metric value (bytes for EMA, pJ for Energy). */
+    double metricValue(Metric m) const;
+};
+
+/**
+ * Formula 2 objective: BUF_SIZE + alpha * metric. Infeasible
+ * partitions return a large finite penalty so search can still rank.
+ */
+double objective(const GraphCost &cost, const BufferConfig &buf,
+                 double alpha, Metric m);
+
+/** Penalty objective value assigned to infeasible partitions. */
+constexpr double kInfeasiblePenalty = 1e18;
+
+/** Memoizing evaluator for one (graph, accelerator) pair. */
+class CostModel
+{
+  public:
+    CostModel(const Graph &g, const AcceleratorConfig &accel);
+
+    /** The platform being modelled. */
+    const AcceleratorConfig &accel() const { return accel_; }
+
+    /** The workload graph. */
+    const Graph &graph() const { return g_; }
+
+    /** Capacity-independent profile of a subgraph (memoized). */
+    const SubgraphProfile &profile(const std::vector<NodeId> &nodes);
+
+    /** Cost of one subgraph under @p buf. */
+    SubgraphCost subgraphCost(const std::vector<NodeId> &nodes,
+                              const BufferConfig &buf);
+
+    /** Whether a subgraph fits @p buf (residency + region limit). */
+    bool fits(const std::vector<NodeId> &nodes, const BufferConfig &buf);
+
+    /** Aggregate cost of a partition under @p buf. */
+    GraphCost partitionCost(const Partition &p, const BufferConfig &buf);
+
+    /** Number of distinct subgraphs profiled so far. */
+    size_t cacheSize() const { return cache_.size(); }
+
+  private:
+    SubgraphCost assemble(const SubgraphProfile &prof,
+                          const BufferConfig &buf) const;
+
+    const Graph &g_;
+    AcceleratorConfig accel_;
+    std::unordered_map<uint64_t, SubgraphProfile> cache_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_SIM_COST_MODEL_H

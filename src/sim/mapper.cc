@@ -1,0 +1,131 @@
+#include "sim/mapper.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+const char *
+mapDimName(MapDim d)
+{
+    switch (d) {
+      case MapDim::InputChannels:
+        return "IC";
+      case MapDim::OutputChannels:
+        return "OC";
+      case MapDim::Spatial:
+        return "SP";
+    }
+    panic("unknown MapDim %d", static_cast<int>(d));
+}
+
+std::string
+LayerMapping::str() const
+{
+    return strprintf("rows=%s cols=%s util=%.1f%%", mapDimName(rows),
+                     mapDimName(cols), utilization * 100.0);
+}
+
+LayerMapping
+mapLayer(const Graph &g, NodeId v, const AcceleratorConfig &accel)
+{
+    const Layer &l = g.layer(v);
+    LayerMapping best;
+    if (l.kind == LayerKind::Input || l.kind == LayerKind::Concat) {
+        best.cycles = 0;
+        best.utilization = 1.0;
+        return best;
+    }
+
+    // Per-PE MAC geometry: an 8x8 array contracts `mac_ic` input
+    // channels into `mac_oc` output channels per cycle for dense
+    // operators. Depth-wise/element-wise operators have no channel
+    // contraction: the IC rows of the MAC array idle (modelled as
+    // extra spatial lanes at 1/8 density is *not* assumed — idling is
+    // the honest cost).
+    const int mac_side = 8; // accel.macsPerPe is mac_side^2
+    bool dense = (l.kind == LayerKind::Conv || l.kind == LayerKind::Matmul);
+
+    int64_t cin = std::max(1, g.inChannels(v));
+    int64_t cout = l.outC;
+    int64_t spatial = static_cast<int64_t>(l.outH) * l.outW;
+    int64_t window;
+    switch (l.kind) {
+      case LayerKind::Conv:
+      case LayerKind::DWConv:
+      case LayerKind::Pool:
+      case LayerKind::Eltwise:
+        window = static_cast<int64_t>(l.kernel) * l.kernel;
+        break;
+      case LayerKind::Matmul:
+        window = 1;
+        cin = std::max<int64_t>(1, cin / 2); // contraction dim
+        break;
+      default:
+        window = 1;
+    }
+    if (!dense)
+        cin = 1; // per-channel operator: no cross-channel reduction
+
+    const int pe_dims[2] = {accel.peRows, accel.peCols};
+    const MapDim options[3] = {MapDim::InputChannels,
+                               MapDim::OutputChannels, MapDim::Spatial};
+
+    int64_t real_macs = g.macs(v);
+    best.cycles = INT64_MAX;
+    for (MapDim r : options) {
+        for (MapDim c : options) {
+            // Depth-wise operators idle the 8 contraction rows of the
+            // MAC array: only the 8 output-channel columns do work.
+            int64_t ic_par = dense ? mac_side : 1;
+            int64_t oc_par = mac_side;
+            int64_t sp_par = 1;
+            auto widen = [&](MapDim d, int factor) {
+                switch (d) {
+                  case MapDim::InputChannels:
+                    if (dense)
+                        ic_par *= factor;
+                    else
+                        sp_par *= factor; // nothing to contract
+                    break;
+                  case MapDim::OutputChannels:
+                    oc_par *= factor;
+                    break;
+                  case MapDim::Spatial:
+                    sp_par *= factor;
+                    break;
+                }
+            };
+            widen(r, pe_dims[0]);
+            widen(c, pe_dims[1]);
+
+            int64_t cycles = ceilDiv(cin, ic_par) * ceilDiv(cout, oc_par) *
+                             ceilDiv(spatial, sp_par) * window;
+            if (cycles < best.cycles) {
+                best.cycles = cycles;
+                best.rows = r;
+                best.cols = c;
+                double peak = static_cast<double>(cycles) *
+                              accel.macsPerCycle();
+                best.utilization =
+                    peak > 0 ? static_cast<double>(real_macs) / peak : 1.0;
+            }
+        }
+    }
+    best.utilization = std::clamp(best.utilization, 0.0, 1.0);
+    return best;
+}
+
+int64_t
+mappedCycles(const Graph &g, const std::vector<NodeId> &nodes,
+             const AcceleratorConfig &accel)
+{
+    int64_t total = 0;
+    for (NodeId v : nodes)
+        total += mapLayer(g, v, accel).cycles;
+    return total;
+}
+
+} // namespace cocco

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Single-layer spatial mapper: decides how a layer's loop nests
+ * occupy the PE array (paper Section 5.1.2: "the parallelism of two
+ * dimensions of the PE array can be dynamically configured by the
+ * mapper results to ensure high utilization").
+ *
+ * Each PE holds an 8x8 MAC array contracting 8 input channels into 8
+ * output channels per cycle; the two PE-array dimensions (4x4) can
+ * each be assigned to input channels, output channels, or spatial
+ * positions. The mapper enumerates the nine assignments and keeps the
+ * one with the fewest cycles (highest utilization). Depth-wise
+ * operators cannot use the cross-channel dot product, so their MAC
+ * rows contribute spatial parallelism instead.
+ */
+
+#ifndef COCCO_SIM_MAPPER_H
+#define COCCO_SIM_MAPPER_H
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "sim/accelerator.h"
+
+namespace cocco {
+
+/** Loop dimension a PE-array axis can parallelize. */
+enum class MapDim
+{
+    InputChannels,
+    OutputChannels,
+    Spatial,
+};
+
+/** @return short name ("IC", "OC", "SP"). */
+const char *mapDimName(MapDim d);
+
+/** The chosen mapping and its performance for one layer. */
+struct LayerMapping
+{
+    MapDim rows = MapDim::OutputChannels; ///< PE-array rows assignment
+    MapDim cols = MapDim::Spatial;        ///< PE-array cols assignment
+    int64_t cycles = 0;       ///< compute cycles for the whole layer
+    double utilization = 1.0; ///< real MACs / (cycles x peak MACs)
+
+    /** "rows=OC cols=SP util=87.5%" rendering. */
+    std::string str() const;
+};
+
+/**
+ * Map layer @p v of @p g onto the PE array of @p accel, choosing the
+ * assignment with the fewest cycles. Layers without compute (Input,
+ * Concat) return zero cycles and unit utilization.
+ */
+LayerMapping mapLayer(const Graph &g, NodeId v,
+                      const AcceleratorConfig &accel);
+
+/** Sum of mapped compute cycles over a node set (batch of one). */
+int64_t mappedCycles(const Graph &g, const std::vector<NodeId> &nodes,
+                     const AcceleratorConfig &accel);
+
+} // namespace cocco
+
+#endif // COCCO_SIM_MAPPER_H

@@ -1,0 +1,34 @@
+#include "sim/multicore.h"
+
+#include "sim/cost_model.h"
+
+namespace cocco {
+
+int64_t
+crossbarBytes(const SubgraphProfile &prof, const AcceleratorConfig &accel)
+{
+    if (accel.cores <= 1)
+        return 0;
+    int64_t hops = accel.cores - 1;
+    // Weight shards rotate once per subgraph execution (amortized over
+    // the batch); boundary inputs are broadcast per sample.
+    return (prof.weightBytes + prof.inBytes * accel.batch) * hops;
+}
+
+double
+crossbarEnergyPj(const SubgraphProfile &prof, const AcceleratorConfig &accel)
+{
+    return accel.energy.crossbarPjPerByte *
+           static_cast<double>(crossbarBytes(prof, accel));
+}
+
+double
+crossbarCycles(const SubgraphProfile &prof, const AcceleratorConfig &accel)
+{
+    if (accel.cores <= 1)
+        return 0.0;
+    return static_cast<double>(crossbarBytes(prof, accel)) /
+           accel.crossbarBytesPerCycle;
+}
+
+} // namespace cocco

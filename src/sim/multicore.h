@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Multi-core scale-out model (paper Section 5.4.2): cores share the
+ * weights of a subgraph over a crossbar, each core holding 1/n of the
+ * weights at a time and rotating shards (as in Tangram's BSD or
+ * NN-Baton's data rotation). Boundary input activations are broadcast
+ * to all cores.
+ *
+ * The crossbar adds energy (per byte-hop) and a serialization term to
+ * latency; both vanish for a single core.
+ */
+
+#ifndef COCCO_SIM_MULTICORE_H
+#define COCCO_SIM_MULTICORE_H
+
+#include "sim/accelerator.h"
+
+namespace cocco {
+
+struct SubgraphProfile;
+
+/**
+ * Bytes crossing the crossbar for one execution of a subgraph:
+ * weight shards visit the other (n-1) cores and boundary inputs are
+ * broadcast to the other (n-1) cores. Zero for n = 1.
+ */
+int64_t crossbarBytes(const SubgraphProfile &prof,
+                      const AcceleratorConfig &accel);
+
+/** Crossbar energy (pJ) for one execution of a subgraph. */
+double crossbarEnergyPj(const SubgraphProfile &prof,
+                        const AcceleratorConfig &accel);
+
+/**
+ * Crossbar serialization latency (cycles) for one execution; models
+ * the rotation traffic through the shared crossbar bandwidth.
+ */
+double crossbarCycles(const SubgraphProfile &prof,
+                      const AcceleratorConfig &accel);
+
+} // namespace cocco
+
+#endif // COCCO_SIM_MULTICORE_H

@@ -1,0 +1,85 @@
+#include "sim/timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+double
+Timeline::computeBoundFraction() const
+{
+    if (entries.empty())
+        return 0.0;
+    int n = 0;
+    for (const TimelineEntry &e : entries)
+        n += e.computeBound;
+    return static_cast<double>(n) / static_cast<double>(entries.size());
+}
+
+std::string
+Timeline::gantt(int width) const
+{
+    if (entries.empty() || totalCycles <= 0)
+        return "(empty timeline)\n";
+    std::string out;
+    for (const TimelineEntry &e : entries) {
+        int start = static_cast<int>(e.startCycle / totalCycles * width);
+        int end = std::max(start + 1,
+                           static_cast<int>(e.endCycle / totalCycles *
+                                            width));
+        end = std::min(end, width);
+        std::string bar(static_cast<size_t>(start), ' ');
+        bar += std::string(static_cast<size_t>(end - start),
+                           e.computeBound ? '#' : '=');
+        out += strprintf("sg%-3d |%-*s| %6.0f cyc %s %5.1f GB/s\n",
+                         e.subgraph, width, bar.c_str(),
+                         e.endCycle - e.startCycle,
+                         e.computeBound ? "compute" : "   comm",
+                         e.bwGBps);
+    }
+    out += strprintf("total %.0f cycles; '#' compute-bound, '=' "
+                     "communication-bound\n",
+                     totalCycles);
+    return out;
+}
+
+Timeline
+buildTimeline(CostModel &model, const Partition &p, const BufferConfig &buf)
+{
+    Timeline tl;
+    auto blocks = p.blocks();
+    double cursor = 0.0;
+    for (size_t i = 0; i < blocks.size(); ++i) {
+        SubgraphCost c = model.subgraphCost(blocks[i], buf);
+        TimelineEntry e;
+        e.subgraph = static_cast<int>(i);
+        e.nodes = static_cast<int>(blocks[i].size());
+        e.startCycle = cursor;
+        if (c.feasible) {
+            e.computeCycles = c.computeCycles;
+            e.commCycles = c.commCycles;
+            e.computeBound = c.computeCycles >= c.commCycles;
+            e.emaBytes = c.emaBytes;
+            const SubgraphProfile &prof = model.profile(blocks[i]);
+            e.prefetchBytes = i + 1 < blocks.size()
+                                  ? model.profile(blocks[i + 1]).weightBytes
+                                  : 0;
+            double window = c.latencyCycles;
+            if (window > 0) {
+                int64_t act_io = (prof.inBytes + prof.outBytes) *
+                                 model.accel().batch;
+                e.bwGBps = static_cast<double>(act_io + e.prefetchBytes) /
+                           window * model.accel().clockGhz;
+            }
+            cursor += c.latencyCycles;
+        }
+        e.endCycle = cursor;
+        tl.entries.push_back(e);
+    }
+    tl.totalCycles = cursor;
+    return tl;
+}
+
+} // namespace cocco

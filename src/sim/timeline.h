@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Execution timeline: expands a partition's cost into a per-subgraph
+ * event sequence — when each subgraph starts and ends, whether its
+ * window is compute- or communication-bound, and what the DRAM link
+ * carries during it (its own activation I/O plus the next subgraph's
+ * weight prefetch). Renders a text Gantt chart; the quickstart-level
+ * tool for understanding *why* a partition costs what it costs.
+ */
+
+#ifndef COCCO_SIM_TIMELINE_H
+#define COCCO_SIM_TIMELINE_H
+
+#include <string>
+#include <vector>
+
+#include "mem/buffer_config.h"
+#include "partition/partition.h"
+#include "sim/cost_model.h"
+
+namespace cocco {
+
+/** One subgraph's window on the timeline. */
+struct TimelineEntry
+{
+    int subgraph = 0;
+    double startCycle = 0.0;
+    double endCycle = 0.0;
+    double computeCycles = 0.0;
+    double commCycles = 0.0;
+    bool computeBound = true;
+    int64_t emaBytes = 0;       ///< DRAM bytes of this window
+    int64_t prefetchBytes = 0;  ///< next subgraph's weights
+    double bwGBps = 0.0;        ///< demand during this window
+    int nodes = 0;
+};
+
+/** The whole execution timeline of a partition. */
+struct Timeline
+{
+    std::vector<TimelineEntry> entries;
+    double totalCycles = 0.0;
+
+    /** Fraction of windows that are compute-bound. */
+    double computeBoundFraction() const;
+
+    /** Render an ASCII Gantt chart (at most @p width columns). */
+    std::string gantt(int width = 60) const;
+};
+
+/**
+ * Build the timeline of partition @p p under buffer @p buf. Requires
+ * a feasible partition (infeasible subgraphs are skipped with a
+ * zero-length window).
+ */
+Timeline buildTimeline(CostModel &model, const Partition &p,
+                       const BufferConfig &buf);
+
+} // namespace cocco
+
+#endif // COCCO_SIM_TIMELINE_H

@@ -1,0 +1,35 @@
+#include "tileflow/footprint.h"
+
+#include "util/logging.h"
+
+namespace cocco {
+
+const std::vector<int> &
+defaultTileCandidates()
+{
+    static const std::vector<int> candidates{1, 2, 4, 8};
+    return candidates;
+}
+
+ExecutionScheme
+bestScheme(const Graph &g, const std::vector<NodeId> &nodes,
+           const std::vector<int> &candidates)
+{
+    if (candidates.empty())
+        panic("bestScheme needs at least one tile candidate");
+
+    ExecutionScheme best;
+    bool have = false;
+    for (int t : candidates) {
+        ExecutionScheme s = deriveConsumptionScheme(g, nodes, t);
+        if (!have || s.actFootprintBytes < best.actFootprintBytes ||
+            (s.actFootprintBytes == best.actFootprintBytes &&
+             s.outTile > best.outTile)) {
+            best = std::move(s);
+            have = true;
+        }
+    }
+    return best;
+}
+
+} // namespace cocco

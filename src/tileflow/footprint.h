@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Stage-1 mapper policy: pick the output tile size that minimizes the
+ * subgraph's activation footprint (the paper notes the tile "tends to
+ * be smaller" to hold a larger subgraph), with a utilization-driven
+ * tie-break toward larger tiles.
+ */
+
+#ifndef COCCO_TILEFLOW_FOOTPRINT_H
+#define COCCO_TILEFLOW_FOOTPRINT_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tileflow/scheme.h"
+
+namespace cocco {
+
+/** Default stage-1 candidate output tile sizes. */
+const std::vector<int> &defaultTileCandidates();
+
+/**
+ * Derive the consumption-centric scheme for each candidate output
+ * tile and return the one with the smallest activation footprint
+ * (ties broken toward the larger tile, which keeps PE utilization up).
+ */
+ExecutionScheme bestScheme(const Graph &g, const std::vector<NodeId> &nodes,
+                           const std::vector<int> &candidates =
+                               defaultTileCandidates());
+
+} // namespace cocco
+
+#endif // COCCO_TILEFLOW_FOOTPRINT_H

@@ -1,0 +1,118 @@
+#include "tileflow/production.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+ExecutionScheme
+deriveProductionScheme(const Graph &g, const std::vector<NodeId> &nodes,
+                       int in_tile)
+{
+    if (in_tile < 1)
+        panic("in_tile must be >= 1, got %d", in_tile);
+    if (nodes.empty())
+        panic("deriveProductionScheme on empty subgraph");
+
+    std::unordered_set<NodeId> in_sub(nodes.begin(), nodes.end());
+
+    std::vector<NodeId> extended;
+    std::unordered_set<NodeId> in_ext = in_sub;
+    for (NodeId v : nodes)
+        for (NodeId u : g.preds(v))
+            if (!in_sub.count(u) && in_ext.insert(u).second)
+                extended.push_back(u);
+    for (NodeId v : nodes)
+        extended.push_back(v);
+    std::sort(extended.begin(), extended.end());
+
+    std::unordered_map<NodeId, std::vector<NodeId>> children;
+    for (NodeId u : extended)
+        for (NodeId w : g.succs(u))
+            if (in_sub.count(w))
+                children[u].push_back(w);
+
+    ExecutionScheme scheme;
+    scheme.outTile = in_tile;
+
+    // Forward sweep: sources (boundary inputs, or in-subgraph nodes
+    // whose producers all lie outside) hold an in_tile x in_tile tile;
+    // every other node holds everything its producers' resident tiles
+    // let it produce. Data is retained (the production-centric flaw):
+    // a node's tile is the max of what each path can produce, and
+    // mismatched branch depths leave extra cached rows.
+    std::unordered_map<NodeId, NodeScheme> result;
+    for (NodeId u : extended) {
+        const Layer &lu = g.layer(u);
+        NodeScheme ns;
+        ns.node = u;
+        ns.external = !in_sub.count(u);
+
+        bool is_source = ns.external;
+        if (!is_source) {
+            is_source = true;
+            for (NodeId p : g.preds(u))
+                if (in_ext.count(p) && result.count(p))
+                    is_source = false;
+        }
+
+        if (is_source) {
+            ns.xH = std::min(in_tile, lu.outH);
+            ns.xW = std::min(in_tile, lu.outW);
+        } else {
+            // Producible outputs from the *minimum* producer tile
+            // (all operands must be available), yet the *maximum*
+            // producer tile worth of source data stays cached, which
+            // is exactly the Figure 4(a) overhead; we account for the
+            // unconsumed slack below via the producers' tiles.
+            int avail_h = INT32_MAX, avail_w = INT32_MAX;
+            for (NodeId p : g.preds(u)) {
+                if (!in_ext.count(p))
+                    continue;
+                const NodeScheme &ps = result.at(p);
+                avail_h = std::min(avail_h, ps.xH);
+                avail_w = std::min(avail_w, ps.xW);
+            }
+            auto producible = [&](int avail) {
+                if (avail < lu.kernel)
+                    return 1;
+                return (avail - lu.kernel) / lu.stride + 1;
+            };
+            ns.xH = std::min(producible(avail_h), lu.outH);
+            ns.xW = std::min(producible(avail_w), lu.outW);
+        }
+        ns.deltaH = ns.xH;
+        ns.deltaW = ns.xW;
+        result.emplace(u, ns);
+    }
+
+    for (NodeId u : extended) {
+        NodeScheme &ns = result.at(u);
+        const Layer &lu = g.layer(u);
+        ns.mainBytes = static_cast<int64_t>(ns.xH) * ns.xW * lu.outC;
+        int overlap = 0;
+        for (NodeId v : children[u]) {
+            const Layer &lv = g.layer(v);
+            overlap = std::max(overlap, lv.kernel - lv.stride);
+        }
+        bool whole_resident = (ns.xH >= lu.outH && ns.xW >= lu.outW);
+        if (overlap > 0 && !whole_resident && lu.outW > ns.xW)
+            ns.sideBytes = static_cast<int64_t>(overlap) *
+                           (lu.outW - ns.xW) * lu.outC;
+        scheme.actFootprintBytes += ns.mainBytes + ns.sideBytes;
+        scheme.numRegions += 1 + (ns.sideBytes > 0 ? 1 : 0);
+    }
+
+    for (NodeId u : extended)
+        if (result.at(u).external)
+            scheme.nodes.push_back(result.at(u));
+    for (NodeId u : extended)
+        if (!result.at(u).external)
+            scheme.nodes.push_back(result.at(u));
+    return scheme;
+}
+
+} // namespace cocco

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * The production-centric baseline scheme of paper Figure 4(a):
+ * forward derivation from a predetermined input tile, where every
+ * producer emits as much as its inputs allow and results that cannot
+ * be consumed immediately stay buffered. Used only as an ablation
+ * reference against the consumption-centric flow.
+ */
+
+#ifndef COCCO_TILEFLOW_PRODUCTION_H
+#define COCCO_TILEFLOW_PRODUCTION_H
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tileflow/scheme.h"
+
+namespace cocco {
+
+/**
+ * Derive the production-centric scheme for subgraph @p nodes of @p g:
+ * boundary inputs are given a tile of @p in_tile (clipped to tensor
+ * extents); each node's resident tile is what its producers' tiles
+ * allow it to compute, plus the horizontal SIDE overlap. The returned
+ * footprint is >= the consumption-centric one on unbalanced branches.
+ *
+ * The @p in_tile is chosen so comparisons are apples-to-apples: pass
+ * the maximum input-side x of the consumption scheme.
+ */
+ExecutionScheme deriveProductionScheme(const Graph &g,
+                                       const std::vector<NodeId> &nodes,
+                                       int in_tile);
+
+} // namespace cocco
+
+#endif // COCCO_TILEFLOW_PRODUCTION_H

@@ -1,0 +1,82 @@
+#include "tileflow/schedule.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+std::string
+ElementarySchedule::str(const Graph &g) const
+{
+    std::string out;
+    for (const UpdateStep &s : steps) {
+        out += strprintf("%s%s upd#%d -> [%d:%d)\n",
+                         g.layer(s.node).name.c_str(),
+                         s.external ? " (ext)" : "", s.index, s.lo, s.hi);
+    }
+    return out;
+}
+
+ElementarySchedule
+buildElementarySchedule(const Graph &g, const ExecutionScheme &scheme,
+                        int64_t op_index)
+{
+    if (op_index < 0)
+        panic("negative elementary-operation index");
+
+    ElementarySchedule sched;
+
+    // Total operations: enough for every output node to sweep its
+    // tensor height (warm-up op included).
+    int64_t ops = 1;
+    for (const NodeScheme &ns : scheme.nodes) {
+        if (!ns.is_output)
+            continue;
+        const Layer &l = g.layer(ns.node);
+        int64_t advance = ns.updNum * ns.deltaH;
+        if (advance <= 0)
+            continue;
+        int64_t remaining = std::max<int64_t>(0, l.outH - ns.xH);
+        ops = std::max(ops, ceilDiv(remaining, advance) + 1);
+    }
+    sched.operationCount = ops;
+
+    // Max updates per op define the slot count; each node's j-th
+    // update lands in slot floor(j * slots / upd_num), so every
+    // node's first update is in slot 0 (producers lead consumers via
+    // the topological within-slot order).
+    int64_t slots = 1;
+    for (const NodeScheme &ns : scheme.nodes)
+        slots = std::max(slots, ns.updNum);
+
+    for (int64_t slot = 0; slot < slots; ++slot) {
+        for (const NodeScheme &ns : scheme.nodes) {
+            // Updates of this node that fall into this slot.
+            for (int64_t j = 0; j < ns.updNum; ++j) {
+                if (j * slots / ns.updNum != slot)
+                    continue;
+                const Layer &l = g.layer(ns.node);
+                int64_t n = op_index * ns.updNum + j; // global update no.
+                int64_t start = n * ns.deltaH;
+                // Clamp the window to the tensor extent: the final
+                // updates of a sweep shrink instead of running past
+                // the end.
+                start = std::min<int64_t>(
+                    start, std::max<int64_t>(0, l.outH - ns.xH));
+                UpdateStep step;
+                step.node = ns.node;
+                step.external = ns.external;
+                step.index = static_cast<int>(j);
+                step.lo = static_cast<int>(start);
+                step.hi = static_cast<int>(
+                    std::min<int64_t>(start + ns.xH, l.outH));
+                sched.steps.push_back(step);
+            }
+        }
+    }
+    return sched;
+}
+
+} // namespace cocco

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Elementary-operation schedule generation (paper Figure 6): given a
+ * derived ExecutionScheme, emit the explicit sequence of per-node
+ * memory updates that one subgraph elementary operation performs, and
+ * the memory snapshot (resident index range per node) after every
+ * step — exactly the diagram the paper draws for its running example.
+ *
+ * This is what a compiler backend would lower to DMA/compute
+ * descriptors; here it doubles as an executable specification that
+ * the tests check against the paper's published snapshot.
+ */
+
+#ifndef COCCO_TILEFLOW_SCHEDULE_H
+#define COCCO_TILEFLOW_SCHEDULE_H
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tileflow/scheme.h"
+
+namespace cocco {
+
+/** One memory update of one node during an elementary operation. */
+struct UpdateStep
+{
+    NodeId node = -1;
+    bool external = false; ///< data comes from DRAM (boundary input)
+    int index = 0;         ///< which of the node's upd_num updates
+    int lo = 0;            ///< resident range after the update: [lo, hi)
+    int hi = 0;
+};
+
+/** The schedule of one subgraph elementary operation (height dim). */
+struct ElementarySchedule
+{
+    /** Steps in execution order: producers update before consumers
+     *  within one elementary operation. */
+    std::vector<UpdateStep> steps;
+
+    /** Number of elementary operations to cover the whole tensor
+     *  extent of the subgraph's outputs. */
+    int64_t operationCount = 0;
+
+    /** Render the step list as "[lo:hi)" chains for debugging. */
+    std::string str(const Graph &g) const;
+};
+
+/**
+ * Generate the update schedule of the @p op_index -th elementary
+ * operation for a derived scheme (op 0 is the warm-up operation that
+ * first fills each node's resident tile; later ops slide by
+ * upd_num * Delta). Ranges are clipped to each node's tensor extent.
+ */
+ElementarySchedule buildElementarySchedule(const Graph &g,
+                                           const ExecutionScheme &scheme,
+                                           int64_t op_index);
+
+} // namespace cocco
+
+#endif // COCCO_TILEFLOW_SCHEDULE_H

@@ -1,0 +1,219 @@
+#include "tileflow/scheme.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+
+namespace cocco {
+
+namespace {
+
+/** f_v(t) = F(v) + (t - 1) * s(v): input tile needed for t outputs. */
+int64_t
+inputTileFor(const Layer &consumer, int64_t t)
+{
+    return consumer.kernel + (t - 1) * static_cast<int64_t>(consumer.stride);
+}
+
+} // namespace
+
+const NodeScheme *
+ExecutionScheme::find(NodeId v) const
+{
+    for (const auto &ns : nodes)
+        if (ns.node == v)
+            return &ns;
+    return nullptr;
+}
+
+ExecutionScheme
+deriveConsumptionScheme(const Graph &g, const std::vector<NodeId> &nodes,
+                        int out_tile)
+{
+    if (out_tile < 1)
+        panic("out_tile must be >= 1, got %d", out_tile);
+    if (nodes.empty())
+        panic("deriveConsumptionScheme on empty subgraph");
+
+    std::unordered_set<NodeId> in_sub(nodes.begin(), nodes.end());
+    if (in_sub.size() != nodes.size())
+        panic("duplicate node ids in subgraph");
+
+    // Extended set: boundary input tensors participate in the flow as
+    // data sources with their own MAIN/SIDE regions.
+    std::vector<NodeId> extended;
+    std::unordered_set<NodeId> in_ext = in_sub;
+    for (NodeId v : nodes)
+        for (NodeId u : g.preds(v))
+            if (!in_sub.count(u) && in_ext.insert(u).second)
+                extended.push_back(u);
+    for (NodeId v : nodes)
+        extended.push_back(v);
+    std::sort(extended.begin(), extended.end());
+
+    // In-subgraph children of each extended node: consumers that are
+    // members of the subgraph proper.
+    std::unordered_map<NodeId, std::vector<NodeId>> children;
+    for (NodeId u : extended) {
+        auto &ch = children[u];
+        for (NodeId w : g.succs(u))
+            if (in_sub.count(w))
+                ch.push_back(w);
+    }
+
+    ExecutionScheme scheme;
+    scheme.outTile = out_tile;
+
+    // --- Stage 2: reverse topological derivation of Delta and x. ---
+    // Node ids are topologically ordered, so a reverse id sweep visits
+    // consumers before producers.
+    std::unordered_map<NodeId, NodeScheme> result;
+    for (auto it = extended.rbegin(); it != extended.rend(); ++it) {
+        NodeId u = *it;
+        const Layer &lu = g.layer(u);
+        NodeScheme ns;
+        ns.node = u;
+        ns.external = !in_sub.count(u);
+
+        const auto &ch = children[u];
+        if (ch.empty()) {
+            // Stage-1: output node, Delta = x = out_tile (clipped).
+            ns.is_output = true;
+            ns.deltaH = std::min(out_tile, lu.outH);
+            ns.deltaW = std::min(out_tile, lu.outW);
+            ns.xH = ns.deltaH;
+            ns.xW = ns.deltaW;
+        } else {
+            int64_t dh = 1, dw = 1;
+            for (NodeId v : ch) {
+                const Layer &lv = g.layer(v);
+                const NodeScheme &cs = result.at(v);
+                dh = lcm64(dh, static_cast<int64_t>(cs.deltaH) * lv.stride);
+                dw = lcm64(dw, static_cast<int64_t>(cs.deltaW) * lv.stride);
+            }
+            int64_t xh = 1, xw = 1;
+            for (NodeId v : ch) {
+                const Layer &lv = g.layer(v);
+                xh = std::max(xh, inputTileFor(lv, dh / lv.stride));
+                xw = std::max(xw, inputTileFor(lv, dw / lv.stride));
+            }
+            // Clip to the tensor extent: a tile can never exceed the
+            // tensor, and once the whole tensor is resident no halo
+            // bookkeeping is needed.
+            ns.deltaH = static_cast<int>(std::min<int64_t>(dh, lu.outH));
+            ns.deltaW = static_cast<int>(std::min<int64_t>(dw, lu.outW));
+            ns.xH = static_cast<int>(std::min<int64_t>(xh, lu.outH));
+            ns.xW = static_cast<int>(std::min<int64_t>(xw, lu.outW));
+        }
+        result.emplace(u, ns);
+    }
+
+    // --- Stage 3: minimal co-prime upd_num assignment. ---
+    // Constraint per in-subgraph edge (u, v):
+    //     upd(v) * Delta(v) * s(v) = upd(u) * Delta(u)
+    // Define R(u) = upd(u) * Delta(u); then R(u) = R(v) * s(v) for
+    // every child v. Solve by BFS over the undirected constraint graph
+    // with exact rationals, then scale to the least integer solution.
+    // (Height-dimension Deltas; the paper presents the 1-D case.)
+    std::unordered_map<NodeId, Rational> rval;
+    bool consistent = true;
+    for (NodeId seed : extended) {
+        if (rval.count(seed))
+            continue;
+        rval.emplace(seed, Rational(1));
+        std::vector<NodeId> queue{seed};
+        while (!queue.empty()) {
+            NodeId u = queue.back();
+            queue.pop_back();
+            Rational ru = rval.at(u);
+            // Children constraints: R(child) = R(u) / s(child).
+            for (NodeId v : children[u]) {
+                Rational want = ru / Rational(g.layer(v).stride);
+                auto it2 = rval.find(v);
+                if (it2 == rval.end()) {
+                    rval.emplace(v, want);
+                    queue.push_back(v);
+                } else if (it2->second != want) {
+                    consistent = false;
+                }
+            }
+            // Parent constraints: R(parent) = R(u) * s(u); only edges
+            // whose consumer u is inside the subgraph participate.
+            if (in_sub.count(u)) {
+                Rational want = ru * Rational(g.layer(u).stride);
+                for (NodeId p : g.preds(u)) {
+                    if (!in_ext.count(p))
+                        continue;
+                    auto it2 = rval.find(p);
+                    if (it2 == rval.end()) {
+                        rval.emplace(p, want);
+                        queue.push_back(p);
+                    } else if (it2->second != want) {
+                        consistent = false;
+                    }
+                }
+            }
+        }
+    }
+    scheme.updConsistent = consistent;
+
+    if (consistent) {
+        // upd(u) = lambda * R(u) / Delta(u); choose the least lambda
+        // making every upd integral, then strip the common factor.
+        int64_t lambda = 1;
+        std::unordered_map<NodeId, Rational> upd_frac;
+        for (NodeId u : extended) {
+            Rational f = rval.at(u) / Rational(result.at(u).deltaH);
+            upd_frac.emplace(u, f);
+            lambda = lcm64(lambda, f.den());
+        }
+        int64_t common = 0;
+        for (NodeId u : extended) {
+            Rational f = upd_frac.at(u);
+            int64_t v = f.num() * (lambda / f.den());
+            result.at(u).updNum = v;
+            common = gcd64(common, std::llabs(v));
+        }
+        if (common > 1)
+            for (NodeId u : extended)
+                result.at(u).updNum /= common;
+    }
+
+    // --- Memory regions (Section 3.2). ---
+    // MAIN holds the resident tile xH x xW x C. SIDE reserves the
+    // horizontal overlap (F - s rows of the part of the feature map
+    // outside the current tile) for nodes whose in-subgraph consumers
+    // have kernel > stride. Whole-tensor-resident nodes need no SIDE.
+    for (NodeId u : extended) {
+        NodeScheme &ns = result.at(u);
+        const Layer &lu = g.layer(u);
+        ns.mainBytes = static_cast<int64_t>(ns.xH) * ns.xW * lu.outC;
+        int overlap = 0;
+        for (NodeId v : children[u]) {
+            const Layer &lv = g.layer(v);
+            overlap = std::max(overlap, lv.kernel - lv.stride);
+        }
+        bool whole_resident = (ns.xH >= lu.outH && ns.xW >= lu.outW);
+        if (overlap > 0 && !whole_resident && lu.outW > ns.xW) {
+            ns.sideBytes = static_cast<int64_t>(overlap) *
+                           (lu.outW - ns.xW) * lu.outC;
+        }
+        scheme.actFootprintBytes += ns.mainBytes + ns.sideBytes;
+        scheme.numRegions += 1 + (ns.sideBytes > 0 ? 1 : 0);
+    }
+
+    scheme.nodes.reserve(extended.size());
+    // Boundary inputs first, then members, each ascending by id.
+    for (NodeId u : extended)
+        if (result.at(u).external)
+            scheme.nodes.push_back(result.at(u));
+    for (NodeId u : extended)
+        if (!result.at(u).external)
+            scheme.nodes.push_back(result.at(u));
+    return scheme;
+}
+
+} // namespace cocco

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The consumption-centric subgraph execution scheme of paper
+ * Section 3.1: a three-stage flow that derives, for every node of a
+ * subgraph, the update offset Delta, the resident tile size x, and
+ * the per-elementary-operation update count upd_num.
+ *
+ *  stage-1  output nodes get a tile size (Delta = x = t) chosen by the
+ *           single-layer mapper;
+ *  stage-2  reverse-topological backward derivation:
+ *             Delta(u) = lcm_{v in children(u)} { Delta(v) * s(v) }
+ *             x(u)     = max_v f_v(Delta(u) / s(v)),
+ *             f_v(t)   = F(v) + (t - 1) * s(v)
+ *  stage-3  minimal co-prime solution of
+ *             upd_num(v) * Delta(v) * s(v) = upd_num(u) * Delta(u)
+ *           for every in-subgraph edge (u, v).
+ *
+ * Height and width are derived independently (same square F, s);
+ * upd_num is reported for the height dimension, matching the paper's
+ * 1-D presentation.
+ */
+
+#ifndef COCCO_TILEFLOW_SCHEME_H
+#define COCCO_TILEFLOW_SCHEME_H
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace cocco {
+
+/** Per-node result of the tile-flow derivation. */
+struct NodeScheme
+{
+    NodeId node = -1;      ///< graph node id
+    bool external = false; ///< boundary input tensor (loaded from DRAM)
+    bool is_output = false; ///< no consumer inside the subgraph
+
+    int deltaH = 1;        ///< update offset, height dim
+    int deltaW = 1;        ///< update offset, width dim
+    int xH = 1;            ///< resident tile size, height dim
+    int xW = 1;            ///< resident tile size, width dim
+    int64_t updNum = 1;    ///< memory updates per elementary operation
+
+    int64_t mainBytes = 0; ///< MAIN region size (resident tile)
+    int64_t sideBytes = 0; ///< SIDE region size (horizontal overlap)
+};
+
+/** Derived execution scheme of one subgraph. */
+struct ExecutionScheme
+{
+    /** Entries for boundary inputs first, then subgraph nodes, each in
+     *  topological order. */
+    std::vector<NodeScheme> nodes;
+
+    int64_t actFootprintBytes = 0; ///< sum of MAIN + SIDE over all nodes
+    int numRegions = 0;            ///< buffer regions required
+    int outTile = 1;               ///< stage-1 output tile size used
+    bool updConsistent = true;     ///< stage-3 system had a solution
+
+    /** Entry for graph node @p v, or nullptr if absent. */
+    const NodeScheme *find(NodeId v) const;
+};
+
+/**
+ * Run the consumption-centric flow on subgraph @p nodes of @p g with
+ * stage-1 output tile size @p out_tile (both dims).
+ *
+ * @param g        the computation graph
+ * @param nodes    the subgraph's node ids (any order; must be distinct)
+ * @param out_tile stage-1 tile size for output nodes (>= 1)
+ */
+ExecutionScheme deriveConsumptionScheme(const Graph &g,
+                                        const std::vector<NodeId> &nodes,
+                                        int out_tile);
+
+} // namespace cocco
+
+#endif // COCCO_TILEFLOW_SCHEME_H

@@ -1,0 +1,72 @@
+#include "util/csv.h"
+
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+std::string
+CsvWriter::quote(const std::string &field)
+{
+    bool needs = field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : columns_(header.size())
+{
+    if (columns_ == 0)
+        panic("CsvWriter needs at least one column");
+    std::string line;
+    for (size_t i = 0; i < header.size(); ++i)
+        line += (i ? "," : "") + quote(header[i]);
+    out_ = line + "\n";
+}
+
+void
+CsvWriter::addRow(const std::vector<std::string> &cells)
+{
+    if (cells.size() != columns_)
+        panic("CSV row has %zu cells, expected %zu", cells.size(),
+              columns_);
+    std::string line;
+    for (size_t i = 0; i < cells.size(); ++i)
+        line += (i ? "," : "") + quote(cells[i]);
+    out_ += line + "\n";
+}
+
+std::string
+CsvWriter::str() const
+{
+    return out_;
+}
+
+bool
+CsvWriter::writeFile(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        warn("cannot open '%s' for writing", path.c_str());
+        return false;
+    }
+    size_t n = std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fclose(f);
+    if (n != out_.size()) {
+        warn("short write to '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace cocco

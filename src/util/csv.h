@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Minimal CSV writer for exporting benchmark series (convergence
+ * traces, sample clouds) to plotting tools. Handles quoting of
+ * fields containing separators/quotes/newlines per RFC 4180.
+ */
+
+#ifndef COCCO_UTIL_CSV_H
+#define COCCO_UTIL_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace cocco {
+
+/** Row-oriented CSV document builder. */
+class CsvWriter
+{
+  public:
+    /** Create with the header row. */
+    explicit CsvWriter(std::vector<std::string> header);
+
+    /** Append one row; must match the header's column count. */
+    void addRow(const std::vector<std::string> &cells);
+
+    /** Render the document (CRLF-free, trailing newline). */
+    std::string str() const;
+
+    /** Write to @p path; returns false (with a warn) on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** RFC-4180 field quoting (exposed for tests). */
+    static std::string quote(const std::string &field);
+
+  private:
+    size_t columns_;
+    std::string out_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_CSV_H

@@ -1,0 +1,161 @@
+#include "util/json.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (!stack_.empty()) {
+        if (has_item_.back() && !pending_key_)
+            out_ += ",";
+        has_item_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    pending_key_ = false;
+    out_ += "{";
+    stack_.push_back('{');
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    comma();
+    pending_key_ = false;
+    out_ += "[";
+    stack_.push_back('[');
+    has_item_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != '{' || pending_key_)
+        panic("JsonWriter: unbalanced endObject");
+    stack_.pop_back();
+    has_item_.pop_back();
+    out_ += "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != '[')
+        panic("JsonWriter: unbalanced endArray");
+    stack_.pop_back();
+    has_item_.pop_back();
+    out_ += "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    if (stack_.empty() || stack_.back() != '{')
+        panic("JsonWriter: key outside object");
+    if (pending_key_)
+        panic("JsonWriter: key after key");
+    comma();
+    out_ += "\"" + escape(k) + "\":";
+    pending_key_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    pending_key_ = false;
+    out_ += "\"" + escape(v) + "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(int64_t v)
+{
+    comma();
+    pending_key_ = false;
+    out_ += strprintf("%lld", static_cast<long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    pending_key_ = false;
+    if (std::isfinite(v))
+        out_ += strprintf("%.10g", v);
+    else
+        out_ += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    comma();
+    pending_key_ = false;
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    if (!stack_.empty() || pending_key_)
+        panic("JsonWriter: document not closed");
+    return out_;
+}
+
+} // namespace cocco

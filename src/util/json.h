@@ -1,0 +1,66 @@
+/**
+ * @file
+ * A minimal JSON writer (no parsing) used to export search results
+ * and execution schemes to downstream tooling. Values are emitted
+ * with correct escaping; objects and arrays nest via RAII-free
+ * explicit begin/end calls, validated at runtime.
+ */
+
+#ifndef COCCO_UTIL_JSON_H
+#define COCCO_UTIL_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cocco {
+
+/** Streaming JSON writer with nesting validation. */
+class JsonWriter
+{
+  public:
+    JsonWriter() = default;
+
+    /** Begin the root (or nested) object/array. */
+    JsonWriter &beginObject();
+    JsonWriter &beginArray();
+    JsonWriter &endObject();
+    JsonWriter &endArray();
+
+    /** Set the key for the next value inside an object. */
+    JsonWriter &key(const std::string &k);
+
+    /** Scalar values. */
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(int64_t v);
+    JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
+    JsonWriter &value(double v);
+    JsonWriter &value(bool v);
+
+    /** Convenience: key + scalar. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &k, T v)
+    {
+        return key(k).value(v);
+    }
+
+    /** Finish and return the document; panics on unbalanced nesting. */
+    std::string str() const;
+
+    /** JSON string escaping (exposed for tests). */
+    static std::string escape(const std::string &s);
+
+  private:
+    void comma();
+
+    std::string out_;
+    std::vector<char> stack_;    // '{' or '['
+    std::vector<bool> has_item_; // per nesting level
+    bool pending_key_ = false;
+};
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_JSON_H

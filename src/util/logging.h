@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Status-message and error-termination helpers, gem5-style.
+ *
+ * fatal()  — the situation is the user's fault (bad configuration,
+ *            invalid arguments); exits with code 1.
+ * panic()  — an internal invariant was violated (a cocco bug); aborts.
+ * warn()   — something works but not as well as it should.
+ * inform() — plain status output.
+ */
+
+#ifndef COCCO_UTIL_LOGGING_H
+#define COCCO_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cocco {
+
+/** Print "fatal: <msg>" to stderr and exit(1). User-level error. */
+[[noreturn]] void fatal(const char *fmt, ...);
+
+/** Print "panic: <msg>" to stderr and abort(). Internal bug. */
+[[noreturn]] void panic(const char *fmt, ...);
+
+/** Print "warn: <msg>" to stderr. */
+void warn(const char *fmt, ...);
+
+/** Print an informational message to stdout. */
+void inform(const char *fmt, ...);
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** @return true when warn()/inform() output is suppressed. */
+bool isQuiet();
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...);
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_LOGGING_H

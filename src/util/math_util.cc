@@ -1,0 +1,109 @@
+#include "util/math_util.h"
+
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+int64_t
+gcd64(int64_t a, int64_t b)
+{
+    if (a < 0 || b < 0)
+        panic("gcd64 requires non-negative inputs (%lld, %lld)",
+              static_cast<long long>(a), static_cast<long long>(b));
+    while (b != 0) {
+        int64_t t = a % b;
+        a = b;
+        b = t;
+    }
+    return a;
+}
+
+int64_t
+lcm64(int64_t a, int64_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    return a / gcd64(a, b) * b;
+}
+
+Rational::Rational(int64_t num, int64_t den)
+    : num_(num), den_(den)
+{
+    if (den_ == 0)
+        panic("Rational with zero denominator");
+    reduce();
+}
+
+void
+Rational::reduce()
+{
+    if (den_ < 0) {
+        den_ = -den_;
+        num_ = -num_;
+    }
+    int64_t g = gcd64(std::llabs(num_), den_);
+    if (g > 1) {
+        num_ /= g;
+        den_ /= g;
+    }
+    if (num_ == 0)
+        den_ = 1;
+}
+
+Rational
+Rational::operator*(const Rational &o) const
+{
+    // Cross-reduce first to keep intermediates small.
+    int64_t g1 = gcd64(std::llabs(num_), o.den_);
+    int64_t g2 = gcd64(std::llabs(o.num_), den_);
+    return Rational((num_ / g1) * (o.num_ / g2), (den_ / g2) * (o.den_ / g1));
+}
+
+Rational
+Rational::operator/(const Rational &o) const
+{
+    if (o.num_ == 0)
+        panic("Rational division by zero");
+    return *this * Rational(o.den_, o.num_);
+}
+
+Rational
+Rational::operator+(const Rational &o) const
+{
+    int64_t g = gcd64(den_, o.den_);
+    int64_t l = den_ / g * o.den_;
+    return Rational(num_ * (l / den_) + o.num_ * (l / o.den_), l);
+}
+
+Rational
+Rational::operator-(const Rational &o) const
+{
+    return *this + Rational(-o.num_, o.den_);
+}
+
+bool
+Rational::operator==(const Rational &o) const
+{
+    return num_ == o.num_ && den_ == o.den_;
+}
+
+int64_t
+Rational::toInteger() const
+{
+    if (den_ != 1)
+        panic("Rational %s is not an integer", str().c_str());
+    return num_;
+}
+
+std::string
+Rational::str() const
+{
+    if (den_ == 1)
+        return strprintf("%lld", static_cast<long long>(num_));
+    return strprintf("%lld/%lld", static_cast<long long>(num_),
+                     static_cast<long long>(den_));
+}
+
+} // namespace cocco

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Integer math helpers used by the tile-flow derivation: gcd/lcm,
+ * ceiling division, and an exact rational number type for solving the
+ * upd_num system of Section 3.1 stage-3.
+ */
+
+#ifndef COCCO_UTIL_MATH_UTIL_H
+#define COCCO_UTIL_MATH_UTIL_H
+
+#include <cstdint>
+#include <string>
+
+namespace cocco {
+
+/** Greatest common divisor; gcd(0, x) == x. Inputs must be >= 0. */
+int64_t gcd64(int64_t a, int64_t b);
+
+/** Least common multiple; lcm(0, x) == 0. */
+int64_t lcm64(int64_t a, int64_t b);
+
+/** Ceiling division for non-negative numerator, positive denominator. */
+inline int64_t
+ceilDiv(int64_t num, int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** Round @p v up to the next multiple of @p align (align > 0). */
+inline int64_t
+roundUp(int64_t v, int64_t align)
+{
+    return ceilDiv(v, align) * align;
+}
+
+/**
+ * An exact rational number (int64 numerator / positive int64 denominator),
+ * always stored in lowest terms. Used to solve the multiplicative
+ * constraint system that yields the minimal co-prime upd_num assignment.
+ */
+class Rational
+{
+  public:
+    /** Construct num/den, reduced; den must be non-zero. */
+    Rational(int64_t num = 0, int64_t den = 1);
+
+    int64_t num() const { return num_; }
+    int64_t den() const { return den_; }
+
+    Rational operator*(const Rational &o) const;
+    Rational operator/(const Rational &o) const;
+    Rational operator+(const Rational &o) const;
+    Rational operator-(const Rational &o) const;
+    bool operator==(const Rational &o) const;
+    bool operator!=(const Rational &o) const { return !(*this == o); }
+
+    /** @return true when the value is a whole number. */
+    bool isInteger() const { return den_ == 1; }
+
+    /** Exact integer value; panics if not an integer. */
+    int64_t toInteger() const;
+
+    /** Human-readable "num/den" (or just "num" for integers). */
+    std::string str() const;
+
+  private:
+    void reduce();
+
+    int64_t num_;
+    int64_t den_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_MATH_UTIL_H

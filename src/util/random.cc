@@ -1,0 +1,98 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    if (lo > hi)
+        panic("uniformInt: lo %lld > hi %lld", static_cast<long long>(lo),
+              static_cast<long long>(hi));
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>(next());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    uint64_t r;
+    do {
+        r = next();
+    } while (r >= limit);
+    return lo + static_cast<int64_t>(r % span);
+}
+
+double
+Rng::uniformReal()
+{
+    return (next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::gaussian()
+{
+    double u1 = uniformReal();
+    double u2 = uniformReal();
+    while (u1 <= 0.0)
+        u1 = uniformReal();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniformReal() < p;
+}
+
+size_t
+Rng::index(size_t n)
+{
+    if (n == 0)
+        panic("Rng::index on empty range");
+    return static_cast<size_t>(uniformInt(0, static_cast<int64_t>(n) - 1));
+}
+
+} // namespace cocco

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for the search
+ * algorithms. A thin xoshiro256** wrapper with helpers for the
+ * distributions the GA/SA operators need (uniform ints, reals,
+ * gaussian steps, choice, shuffle).
+ *
+ * All stochastic components take an explicit Rng so experiments are
+ * reproducible from a single seed.
+ */
+
+#ifndef COCCO_UTIL_RANDOM_H
+#define COCCO_UTIL_RANDOM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cocco {
+
+/** xoshiro256** PRNG seeded via SplitMix64. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via SplitMix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform real in [0, 1). */
+    double uniformReal();
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+    /** Uniformly pick an index in [0, n); requires n > 0. */
+    size_t index(size_t n);
+
+    /** Uniformly pick an element of @p v; requires non-empty. */
+    template <typename T>
+    const T &
+    choice(const std::vector<T> &v)
+    {
+        return v[index(v.size())];
+    }
+
+    /** Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = index(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_RANDOM_H

@@ -1,0 +1,108 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace cocco {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        panic("Table requires at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size())
+        panic("Table row has %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto rule = [&] {
+        std::string s = "+";
+        for (size_t w : widths)
+            s += std::string(w + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        std::string s = "|";
+        for (size_t c = 0; c < cells.size(); ++c) {
+            s += " " + cells[c] +
+                 std::string(widths[c] - cells[c].size(), ' ') + " |";
+        }
+        s += "\n";
+        return s;
+    };
+
+    std::string out = rule() + line(headers_) + rule();
+    for (const auto &row : rows_)
+        out += row.empty() ? rule() : line(row);
+    out += rule();
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(str().c_str(), stdout);
+}
+
+std::string
+Table::fmtDouble(double v, int precision)
+{
+    return strprintf("%.*f", precision, v);
+}
+
+std::string
+Table::fmtSci(double v, int precision)
+{
+    return strprintf("%.*E", precision, v);
+}
+
+std::string
+Table::fmtInt(int64_t v)
+{
+    return strprintf("%lld", static_cast<long long>(v));
+}
+
+std::string
+Table::fmtKB(int64_t bytes)
+{
+    return strprintf("%lldKB", static_cast<long long>(bytes / 1024));
+}
+
+std::string
+Table::fmtMB(double bytes, int precision)
+{
+    return strprintf("%.*fMB", precision, bytes / (1024.0 * 1024.0));
+}
+
+std::string
+Table::fmtPercent(double frac, int precision)
+{
+    return strprintf("%.*f%%", precision, frac * 100.0);
+}
+
+} // namespace cocco

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A small fixed-width ASCII table printer used by the benchmark
+ * harnesses to emit the same row/column structure as the paper's
+ * tables and figures.
+ */
+
+#ifndef COCCO_UTIL_TABLE_H
+#define COCCO_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace cocco {
+
+/** Column-aligned ASCII table with a header row and separator rules. */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must have exactly as many cells as headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator rule. */
+    void addRule();
+
+    /** Render the table to a string (trailing newline included). */
+    std::string str() const;
+
+    /** Render and write to stdout. */
+    void print() const;
+
+    /** Format helpers for numeric cells. */
+    static std::string fmtDouble(double v, int precision = 2);
+    static std::string fmtSci(double v, int precision = 2);
+    static std::string fmtInt(int64_t v);
+    static std::string fmtKB(int64_t bytes);
+    static std::string fmtMB(double bytes, int precision = 2);
+    static std::string fmtPercent(double frac, int precision = 1);
+
+  private:
+    std::vector<std::string> headers_;
+    // Each row is either a cell vector or an empty vector marking a rule.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_TABLE_H

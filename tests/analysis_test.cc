@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Tests for the analysis layer: the execution timeline, Pareto-front
+ * extraction, and graph statistics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/stats.h"
+#include "models/models.h"
+#include "search/pareto.h"
+#include "sim/timeline.h"
+
+using namespace cocco;
+
+namespace {
+
+BufferConfig
+roomy()
+{
+    BufferConfig c;
+    c.style = BufferStyle::Shared;
+    c.sharedBytes = 2048 * 1024;
+    return c;
+}
+
+} // namespace
+
+// --- Timeline ----------------------------------------------------------------
+
+TEST(Timeline, EntriesTileTheTotal)
+{
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    Partition p = Partition::singletons(g);
+    Timeline tl = buildTimeline(model, p, roomy());
+
+    ASSERT_EQ(tl.entries.size(), p.blocks().size());
+    double cursor = 0.0;
+    for (const TimelineEntry &e : tl.entries) {
+        EXPECT_DOUBLE_EQ(e.startCycle, cursor);
+        EXPECT_GE(e.endCycle, e.startCycle);
+        cursor = e.endCycle;
+    }
+    EXPECT_DOUBLE_EQ(tl.totalCycles, cursor);
+}
+
+TEST(Timeline, MatchesPartitionCostLatency)
+{
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    Partition p = Partition::fixedRuns(g, 3);
+    BufferConfig buf = roomy();
+    Timeline tl = buildTimeline(model, p, buf);
+    GraphCost gc = model.partitionCost(p, buf);
+    if (gc.feasible) {
+        EXPECT_NEAR(tl.totalCycles, gc.latencyCycles, 1e-6);
+    }
+}
+
+TEST(Timeline, BoundClassificationConsistent)
+{
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    Timeline tl = buildTimeline(model, Partition::singletons(g), roomy());
+    for (const TimelineEntry &e : tl.entries) {
+        if (e.endCycle == e.startCycle)
+            continue;
+        EXPECT_EQ(e.computeBound, e.computeCycles >= e.commCycles);
+        double window = std::max(e.computeCycles, e.commCycles);
+        EXPECT_NEAR(e.endCycle - e.startCycle, window, window * 0.5 + 1);
+    }
+    double f = tl.computeBoundFraction();
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+}
+
+TEST(Timeline, PrefetchListedForAllButLast)
+{
+    Graph g = buildVGG16();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    Partition p = Partition::fixedRuns(g, 6);
+    p.canonicalize(g);
+    Timeline tl = buildTimeline(model, p, roomy());
+    ASSERT_GE(tl.entries.size(), 2u);
+    EXPECT_EQ(tl.entries.back().prefetchBytes, 0);
+    // VGG's later blocks carry weights, so earlier windows prefetch.
+    bool any_prefetch = false;
+    for (size_t i = 0; i + 1 < tl.entries.size(); ++i)
+        any_prefetch |= tl.entries[i].prefetchBytes > 0;
+    EXPECT_TRUE(any_prefetch);
+}
+
+TEST(Timeline, GanttRenders)
+{
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    Timeline tl =
+        buildTimeline(model, Partition::fixedRuns(g, 10), roomy());
+    std::string gantt = tl.gantt(40);
+    EXPECT_NE(gantt.find("sg0"), std::string::npos);
+    EXPECT_NE(gantt.find("total"), std::string::npos);
+
+    Timeline empty;
+    EXPECT_EQ(empty.gantt(), "(empty timeline)\n");
+}
+
+// --- Pareto front -------------------------------------------------------------
+
+TEST(Pareto, ExtractsUndominatedPoints)
+{
+    std::vector<SamplePoint> pts{
+        {1, 100.0, 10}, {2, 90.0, 20}, {3, 120.0, 30}, // dominated
+        {4, 50.0, 40},  {5, 55.0, 50},                 // dominated
+    };
+    auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].bufferBytes, 10);
+    EXPECT_EQ(front[1].bufferBytes, 20);
+    EXPECT_EQ(front[2].bufferBytes, 40);
+}
+
+TEST(Pareto, KeepsBestMetricPerCapacity)
+{
+    std::vector<SamplePoint> pts{{1, 100.0, 10}, {2, 80.0, 10}};
+    auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_DOUBLE_EQ(front[0].metric, 80.0);
+}
+
+TEST(Pareto, AlphaRangesPartitionThePositiveAxis)
+{
+    std::vector<SamplePoint> pts{
+        {1, 100.0, 10}, {2, 60.0, 30}, {3, 50.0, 60}};
+    auto front = paretoFront(pts);
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_DOUBLE_EQ(front[0].alphaLo, 0.0);
+    // Point 1 -> 2: alpha = (30-10)/(100-60) = 0.5.
+    EXPECT_DOUBLE_EQ(front[0].alphaHi, 0.5);
+    EXPECT_DOUBLE_EQ(front[1].alphaLo, 0.5);
+    // Point 2 -> 3: alpha = (60-30)/(60-50) = 3.
+    EXPECT_DOUBLE_EQ(front[1].alphaHi, 3.0);
+    EXPECT_TRUE(std::isinf(front[2].alphaHi));
+}
+
+TEST(Pareto, SelectByAlphaMatchesRanges)
+{
+    std::vector<SamplePoint> pts{
+        {1, 100.0, 10}, {2, 60.0, 30}, {3, 50.0, 60}};
+    auto front = paretoFront(pts);
+    EXPECT_EQ(selectByAlpha(front, 0.1).bufferBytes, 10);
+    EXPECT_EQ(selectByAlpha(front, 1.0).bufferBytes, 30);
+    EXPECT_EQ(selectByAlpha(front, 10.0).bufferBytes, 60);
+}
+
+TEST(Pareto, LargerAlphaNeverShrinksCapacity)
+{
+    // Monotone selection: the economic core of Figure 14.
+    std::vector<SamplePoint> pts;
+    for (int i = 0; i < 50; ++i)
+        pts.push_back({i, 1000.0 / (1 + i % 13), (i % 13 + 1) * 64});
+    auto front = paretoFront(pts);
+    int64_t prev = 0;
+    for (double alpha : {0.01, 0.1, 1.0, 10.0, 100.0}) {
+        int64_t cap = selectByAlpha(front, alpha).bufferBytes;
+        EXPECT_GE(cap, prev);
+        prev = cap;
+    }
+}
+
+TEST(ParetoDeath, EmptyFront)
+{
+    EXPECT_DEATH(selectByAlpha({}, 1.0), "empty front");
+}
+
+// --- Graph statistics ----------------------------------------------------------
+
+TEST(Stats, CountsMatchGraph)
+{
+    Graph g = buildResNet50();
+    GraphStats s = computeStats(g);
+    EXPECT_EQ(s.nodes, g.size());
+    EXPECT_EQ(s.edges, g.numEdges());
+    EXPECT_EQ(s.totalWeightBytes, g.totalWeightBytes());
+    EXPECT_EQ(s.totalMacs, g.totalMacs());
+    EXPECT_GT(s.depth, 30);
+    EXPECT_GE(s.maxFanIn, 2);  // residual adds
+    EXPECT_GE(s.maxFanOut, 2); // residual forks
+    EXPECT_EQ(s.branchNodes, s.mergeNodes); // symmetric residuals
+}
+
+TEST(Stats, ChainHasUnitWidth)
+{
+    Graph g = buildSRCNN();
+    GraphStats s = computeStats(g);
+    EXPECT_EQ(s.maxWidth, 1);
+    EXPECT_EQ(s.branchNodes, 0);
+    EXPECT_EQ(s.mergeNodes, 0);
+    EXPECT_EQ(s.depth, g.size() - 1);
+}
+
+TEST(Stats, ActWeightRatioSeparatesRegimes)
+{
+    // SRCNN is activation-dominated; VGG16 is weight-dominated.
+    GraphStats sr = computeStats(buildSRCNN());
+    GraphStats vgg = computeStats(buildVGG16());
+    EXPECT_GT(sr.actWeightRatio(), 10.0);
+    EXPECT_LT(vgg.actWeightRatio(), 1.0);
+}
+
+TEST(Stats, StrMentionsEverything)
+{
+    GraphStats s = computeStats(buildGoogleNet());
+    std::string text = s.str();
+    EXPECT_NE(text.find("nodes="), std::string::npos);
+    EXPECT_NE(text.find("MACs="), std::string::npos);
+    EXPECT_NE(text.find("act/wgt"), std::string::npos);
+}
+
+TEST(Stats, WidthReflectsInceptionParallelism)
+{
+    GraphStats s = computeStats(buildGoogleNet());
+    EXPECT_GE(s.maxWidth, 4); // four parallel branches
+}

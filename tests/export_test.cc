@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Tests for the export layer: the JSON writer, DOT rendering, and
+ * the result/scheme/partition serializers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/serialize.h"
+#include "graph/dot.h"
+#include "models/models.h"
+#include "tileflow/footprint.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+using namespace cocco;
+
+// --- JsonWriter -------------------------------------------------------------
+
+TEST(Json, EmptyObject)
+{
+    JsonWriter w;
+    w.beginObject().endObject();
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, EmptyArray)
+{
+    JsonWriter w;
+    w.beginArray().endArray();
+    EXPECT_EQ(w.str(), "[]");
+}
+
+TEST(Json, ScalarFields)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("a", 1)
+        .field("b", "x")
+        .field("c", true)
+        .field("d", 2.5)
+        .endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"x\",\"c\":true,\"d\":2.5}");
+}
+
+TEST(Json, NestedStructures)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("obj").beginObject().field("k", "v").endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"list\":[1,2],\"obj\":{\"k\":\"v\"}}");
+}
+
+TEST(Json, ArrayOfObjects)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.beginObject().field("i", 0).endObject();
+    w.beginObject().field("i", 1).endObject();
+    w.endArray();
+    EXPECT_EQ(w.str(), "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(Json, EscapesSpecialCharacters)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b"), "a\\\"b");
+    EXPECT_EQ(JsonWriter::escape("a\\b"), "a\\\\b");
+    EXPECT_EQ(JsonWriter::escape("a\nb"), "a\\nb");
+    EXPECT_EQ(JsonWriter::escape("a\tb"), "a\\tb");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteDoublesBecomeNull)
+{
+    JsonWriter w;
+    w.beginArray().value(1.0 / 0.0).endArray();
+    EXPECT_EQ(w.str(), "[null]");
+}
+
+TEST(JsonDeath, UnbalancedNesting)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_DEATH(w.endArray(), "unbalanced");
+}
+
+TEST(JsonDeath, KeyOutsideObject)
+{
+    JsonWriter w;
+    w.beginArray();
+    EXPECT_DEATH(w.key("k"), "key outside object");
+}
+
+TEST(JsonDeath, UnclosedDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    EXPECT_DEATH(w.str(), "not closed");
+}
+
+// --- DOT ---------------------------------------------------------------------
+
+TEST(Dot, PlainGraphContainsNodesAndEdges)
+{
+    Graph g = buildVGG16();
+    std::string dot = toDot(g);
+    EXPECT_NE(dot.find("digraph \"VGG16\""), std::string::npos);
+    EXPECT_NE(dot.find("conv1_1"), std::string::npos);
+    EXPECT_NE(dot.find("n0 -> n1;"), std::string::npos);
+    // Every node is declared.
+    for (NodeId v = 0; v < g.size(); ++v)
+        EXPECT_NE(dot.find(strprintf("n%d [", v)), std::string::npos);
+}
+
+TEST(Dot, PartitionedGraphHasClusters)
+{
+    Graph g = buildVGG16();
+    Partition p = Partition::fixedRuns(g, 4);
+    p.canonicalize(g);
+    std::string dot = toDot(g, p);
+    EXPECT_NE(dot.find("cluster_0"), std::string::npos);
+    EXPECT_NE(dot.find("cluster_1"), std::string::npos);
+    EXPECT_NE(dot.find("fillcolor"), std::string::npos);
+}
+
+TEST(DotDeath, PartitionSizeMismatch)
+{
+    Graph g = buildVGG16();
+    Partition p;
+    p.block = {0, 1};
+    EXPECT_DEATH(toDot(g, p), "does not cover");
+}
+
+// --- Serializers ---------------------------------------------------------------
+
+TEST(Serialize, PartitionJsonListsBlocks)
+{
+    Graph g = buildVGG16();
+    Partition p = Partition::fixedRuns(g, 6);
+    p.canonicalize(g);
+    std::string json = partitionToJson(g, p);
+    EXPECT_NE(json.find("\"model\":\"VGG16\""), std::string::npos);
+    EXPECT_NE(json.find("\"subgraphs\":[["), std::string::npos);
+    EXPECT_NE(json.find("conv1_1"), std::string::npos);
+}
+
+TEST(Serialize, SchemeJsonHasPerNodeFields)
+{
+    Graph g = buildVGG16();
+    ExecutionScheme s = bestScheme(g, {1, 2});
+    std::string json = schemeToJson(g, s);
+    EXPECT_NE(json.find("\"out_tile\""), std::string::npos);
+    EXPECT_NE(json.find("\"delta_h\""), std::string::npos);
+    EXPECT_NE(json.find("\"upd_num\""), std::string::npos);
+    EXPECT_NE(json.find("\"external\":true"), std::string::npos);
+}
+
+TEST(Serialize, ResultJsonRoundsTrip)
+{
+    Graph g = buildGoogleNet();
+    CoccoFramework cocco(g, {});
+    GaOptions o;
+    o.population = 20;
+    o.sampleBudget = 100;
+    o.seed = 3;
+    CoccoResult r = cocco.coExplore(BufferStyle::Shared, o);
+    std::string json = resultToJson(g, r);
+    EXPECT_NE(json.find("\"buffer\":{"), std::string::npos);
+    EXPECT_NE(json.find("\"style\":\"shared\""), std::string::npos);
+    EXPECT_NE(json.find("\"ema_bytes\""), std::string::npos);
+    EXPECT_NE(json.find("\"objective\""), std::string::npos);
+    // Balanced braces as a cheap well-formedness proxy.
+    int depth = 0;
+    bool in_str = false;
+    char prev = 0;
+    for (char c : json) {
+        if (c == '"' && prev != '\\')
+            in_str = !in_str;
+        if (!in_str) {
+            if (c == '{' || c == '[')
+                ++depth;
+            if (c == '}' || c == ']')
+                --depth;
+        }
+        EXPECT_GE(depth, 0);
+        prev = c;
+    }
+    EXPECT_EQ(depth, 0);
+}

@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Cross-module integration and fuzz tests: end-to-end pipelines over
+ * synthetic random DAGs (generator -> tile flow -> region allocation
+ * -> cost model -> partition search), and consistency relations
+ * between the layers that unit tests cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "core/cocco.h"
+#include "graph/algorithms.h"
+#include "core/serialize.h"
+#include "mem/region_manager.h"
+#include "models/random_dag.h"
+#include "partition/dp.h"
+#include "partition/enumeration.h"
+#include "partition/greedy.h"
+#include "partition/repair.h"
+#include "tileflow/footprint.h"
+#include "tileflow/schedule.h"
+#include "util/logging.h"
+
+using namespace cocco;
+
+namespace {
+
+BufferConfig
+mediumShared()
+{
+    BufferConfig c;
+    c.style = BufferStyle::Shared;
+    c.sharedBytes = 512 * 1024;
+    return c;
+}
+
+} // namespace
+
+// --- Random-DAG generator sanity -------------------------------------------
+
+class RandomDagFuzz : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    Graph g_ = buildRandomDag(GetParam());
+};
+
+TEST_P(RandomDagFuzz, GeneratorProducesSaneGraphs)
+{
+    EXPECT_GE(g_.size(), 25);
+    EXPECT_EQ(g_.inputs().size(), 1u);
+    for (NodeId v = 0; v < g_.size(); ++v)
+        for (NodeId u : g_.preds(v))
+            EXPECT_LT(u, v);
+}
+
+TEST_P(RandomDagFuzz, TileFlowSucceedsOnEveryWindow)
+{
+    for (NodeId v = 1; v + 3 < g_.size(); v += 3) {
+        std::vector<NodeId> sub{v, v + 1, v + 2};
+        ExecutionScheme s = bestScheme(g_, sub);
+        EXPECT_GT(s.actFootprintBytes, 0);
+        EXPECT_TRUE(s.updConsistent);
+        for (const NodeScheme &ns : s.nodes) {
+            EXPECT_GE(ns.xH, ns.deltaH);
+            EXPECT_GE(ns.updNum, 1);
+        }
+    }
+}
+
+TEST_P(RandomDagFuzz, GreedyDpAndGaAllValidAndFeasible)
+{
+    AcceleratorConfig accel;
+    CostModel model(g_, accel);
+    BufferConfig buf = mediumShared();
+
+    Partition greedy = greedyPartition(g_, model, buf, Metric::EMA);
+    Partition dp = dpPartition(g_, model, buf, Metric::EMA);
+    EXPECT_TRUE(greedy.valid(g_));
+    EXPECT_TRUE(dp.valid(g_));
+    EXPECT_TRUE(model.partitionCost(greedy, buf).feasible);
+    EXPECT_TRUE(model.partitionCost(dp, buf).feasible);
+
+    CoccoFramework cocco(g_, accel);
+    GaOptions o;
+    o.population = 20;
+    o.sampleBudget = 200;
+    o.metric = Metric::EMA;
+    o.seed = GetParam();
+    CoccoResult ga = cocco.partitionOnly(buf, o, {greedy, dp});
+    EXPECT_TRUE(ga.partition.valid(g_));
+    // Seeded GA can only improve on its seeds.
+    int64_t best_seed =
+        std::min(model.partitionCost(greedy, buf).emaBytes,
+                 model.partitionCost(dp, buf).emaBytes);
+    EXPECT_LE(ga.cost.emaBytes, best_seed);
+}
+
+TEST_P(RandomDagFuzz, EnumerationBoundsHeuristicsWhenComplete)
+{
+    RandomDagOptions small;
+    small.convNodes = 10;
+    Graph g = buildRandomDag(GetParam(), small);
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf = mediumShared();
+
+    EnumerationOptions eopts;
+    eopts.stateBudget = 40000;
+    eopts.candidateBudget = 400000;
+    EnumerationResult en =
+        enumeratePartition(g, model, buf, Metric::EMA, eopts);
+    if (!en.complete)
+        GTEST_SKIP() << "budget exceeded on this seed";
+
+    Partition greedy = greedyPartition(g, model, buf, Metric::EMA);
+    Partition dp = dpPartition(g, model, buf, Metric::EMA);
+    EXPECT_LE(en.cost,
+              model.partitionCost(greedy, buf).emaBytes + 1e-6);
+    EXPECT_LE(en.cost, model.partitionCost(dp, buf).emaBytes + 1e-6);
+    EXPECT_TRUE(en.best.valid(g));
+}
+
+TEST_P(RandomDagFuzz, SchemeRegionsAllocateWhenProfiled)
+{
+    AcceleratorConfig accel;
+    CostModel model(g_, accel);
+    RegionManager mgr(accel.maxRegions);
+    for (NodeId v = 1; v + 2 < g_.size(); v += 5) {
+        std::vector<NodeId> sub{v, v + 1};
+        ExecutionScheme s = bestScheme(g_, sub);
+        RegionAllocation alloc = mgr.allocate(s, s.actFootprintBytes);
+        EXPECT_TRUE(alloc.fits);
+        EXPECT_EQ(alloc.usedBytes, s.actFootprintBytes);
+    }
+}
+
+TEST_P(RandomDagFuzz, SchedulesRespectDependencies)
+{
+    std::vector<NodeId> sub;
+    for (NodeId v = 1; v < std::min(g_.size(), 8); ++v)
+        sub.push_back(v);
+    if (!isWeaklyConnected(g_, sub))
+        GTEST_SKIP();
+    ExecutionScheme s = bestScheme(g_, sub);
+    if (!s.updConsistent)
+        GTEST_SKIP();
+    ElementarySchedule op = buildElementarySchedule(g_, s, 0);
+    EXPECT_FALSE(op.steps.empty());
+    // First updates appear in topological order per slot.
+    std::vector<size_t> first(g_.size(), SIZE_MAX);
+    for (size_t i = 0; i < op.steps.size(); ++i)
+        first[op.steps[i].node] =
+            std::min(first[op.steps[i].node], i);
+    for (NodeId v : sub)
+        for (NodeId u : g_.preds(v))
+            if (first[u] != SIZE_MAX) {
+                EXPECT_LT(first[u], first[v]);
+            }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDagFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// --- End-to-end consistency ---------------------------------------------------
+
+TEST(Integration, EndToEndResNetPipeline)
+{
+    Graph g = buildResNet50();
+    AcceleratorConfig accel;
+    CoccoFramework cocco(g, accel);
+
+    GaOptions o;
+    o.population = 40;
+    o.sampleBudget = 800;
+    o.seed = 17;
+    CoccoResult r = cocco.coExplore(BufferStyle::Shared, o);
+    ASSERT_TRUE(r.cost.feasible);
+
+    // Every recommended subgraph's scheme fits the recommended buffer
+    // together with its resident weights.
+    CostModel &model = cocco.model();
+    for (const auto &blk : r.partition.blocks()) {
+        EXPECT_TRUE(model.fits(blk, r.buffer));
+        if (blk.size() > 1) {
+            const SubgraphProfile &p = model.profile(blk);
+            EXPECT_LE(p.actFootprintBytes + p.weightBytes,
+                      r.buffer.sharedBytes);
+            EXPECT_LE(p.numRegions, accel.maxRegions);
+        }
+    }
+
+    // The serialized result is consistent with the returned struct.
+    std::string json = resultToJson(g, r);
+    EXPECT_NE(json.find(strprintf("\"total_bytes\":%lld",
+                                  static_cast<long long>(
+                                      r.buffer.totalBytes()))),
+              std::string::npos);
+}
+
+TEST(Integration, ObjectiveDecomposition)
+{
+    // objective == BUF + alpha * metric, re-derived through the public
+    // pieces (guards against drift between search and cost model).
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    CoccoFramework cocco(g, accel);
+    GaOptions o;
+    o.population = 20;
+    o.sampleBudget = 300;
+    o.alpha = 0.002;
+    o.seed = 23;
+    CoccoResult r = cocco.coExplore(BufferStyle::Shared, o);
+    GraphCost again = cocco.model().partitionCost(r.partition, r.buffer);
+    EXPECT_DOUBLE_EQ(r.objective,
+                     objective(again, r.buffer, o.alpha, o.metric));
+}
+
+TEST(Integration, FusionNeverIncreasesMinEma)
+{
+    // Merging two adjacent feasible blocks can only reduce (or keep)
+    // the EMA metric — the monotonicity the greedy algorithm exploits.
+    Graph g = buildRandomDag(42);
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 16 * 1024 * 1024; // ample
+
+    for (NodeId v = 1; v + 1 < g.size(); v += 2) {
+        bool adjacent = false;
+        for (NodeId w : g.succs(v))
+            if (w == v + 1)
+                adjacent = true;
+        if (!adjacent)
+            continue;
+        int64_t split = model.subgraphCost({v}, buf).emaBytes +
+                        model.subgraphCost({v + 1}, buf).emaBytes;
+        int64_t fused = model.subgraphCost({v, v + 1}, buf).emaBytes;
+        EXPECT_LE(fused, split);
+    }
+}
+
+TEST(Integration, SharedBeatsSeparateAtEqualTotal)
+{
+    // The Table 2 observation: a shared buffer of the same total size
+    // is at least as good (never worse) for feasibility.
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+
+    BufferConfig sep;
+    sep.style = BufferStyle::Separate;
+    sep.actBytes = 256 * 1024;
+    sep.weightBytes = 256 * 1024;
+    BufferConfig shr;
+    shr.style = BufferStyle::Shared;
+    shr.sharedBytes = 512 * 1024;
+
+    int fits_sep = 0, fits_shr = 0;
+    for (NodeId v = 1; v + 2 < g.size(); v += 2) {
+        std::vector<NodeId> sub{v, v + 1, v + 2};
+        if (!isWeaklyConnected(g, sub))
+            continue;
+        fits_sep += model.fits(sub, sep);
+        fits_shr += model.fits(sub, shr);
+    }
+    EXPECT_GE(fits_shr, fits_sep);
+}

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Tests for the NWHC8c tile-layout model (paper Figure 7): entry
+ * counts per region, byte sizes, and the address arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mem/layout.h"
+
+using namespace cocco;
+
+TEST(TileLayout, ChannelGroupsRoundUp)
+{
+    EXPECT_EQ(TileLayout(4, 4, 8).channelGroups(), 1);
+    EXPECT_EQ(TileLayout(4, 4, 9).channelGroups(), 2);
+    EXPECT_EQ(TileLayout(4, 4, 64).channelGroups(), 8);
+    EXPECT_EQ(TileLayout(4, 4, 3).channelGroups(), 1);
+}
+
+TEST(TileLayout, Figure7EntryCounts)
+{
+    // Figure 7: a P0 x Q0 x C tile occupies Q0 groups of
+    // ceil(C/8) x P0 entries.
+    TileLayout l(6, 3, 32); // P0=6, Q0=3, C=32
+    EXPECT_EQ(l.entriesPerColumn(), 4 * 6); // C/8 x P0
+    EXPECT_EQ(l.mainEntries(), 3 * 4 * 6);
+    EXPECT_EQ(l.mainBytes(), 3 * 4 * 6 * 8); // 64-bit words
+}
+
+TEST(TileLayout, SideRegionEntries)
+{
+    // (Q - Q0) groups of ceil(C/8) x (Fy - sy) entries.
+    TileLayout l(6, 3, 32);
+    EXPECT_EQ(l.sideEntries(2, 10), 4 * 2 * 7);
+    EXPECT_EQ(l.sideBytes(2, 10), 4 * 2 * 7 * 8);
+}
+
+TEST(TileLayout, SideRegionZeroCases)
+{
+    TileLayout l(6, 3, 32);
+    EXPECT_EQ(l.sideEntries(0, 10), 0);  // kernel == stride
+    EXPECT_EQ(l.sideEntries(2, 3), 0);   // tile covers full width
+    EXPECT_EQ(l.sideEntries(-1, 10), 0); // stride > kernel
+}
+
+TEST(TileLayout, EntryOfOrigin)
+{
+    TileLayout l(4, 4, 16);
+    EXPECT_EQ(l.entryOf(0, 0, 0), 0);
+    EXPECT_EQ(l.entryOf(0, 0, 7), 0);  // same 8-channel group word
+    EXPECT_EQ(l.entryOf(1, 0, 0), 1);  // next row, same column/group
+    EXPECT_EQ(l.entryOf(0, 0, 8), 4);  // second channel group
+    EXPECT_EQ(l.entryOf(0, 1, 0), 8);  // next column: groups x P0
+}
+
+TEST(TileLayout, AddressesAreUniquePerWord)
+{
+    TileLayout l(3, 3, 16);
+    std::set<int64_t> seen;
+    for (int p = 0; p < 3; ++p)
+        for (int q = 0; q < 3; ++q)
+            for (int grp = 0; grp < 2; ++grp)
+                EXPECT_TRUE(seen.insert(l.entryOf(p, q, grp * 8)).second);
+    EXPECT_EQ(static_cast<int64_t>(seen.size()), l.mainEntries());
+}
+
+TEST(TileLayout, AddressesDenselyCoverRegion)
+{
+    TileLayout l(5, 2, 24);
+    std::set<int64_t> seen;
+    for (int p = 0; p < 5; ++p)
+        for (int q = 0; q < 2; ++q)
+            for (int c = 0; c < 24; c += 8)
+                seen.insert(l.entryOf(p, q, c));
+    EXPECT_EQ(*seen.begin(), 0);
+    EXPECT_EQ(*seen.rbegin(), l.mainEntries() - 1);
+}
+
+TEST(TileLayoutDeath, OutOfRange)
+{
+    TileLayout l(4, 4, 16);
+    EXPECT_DEATH(l.entryOf(4, 0, 0), "out of range");
+    EXPECT_DEATH(l.entryOf(0, 4, 0), "out of range");
+    EXPECT_DEATH(l.entryOf(0, 0, 16), "out of range");
+    EXPECT_DEATH(l.entryOf(-1, 0, 0), "out of range");
+}
+
+TEST(TileLayoutDeath, BadConstruction)
+{
+    EXPECT_EXIT(TileLayout(0, 4, 16), ::testing::ExitedWithCode(1),
+                "non-positive");
+    EXPECT_EXIT(TileLayout(4, 4, 16, 0), ::testing::ExitedWithCode(1),
+                "alignment");
+}
+
+/** Entry counts scale linearly in each dimension. */
+class LayoutSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LayoutSweep, MainEntriesLinearInTileWidth)
+{
+    int q0 = GetParam();
+    TileLayout base(4, 1, 32);
+    TileLayout wide(4, q0, 32);
+    EXPECT_EQ(wide.mainEntries(), base.mainEntries() * q0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LayoutSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 16));

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Tests for the single-layer spatial mapper: utilization bounds,
+ * cycle lower bounds, the dense/depth-wise distinction, and the
+ * "aligned channels reach full utilization" property the platform's
+ * NWHC8c layout is designed for.
+ */
+
+#include <gtest/gtest.h>
+
+#include "models/models.h"
+#include "sim/mapper.h"
+
+using namespace cocco;
+
+namespace {
+
+Graph
+singleLayer(LayerKind kind, int h, int w, int cin, int cout, int k, int s)
+{
+    Graph g("single");
+    Layer in;
+    in.name = "in";
+    in.kind = LayerKind::Input;
+    in.outH = h * s;
+    in.outW = w * s;
+    in.outC = cin;
+    g.addNode(in);
+
+    Layer l;
+    l.name = "l";
+    l.kind = kind;
+    l.outH = h;
+    l.outW = w;
+    l.outC = cout;
+    l.kernel = k;
+    l.stride = s;
+    g.addNode(l, {0});
+    return g;
+}
+
+} // namespace
+
+TEST(Mapper, AlignedDenseConvReachesFullUtilization)
+{
+    // 64 in, 64 out channels, large spatial: perfectly tileable.
+    Graph g = singleLayer(LayerKind::Conv, 32, 32, 64, 64, 3, 1);
+    LayerMapping m = mapLayer(g, 1, {});
+    EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+    // cycles x 1024 MACs == real MACs.
+    EXPECT_EQ(m.cycles * 1024, g.macs(1));
+}
+
+TEST(Mapper, ThreeChannelInputUnderutilizes)
+{
+    // The classic first conv: Cin = 3 pads to 8.
+    Graph g = singleLayer(LayerKind::Conv, 112, 112, 3, 64, 7, 2);
+    LayerMapping m = mapLayer(g, 1, {});
+    EXPECT_LT(m.utilization, 0.5);
+    EXPECT_NEAR(m.utilization, 3.0 / 8.0, 0.05);
+}
+
+TEST(Mapper, CyclesLowerBoundedByPeak)
+{
+    for (const std::string &name : {std::string("ResNet50"),
+                                    std::string("GoogleNet")}) {
+        Graph g = buildModel(name);
+        AcceleratorConfig accel;
+        for (NodeId v = 0; v < g.size(); ++v) {
+            LayerMapping m = mapLayer(g, v, accel);
+            EXPECT_GE(m.cycles * accel.macsPerCycle(), g.macs(v))
+                << name << " node " << v;
+            EXPECT_GE(m.utilization, 0.0);
+            EXPECT_LE(m.utilization, 1.0);
+        }
+    }
+}
+
+TEST(Mapper, NoComputeKindsAreFree)
+{
+    Graph g("free");
+    Layer in;
+    in.name = "in";
+    in.kind = LayerKind::Input;
+    in.outH = 8;
+    in.outW = 8;
+    in.outC = 16;
+    g.addNode(in);
+    LayerMapping m = mapLayer(g, 0, {});
+    EXPECT_EQ(m.cycles, 0);
+    EXPECT_DOUBLE_EQ(m.utilization, 1.0);
+}
+
+TEST(Mapper, DepthwiseCannotUseChannelContraction)
+{
+    // Same shape, dense vs depth-wise: DW does C x F^2 x HW MACs but
+    // cannot contract, so its cycles/MAC ratio is worse.
+    Graph dense = singleLayer(LayerKind::Conv, 32, 32, 64, 64, 3, 1);
+    Graph dw = singleLayer(LayerKind::DWConv, 32, 32, 64, 64, 3, 1);
+    LayerMapping md = mapLayer(dense, 1, {});
+    LayerMapping mw = mapLayer(dw, 1, {});
+    double dense_cpm = static_cast<double>(md.cycles) / dense.macs(1);
+    double dw_cpm = static_cast<double>(mw.cycles) / dw.macs(1);
+    EXPECT_GT(dw_cpm, dense_cpm);
+}
+
+TEST(Mapper, FcLayerMapsOntoChannels)
+{
+    // 1x1 spatial: all parallelism must come from channels.
+    Graph g = singleLayer(LayerKind::Conv, 1, 1, 2048, 1000, 1, 1);
+    LayerMapping m = mapLayer(g, 1, {});
+    // rows/cols should both land on channel dims, not spatial.
+    EXPECT_NE(m.rows, MapDim::Spatial);
+    EXPECT_NE(m.cols, MapDim::Spatial);
+    EXPECT_GT(m.utilization, 0.5);
+}
+
+TEST(Mapper, MatmulUsesHalvedContraction)
+{
+    Graph g("mm");
+    Layer a;
+    a.name = "a";
+    a.kind = LayerKind::Input;
+    a.outH = 128;
+    a.outW = 1;
+    a.outC = 64;
+    g.addNode(a);
+    Layer b = a;
+    b.name = "b";
+    g.addNode(b);
+    Layer mm;
+    mm.name = "mm";
+    mm.kind = LayerKind::Matmul;
+    mm.outH = 128;
+    mm.outW = 1;
+    mm.outC = 128;
+    g.addNode(mm, {0, 1});
+
+    AcceleratorConfig accel;
+    LayerMapping m = mapLayer(g, 2, accel);
+    EXPECT_GE(m.cycles * accel.macsPerCycle(), g.macs(2));
+    EXPECT_GT(m.utilization, 0.25);
+}
+
+TEST(Mapper, MappedCyclesSumsNodes)
+{
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    std::vector<NodeId> all;
+    int64_t sum = 0;
+    for (NodeId v = 0; v < g.size(); ++v) {
+        all.push_back(v);
+        sum += mapLayer(g, v, accel).cycles;
+    }
+    EXPECT_EQ(mappedCycles(g, all, accel), sum);
+}
+
+TEST(Mapper, StrRendering)
+{
+    Graph g = singleLayer(LayerKind::Conv, 32, 32, 64, 64, 3, 1);
+    LayerMapping m = mapLayer(g, 1, {});
+    std::string s = m.str();
+    EXPECT_NE(s.find("rows="), std::string::npos);
+    EXPECT_NE(s.find("util="), std::string::npos);
+    EXPECT_STREQ(mapDimName(MapDim::InputChannels), "IC");
+    EXPECT_STREQ(mapDimName(MapDim::OutputChannels), "OC");
+    EXPECT_STREQ(mapDimName(MapDim::Spatial), "SP");
+}
+
+/** Utilization over a channel sweep: multiples of 8 are efficient. */
+class ChannelSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(ChannelSweep, UtilizationTracksAlignment)
+{
+    int c = GetParam();
+    Graph g = singleLayer(LayerKind::Conv, 64, 64, c, 64, 3, 1);
+    LayerMapping m = mapLayer(g, 1, {});
+    // Input channels pad to the next multiple of 8.
+    double expected = static_cast<double>(c) / ((c + 7) / 8 * 8);
+    EXPECT_NEAR(m.utilization, expected, 0.15);
+    if (c % 8 == 0) {
+        EXPECT_GT(m.utilization, 0.9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweep,
+                         ::testing::Values(3, 8, 16, 24, 30, 64, 100, 128));

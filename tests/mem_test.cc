@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the mem module: buffer configuration grids, the SRAM
+ * energy/area model, and the buffer-region-manager model including
+ * the paper's 272-byte register-file overhead figure.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/buffer_config.h"
+#include "mem/energy_model.h"
+#include "mem/region_manager.h"
+
+using namespace cocco;
+
+namespace {
+constexpr int64_t kKB = 1024;
+} // namespace
+
+// --- BufferConfig ---------------------------------------------------------
+
+TEST(BufferConfig, TotalBytesSeparate)
+{
+    BufferConfig c;
+    c.style = BufferStyle::Separate;
+    c.actBytes = 100;
+    c.weightBytes = 50;
+    c.sharedBytes = 999; // ignored
+    EXPECT_EQ(c.totalBytes(), 150);
+}
+
+TEST(BufferConfig, TotalBytesShared)
+{
+    BufferConfig c;
+    c.style = BufferStyle::Shared;
+    c.sharedBytes = 777;
+    EXPECT_EQ(c.totalBytes(), 777);
+}
+
+TEST(BufferConfig, StrFormats)
+{
+    BufferConfig sep;
+    sep.style = BufferStyle::Separate;
+    sep.actBytes = 704 * kKB;
+    sep.weightBytes = 864 * kKB;
+    EXPECT_EQ(sep.str(), "A=704KB W=864KB");
+
+    BufferConfig sh;
+    sh.style = BufferStyle::Shared;
+    sh.sharedBytes = 1344 * kKB;
+    EXPECT_EQ(sh.str(), "1344KB");
+}
+
+TEST(BufferConfig, PaperFixedBaselines)
+{
+    BufferConfig s = BufferConfig::fixedSmall(BufferStyle::Separate);
+    EXPECT_EQ(s.actBytes, 512 * kKB);
+    EXPECT_EQ(s.weightBytes, 576 * kKB);
+    BufferConfig m = BufferConfig::fixedMedium(BufferStyle::Shared);
+    EXPECT_EQ(m.sharedBytes, 1152 * kKB);
+    BufferConfig l = BufferConfig::fixedLarge(BufferStyle::Separate);
+    EXPECT_EQ(l.actBytes, 2048 * kKB);
+    EXPECT_EQ(l.weightBytes, 2304 * kKB);
+}
+
+// --- Capacity grids -------------------------------------------------------
+
+TEST(CapacityGrid, PaperGlobalGrid)
+{
+    CapacityGrid g = globalBufferGrid();
+    EXPECT_EQ(g.value(0), 128 * kKB);
+    EXPECT_EQ(g.value(g.count - 1), 2048 * kKB);
+    EXPECT_EQ(g.value(1) - g.value(0), 64 * kKB);
+}
+
+TEST(CapacityGrid, PaperWeightGrid)
+{
+    CapacityGrid g = weightBufferGrid();
+    EXPECT_EQ(g.value(0), 144 * kKB);
+    EXPECT_EQ(g.value(g.count - 1), 2304 * kKB);
+    EXPECT_EQ(g.value(1) - g.value(0), 72 * kKB);
+}
+
+TEST(CapacityGrid, PaperSharedGrid)
+{
+    CapacityGrid g = sharedBufferGrid();
+    EXPECT_EQ(g.value(0), 128 * kKB);
+    EXPECT_EQ(g.value(g.count - 1), 3072 * kKB);
+}
+
+TEST(CapacityGrid, ValueClampsIndex)
+{
+    CapacityGrid g = globalBufferGrid();
+    EXPECT_EQ(g.value(-5), g.value(0));
+    EXPECT_EQ(g.value(g.count + 10), g.value(g.count - 1));
+}
+
+TEST(CapacityGrid, IndexOfRoundTrips)
+{
+    CapacityGrid g = weightBufferGrid();
+    for (int i = 0; i < g.count; ++i)
+        EXPECT_EQ(g.indexOf(g.value(i)), i);
+}
+
+TEST(CapacityGrid, IndexOfNearest)
+{
+    CapacityGrid g = globalBufferGrid();
+    EXPECT_EQ(g.indexOf(128 * kKB + 10), 0);
+    EXPECT_EQ(g.indexOf(190 * kKB), 1);
+    EXPECT_EQ(g.indexOf(0), 0);
+    EXPECT_EQ(g.indexOf(1LL << 40), g.count - 1);
+}
+
+// --- EnergyModel ----------------------------------------------------------
+
+TEST(EnergyModel, DramAnchor)
+{
+    EnergyModel em;
+    // 12.5 pJ/bit = 100 pJ/B (paper Section 5.1.2).
+    EXPECT_DOUBLE_EQ(em.dramEnergyPj(1), 100.0);
+    EXPECT_DOUBLE_EQ(em.dramEnergyPj(1024), 102400.0);
+}
+
+TEST(EnergyModel, SramEnergyGrowsWithCapacity)
+{
+    EnergyModel em;
+    double small = em.sramPjPerByte(64 * kKB);
+    double large = em.sramPjPerByte(2048 * kKB);
+    EXPECT_GT(large, small);
+    EXPECT_GT(small, 0.0);
+}
+
+TEST(EnergyModel, OneMegabyteCostsAboutDozensOfMacs)
+{
+    EnergyModel em;
+    double per_byte = em.sramPjPerByte(1024 * kKB);
+    double ratio = per_byte / em.macPj;
+    EXPECT_GT(ratio, 10.0);
+    EXPECT_LT(ratio, 60.0);
+}
+
+TEST(EnergyModel, SramAreaMatchesPaperRange)
+{
+    EnergyModel em;
+    // Paper: 1-2 mm^2 per MB in 12nm.
+    double mm2 = em.sramAreaMm2(1024 * kKB);
+    EXPECT_GE(mm2, 1.0);
+    EXPECT_LE(mm2, 2.0);
+}
+
+TEST(EnergyModel, SramFloorForTinyBuffers)
+{
+    EnergyModel em;
+    EXPECT_GT(em.sramPjPerByte(16), 0.0);
+    EXPECT_LE(em.sramPjPerByte(16), em.sramPjPerByte(1024 * kKB));
+}
+
+// --- RegionManager --------------------------------------------------------
+
+TEST(RegionManager, PaperRegisterFileOverhead)
+{
+    // N = 64 regions, 17-bit addresses -> 272 bytes (paper Section 3.2).
+    RegionManager mgr(64, 17);
+    EXPECT_EQ(mgr.registerFileBytes(), 272);
+}
+
+TEST(RegionManager, AllocatePacksContiguously)
+{
+    ExecutionScheme s;
+    NodeScheme a;
+    a.node = 0;
+    a.mainBytes = 100;
+    a.sideBytes = 20;
+    NodeScheme b;
+    b.node = 1;
+    b.mainBytes = 50;
+    s.nodes = {a, b};
+    s.numRegions = 3;
+    s.actFootprintBytes = 170;
+
+    RegionManager mgr;
+    RegionAllocation alloc = mgr.allocate(s, 1024);
+    EXPECT_TRUE(alloc.fits);
+    ASSERT_EQ(alloc.regions.size(), 3u);
+    EXPECT_EQ(alloc.regions[0].start, 0);
+    EXPECT_EQ(alloc.regions[0].end, 100);
+    EXPECT_TRUE(alloc.regions[1].side);
+    EXPECT_EQ(alloc.regions[1].start, 100);
+    EXPECT_EQ(alloc.regions[2].end, 170);
+    EXPECT_EQ(alloc.usedBytes, 170);
+}
+
+TEST(RegionManager, RejectsOverCapacity)
+{
+    ExecutionScheme s;
+    NodeScheme a;
+    a.node = 0;
+    a.mainBytes = 2048;
+    s.nodes = {a};
+    s.numRegions = 1;
+
+    RegionManager mgr;
+    EXPECT_FALSE(mgr.allocate(s, 1024).fits);
+    EXPECT_TRUE(mgr.allocate(s, 1024).regionLimitOk);
+}
+
+TEST(RegionManager, RejectsTooManyRegions)
+{
+    ExecutionScheme s;
+    for (int i = 0; i < 70; ++i) {
+        NodeScheme n;
+        n.node = i;
+        n.mainBytes = 1;
+        s.nodes.push_back(n);
+    }
+    s.numRegions = 70;
+
+    RegionManager mgr(64);
+    RegionAllocation alloc = mgr.allocate(s, 1 << 20);
+    EXPECT_FALSE(alloc.regionLimitOk);
+    EXPECT_FALSE(alloc.fits);
+}
+
+TEST(RegionManagerDeath, BadParameters)
+{
+    EXPECT_EXIT(RegionManager(0), ::testing::ExitedWithCode(1),
+                "at least one region");
+    EXPECT_EXIT(RegionManager(64, 0), ::testing::ExitedWithCode(1),
+                "address width");
+}
+
+/** Register-file scaling across manager depths. */
+class RegionDepthSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegionDepthSweep, RegisterFileScalesLinearly)
+{
+    int n = GetParam();
+    RegionManager mgr(n, 17);
+    EXPECT_EQ(mgr.registerFileBytes(), (2LL * n * 17 + 7) / 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, RegionDepthSweep,
+                         ::testing::Values(1, 8, 16, 32, 64, 128));

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests for the elementary-operation schedule generator against the
+ * paper's Figure 6 snapshot, plus the data-dependency invariant: a
+ * consumer's input requirement is always resident in its producers'
+ * windows when it updates.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "tileflow/schedule.h"
+#include "tileflow/scheme.h"
+
+using namespace cocco;
+
+namespace {
+
+Layer
+layer1d(const char *name, LayerKind kind, int h, int c, int k, int s)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.outH = h;
+    l.outW = 1;
+    l.outC = c;
+    l.kernel = k;
+    l.stride = s;
+    return l;
+}
+
+/** The Figure 5/6 example graph (see tileflow_test.cc). */
+Graph
+paperExample()
+{
+    Graph g("fig6");
+    g.addNode(layer1d("in_m2", LayerKind::Input, 64, 1, 1, 1));
+    g.addNode(layer1d("in_m1", LayerKind::Input, 64, 1, 1, 1));
+    g.addNode(layer1d("n0", LayerKind::Conv, 32, 1, 3, 2), {0});
+    g.addNode(layer1d("n1", LayerKind::Conv, 64, 1, 3, 1), {0, 1});
+    g.addNode(layer1d("n2", LayerKind::Conv, 64, 1, 1, 1), {1});
+    return g;
+}
+
+/** Last resident window of @p node in a schedule. */
+std::pair<int, int>
+windowOf(const ElementarySchedule &sched, NodeId node)
+{
+    std::pair<int, int> out{-1, -1};
+    for (const UpdateStep &s : sched.steps)
+        if (s.node == node)
+            out = {s.lo, s.hi};
+    return out;
+}
+
+} // namespace
+
+class ScheduleFigure6 : public ::testing::Test
+{
+  protected:
+    Graph g_ = paperExample();
+    ExecutionScheme s_ = deriveConsumptionScheme(g_, {2, 3, 4}, 2);
+};
+
+TEST_F(ScheduleFigure6, StepCountMatchesUpdNums)
+{
+    ElementarySchedule op = buildElementarySchedule(g_, s_, 0);
+    // upd_num = {1, 2, 1, 2, 2} -> 8 updates per elementary op.
+    EXPECT_EQ(op.steps.size(), 8u);
+}
+
+TEST_F(ScheduleFigure6, FirstOperationFillsInitialWindows)
+{
+    ElementarySchedule op = buildElementarySchedule(g_, s_, 0);
+    // Figure 6, first elementary operation: in(-2) holds [0:6);
+    // in(-1) ends at [2:6) after its second update (Delta 2, x 4);
+    // the outputs end at [2:4) after their second updates.
+    EXPECT_EQ(windowOf(op, 0), (std::pair<int, int>{0, 6}));
+    EXPECT_EQ(windowOf(op, 1), (std::pair<int, int>{2, 6}));
+    EXPECT_EQ(windowOf(op, 2), (std::pair<int, int>{0, 2}));
+    EXPECT_EQ(windowOf(op, 3), (std::pair<int, int>{2, 4}));
+    EXPECT_EQ(windowOf(op, 4), (std::pair<int, int>{2, 4}));
+}
+
+TEST_F(ScheduleFigure6, WarmupWindowsStartAtZero)
+{
+    ElementarySchedule op = buildElementarySchedule(g_, s_, 0);
+    // First update of every node starts at index 0.
+    std::map<NodeId, int> first_lo;
+    for (const UpdateStep &s : op.steps)
+        if (!first_lo.count(s.node) && s.index == 0)
+            first_lo[s.node] = s.lo;
+    for (auto [node, lo] : first_lo)
+        EXPECT_EQ(lo, 0) << "node " << node;
+}
+
+TEST_F(ScheduleFigure6, SecondOperationSlidesByUpdTimesDelta)
+{
+    ElementarySchedule op1 = buildElementarySchedule(g_, s_, 1);
+    // in(-2): upd 1 x Delta 4 -> second op window [4:10).
+    EXPECT_EQ(windowOf(op1, 0), (std::pair<int, int>{4, 10}));
+    // in(-1): upd 2 x Delta 2 -> after op 1's two updates: [6:10).
+    EXPECT_EQ(windowOf(op1, 1), (std::pair<int, int>{6, 10}));
+    // n0 (output, upd 1 x Delta 2): [2:4).
+    EXPECT_EQ(windowOf(op1, 2), (std::pair<int, int>{2, 4}));
+    // n1, n2 (upd 2 x Delta 2): last update at [6:8).
+    EXPECT_EQ(windowOf(op1, 3), (std::pair<int, int>{6, 8}));
+    EXPECT_EQ(windowOf(op1, 4), (std::pair<int, int>{6, 8}));
+}
+
+TEST_F(ScheduleFigure6, OperationCountCoversOutputs)
+{
+    ElementarySchedule op = buildElementarySchedule(g_, s_, 0);
+    // Largest output sweep: n1/n2 have H=64, x=2, advance 4/op ->
+    // 1 + ceil(62/4) = 17 ops; n0 has H=32, advance 2 -> 16 ops.
+    EXPECT_EQ(op.operationCount, 17);
+}
+
+TEST_F(ScheduleFigure6, ProducersUpdateBeforeConsumersPerSlot)
+{
+    ElementarySchedule op = buildElementarySchedule(g_, s_, 3);
+    std::map<NodeId, size_t> last_pos;
+    for (size_t i = 0; i < op.steps.size(); ++i)
+        last_pos[op.steps[i].node] = i;
+    // First update of a consumer comes after the first update of each
+    // producer (slot-0 ordering is topological).
+    std::map<NodeId, size_t> first_pos;
+    for (size_t i = 0; i < op.steps.size(); ++i)
+        if (!first_pos.count(op.steps[i].node))
+            first_pos[op.steps[i].node] = i;
+    EXPECT_LT(first_pos[0], first_pos[2]);
+    EXPECT_LT(first_pos[0], first_pos[3]);
+    EXPECT_LT(first_pos[1], first_pos[3]);
+    EXPECT_LT(first_pos[1], first_pos[4]);
+}
+
+TEST_F(ScheduleFigure6, ConsumerInputsResidentInProducerWindows)
+{
+    // The core correctness property: whenever a consumer performs its
+    // j-th update in op k, the input rows it reads lie inside the
+    // producer's resident window at that moment.
+    for (int64_t k = 0; k < 17; ++k) {
+        ElementarySchedule op = buildElementarySchedule(g_, s_, k);
+        std::map<NodeId, std::pair<int, int>> window;
+        // Seed with the windows left by the previous operation.
+        if (k > 0) {
+            ElementarySchedule prev = buildElementarySchedule(g_, s_, k - 1);
+            for (const UpdateStep &s : prev.steps)
+                window[s.node] = {s.lo, s.hi};
+        }
+        for (const UpdateStep &s : op.steps) {
+            window[s.node] = {s.lo, s.hi};
+            if (s.external)
+                continue;
+            const Layer &l = g_.layer(s.node);
+            // Newest produced rows: the consumer's update advances by
+            // deltaH; their input requirement:
+            const NodeScheme *ns = s_.find(s.node);
+            int new_lo = std::max(s.lo, s.hi - ns->deltaH);
+            int need_lo = new_lo * l.stride;
+            int need_hi = (s.hi - 1) * l.stride + l.kernel;
+            for (NodeId u : g_.preds(s.node)) {
+                auto it = window.find(u);
+                ASSERT_NE(it, window.end());
+                int have_hi = it->second.second;
+                // Padding rows past the producer tensor are never
+                // stored ("free from padding data"), so the
+                // requirement clamps to the tensor extent.
+                int clamped = std::min(need_hi, g_.layer(u).outH);
+                EXPECT_LE(clamped, have_hi)
+                    << "op " << k << " node " << s.node << " producer "
+                    << u;
+                (void)need_lo; // older rows may be consumed already
+            }
+        }
+    }
+}
+
+TEST(Schedule, SingleLayerDegenerates)
+{
+    Graph g("single");
+    g.addNode(layer1d("in", LayerKind::Input, 16, 1, 1, 1));
+    g.addNode(layer1d("c", LayerKind::Conv, 16, 1, 3, 1), {0});
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 4);
+    ElementarySchedule op = buildElementarySchedule(g, s, 0);
+    EXPECT_EQ(op.steps.size(), 2u); // one update each
+    EXPECT_EQ(op.operationCount, 4); // 16 rows / 4 per op
+}
+
+TEST(Schedule, StrRendersSteps)
+{
+    Graph g("single");
+    g.addNode(layer1d("in", LayerKind::Input, 16, 1, 1, 1));
+    g.addNode(layer1d("c", LayerKind::Conv, 16, 1, 3, 1), {0});
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 4);
+    ElementarySchedule op = buildElementarySchedule(g, s, 0);
+    std::string text = op.str(g);
+    EXPECT_NE(text.find("in (ext)"), std::string::npos);
+    EXPECT_NE(text.find("c upd#0"), std::string::npos);
+}
+
+TEST(ScheduleDeath, NegativeOpIndex)
+{
+    Graph g("single");
+    g.addNode(layer1d("in", LayerKind::Input, 16, 1, 1, 1));
+    g.addNode(layer1d("c", LayerKind::Conv, 16, 1, 3, 1), {0});
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 4);
+    EXPECT_DEATH(buildElementarySchedule(g, s, -1), "negative");
+}
+
+/** Windows never exceed tensor extents across a whole sweep. */
+class ScheduleSweep : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(ScheduleSweep, WindowsStayInBounds)
+{
+    Graph g = paperExample();
+    ExecutionScheme s = deriveConsumptionScheme(g, {2, 3, 4}, 2);
+    ElementarySchedule op = buildElementarySchedule(g, s, GetParam());
+    for (const UpdateStep &st : op.steps) {
+        EXPECT_GE(st.lo, 0);
+        EXPECT_LT(st.lo, st.hi);
+        EXPECT_LE(st.hi, g.layer(st.node).outH);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ops, ScheduleSweep,
+                         ::testing::Values(0, 1, 2, 5, 10, 15, 16));

@@ -1,0 +1,624 @@
+/**
+ * @file
+ * Tests for the cost model: EMA accounting (Figure 1's Min-EMA
+ * identity), energy composition, latency roofline, fusion benefits
+ * (the Figure 3 effect), multi-core and batch trends (Table 3
+ * shapes), and profile memoization.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "models/models.h"
+#include "sim/cost_model.h"
+#include "sim/multicore.h"
+#include "partition/repair.h"
+
+using namespace cocco;
+
+namespace {
+
+Layer
+mkLayer(const char *name, LayerKind kind, int h, int w, int c, int k = 1,
+        int s = 1)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.outH = h;
+    l.outW = w;
+    l.outC = c;
+    l.kernel = k;
+    l.stride = s;
+    return l;
+}
+
+/** input(32x32x8) -> convA(3x3) -> convB(3x3) chain. */
+Graph
+chain()
+{
+    Graph g("chain");
+    g.addNode(mkLayer("in", LayerKind::Input, 32, 32, 8));
+    g.addNode(mkLayer("a", LayerKind::Conv, 32, 32, 8, 3, 1), {0});
+    g.addNode(mkLayer("b", LayerKind::Conv, 32, 32, 8, 3, 1), {1});
+    return g;
+}
+
+BufferConfig
+bigSeparate()
+{
+    BufferConfig c;
+    c.style = BufferStyle::Separate;
+    c.actBytes = 1024 * 1024;
+    c.weightBytes = 1152 * 1024;
+    return c;
+}
+
+} // namespace
+
+// --- Accelerator configuration -------------------------------------------
+
+TEST(Accelerator, PaperPlatformNumbers)
+{
+    AcceleratorConfig a;
+    EXPECT_EQ(a.macsPerCycle(), 1024); // 4x4 PEs x 8x8 MACs
+    EXPECT_NEAR(a.peakTops(), 2.048, 1e-9);
+    EXPECT_NEAR(a.dramBytesPerCycle(), 16.0, 1e-9);
+}
+
+// --- Subgraph profiles ----------------------------------------------------
+
+TEST(Profile, SingleLayerInOutWeights)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    const SubgraphProfile &p = model.profile({1});
+    EXPECT_EQ(p.inBytes, 32LL * 32 * 8);
+    EXPECT_EQ(p.outBytes, 32LL * 32 * 8);
+    EXPECT_EQ(p.weightBytes, 3LL * 3 * 8 * 8);
+    EXPECT_EQ(p.macs, g.macs(1));
+    EXPECT_EQ(p.nodeCount, 1);
+}
+
+TEST(Profile, FusedPairHidesIntermediate)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    const SubgraphProfile &p = model.profile({1, 2});
+    // Input of the pair is the graph input; output is b; a's tensor
+    // never leaves the chip.
+    EXPECT_EQ(p.inBytes, 32LL * 32 * 8);
+    EXPECT_EQ(p.outBytes, 32LL * 32 * 8);
+    EXPECT_EQ(p.weightBytes, 2LL * 3 * 3 * 8 * 8);
+}
+
+TEST(Profile, MemoizationReturnsSameObject)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    const SubgraphProfile &p1 = model.profile({1, 2});
+    const SubgraphProfile &p2 = model.profile({2, 1}); // order-insensitive
+    EXPECT_EQ(&p1, &p2);
+    EXPECT_EQ(model.cacheSize(), 1u);
+}
+
+// --- EMA accounting --------------------------------------------------------
+
+TEST(Ema, MinEmaIdentityForWholeGraphFusion)
+{
+    // Figure 1 (right): with a buffer large enough for everything,
+    // EMA = weights + model input + model output.
+    Graph g = chain();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 64 * 1024 * 1024;
+
+    SubgraphCost c = model.subgraphCost({1, 2}, buf);
+    ASSERT_TRUE(c.feasible);
+    EXPECT_EQ(c.emaBytes,
+              g.totalWeightBytes() + g.outBytes(0) + g.outBytes(2));
+}
+
+TEST(Ema, LayerwiseWritesIntermediates)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    BufferConfig buf = bigSeparate();
+
+    int64_t fused = model.subgraphCost({1, 2}, buf).emaBytes;
+    int64_t split = model.subgraphCost({1}, buf).emaBytes +
+                    model.subgraphCost({2}, buf).emaBytes;
+    // Split pays the intermediate tensor twice (store + reload).
+    EXPECT_EQ(split - fused, 2 * g.outBytes(1));
+}
+
+TEST(Ema, MultiConsumerTensorReloadedPerSubgraph)
+{
+    Graph g("fork");
+    g.addNode(mkLayer("in", LayerKind::Input, 16, 16, 8));
+    g.addNode(mkLayer("a", LayerKind::Conv, 16, 16, 8, 3, 1), {0});
+    g.addNode(mkLayer("b", LayerKind::Conv, 16, 16, 8, 3, 1), {1});
+    g.addNode(mkLayer("c", LayerKind::Conv, 16, 16, 8, 3, 1), {1});
+    CostModel model(g, {});
+    BufferConfig buf = bigSeparate();
+
+    // a executed alone; b and c each reload a's tensor.
+    int64_t ema_b = model.subgraphCost({2}, buf).emaBytes;
+    int64_t ema_c = model.subgraphCost({3}, buf).emaBytes;
+    EXPECT_EQ(model.profile({2}).inBytes, g.outBytes(1));
+    EXPECT_EQ(model.profile({3}).inBytes, g.outBytes(1));
+    EXPECT_GT(ema_b + ema_c, 2 * g.outBytes(1));
+}
+
+TEST(Ema, OversizedSingletonWeightsPayReload)
+{
+    // FC layer with weights far beyond the weight buffer.
+    Graph g("fat");
+    g.addNode(mkLayer("in", LayerKind::Input, 1, 1, 4096));
+    g.addNode(mkLayer("fc", LayerKind::Conv, 1, 1, 4096, 1, 1), {0});
+    CostModel model(g, {});
+
+    BufferConfig small;
+    small.style = BufferStyle::Separate;
+    small.actBytes = 256 * 1024;
+    small.weightBytes = 144 * 1024;
+
+    BufferConfig large;
+    large.style = BufferStyle::Separate;
+    large.actBytes = 256 * 1024;
+    large.weightBytes = 32 * 1024 * 1024;
+
+    SubgraphCost c_small = model.subgraphCost({1}, small);
+    SubgraphCost c_large = model.subgraphCost({1}, large);
+    EXPECT_TRUE(c_small.feasible); // singletons always executable
+    EXPECT_GT(c_small.emaBytes, c_large.emaBytes);
+}
+
+// --- Feasibility -----------------------------------------------------------
+
+TEST(Feasibility, MultiNodeRejectedWhenWeightsOverflow)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 1024 * 1024;
+    buf.weightBytes = 512; // less than the two convs' 1152 B
+    EXPECT_FALSE(model.fits({1, 2}, buf));
+    EXPECT_TRUE(model.fits({1}, buf)); // singleton fallback
+}
+
+TEST(Feasibility, SharedBufferCountsActsPlusWeights)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    const SubgraphProfile &p = model.profile({1, 2});
+
+    BufferConfig just_enough;
+    just_enough.style = BufferStyle::Shared;
+    just_enough.sharedBytes = p.actFootprintBytes + p.weightBytes;
+    EXPECT_TRUE(model.fits({1, 2}, just_enough));
+
+    BufferConfig too_small = just_enough;
+    too_small.sharedBytes -= 1;
+    EXPECT_FALSE(model.fits({1, 2}, too_small));
+}
+
+TEST(Feasibility, RegionLimitEnforced)
+{
+    // A 70-layer chain exceeds the 64-region manager as one subgraph.
+    Graph g("long");
+    g.addNode(mkLayer("in", LayerKind::Input, 8, 8, 4));
+    for (int i = 0; i < 70; ++i)
+        g.addNode(mkLayer(("c" + std::to_string(i)).c_str(),
+                          LayerKind::Conv, 8, 8, 4, 1, 1),
+                  {i});
+    CostModel model(g, {});
+    std::vector<NodeId> all;
+    for (NodeId v = 1; v < g.size(); ++v)
+        all.push_back(v);
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 64 * 1024 * 1024;
+    EXPECT_FALSE(model.fits(all, buf));
+}
+
+// --- Energy ----------------------------------------------------------------
+
+TEST(Energy, ComposedOfDramSramMacTerms)
+{
+    Graph g = chain();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf = bigSeparate();
+
+    SubgraphCost c = model.subgraphCost({1, 2}, buf);
+    const SubgraphProfile &p = model.profile({1, 2});
+    double dram = accel.energy.dramEnergyPj(c.emaBytes);
+    double mac = accel.energy.macEnergyPj(p.macs);
+    EXPECT_GT(c.energyPj, dram + mac);
+    EXPECT_LT(c.energyPj, 2.0 * (dram + mac) + 1e6);
+}
+
+TEST(Energy, LargerBufferCostsMorePerAccess)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+
+    BufferConfig small = bigSeparate();
+    small.actBytes = 128 * 1024;
+    BufferConfig large = bigSeparate();
+    large.actBytes = 2048 * 1024;
+
+    // Same EMA/work; only SRAM access energy changes.
+    SubgraphCost cs = model.subgraphCost({1}, small);
+    SubgraphCost cl = model.subgraphCost({1}, large);
+    ASSERT_EQ(cs.emaBytes, cl.emaBytes);
+    EXPECT_LT(cs.energyPj, cl.energyPj);
+}
+
+// --- Latency ----------------------------------------------------------------
+
+TEST(Latency, RooflineMaxOfComputeAndComm)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    SubgraphCost c = model.subgraphCost({1, 2}, bigSeparate());
+    EXPECT_DOUBLE_EQ(c.latencyCycles,
+                     std::max(c.computeCycles, c.commCycles));
+}
+
+TEST(Latency, ResNet50ComputeBoundNearFourMs)
+{
+    Graph g = buildResNet50();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    std::vector<NodeId> all;
+    for (NodeId v = 0; v < g.size(); ++v)
+        if (!g.isInput(v))
+            all.push_back(v);
+    // Compute cycles for the whole model: ~4.1 GMACs / 1024 per cycle.
+    double cycles = 0;
+    for (NodeId v : all)
+        cycles += static_cast<double>(g.macs(v));
+    cycles /= accel.macsPerCycle();
+    EXPECT_NEAR(cycles / 1e6, 4.0, 0.6); // ~4 ms at 1 GHz
+}
+
+// --- Partition-level aggregation --------------------------------------------
+
+TEST(PartitionCost, SumsSubgraphs)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    BufferConfig buf = bigSeparate();
+
+    Partition p = Partition::singletons(g);
+    GraphCost gc = model.partitionCost(p, buf);
+    EXPECT_TRUE(gc.feasible);
+    EXPECT_EQ(gc.subgraphs, 3);
+
+    int64_t manual = model.subgraphCost({0}, buf).emaBytes +
+                     model.subgraphCost({1}, buf).emaBytes +
+                     model.subgraphCost({2}, buf).emaBytes;
+    EXPECT_EQ(gc.emaBytes, manual);
+}
+
+TEST(PartitionCost, FusionReducesEmaOnRealModels)
+{
+    // The Figure 3 effect: L=3 fusion beats layer-level execution.
+    Graph g = buildResNet50();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf = bigSeparate();
+
+    GraphCost l1 = model.partitionCost(Partition::singletons(g), buf);
+    GraphCost l3 = model.partitionCost(Partition::fixedRuns(g, 3), buf);
+    ASSERT_TRUE(l1.feasible);
+    EXPECT_LT(l3.emaBytes, l1.emaBytes);
+}
+
+TEST(PartitionCost, AvgBandwidthConsistent)
+{
+    Graph g = chain();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    GraphCost gc =
+        model.partitionCost(Partition::singletons(g), bigSeparate());
+    double expect = static_cast<double>(gc.emaBytes) / gc.latencyCycles *
+                    accel.clockGhz;
+    EXPECT_DOUBLE_EQ(gc.avgBwGBps, expect);
+}
+
+TEST(PartitionCost, MetricValueSelectsAxis)
+{
+    Graph g = chain();
+    CostModel model(g, {});
+    GraphCost gc =
+        model.partitionCost(Partition::singletons(g), bigSeparate());
+    EXPECT_EQ(gc.metricValue(Metric::EMA),
+              static_cast<double>(gc.emaBytes));
+    EXPECT_EQ(gc.metricValue(Metric::Energy), gc.energyPj);
+}
+
+// --- Formula 2 objective -----------------------------------------------------
+
+TEST(Objective, LinearInBufferAndMetric)
+{
+    GraphCost gc;
+    gc.feasible = true;
+    gc.energyPj = 1e9;
+    gc.emaBytes = 1000;
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 500000;
+    EXPECT_DOUBLE_EQ(objective(gc, buf, 0.002, Metric::Energy),
+                     500000 + 0.002 * 1e9);
+    EXPECT_DOUBLE_EQ(objective(gc, buf, 1.0, Metric::EMA), 501000.0);
+}
+
+TEST(Objective, InfeasiblePenalized)
+{
+    GraphCost gc;
+    gc.feasible = false;
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 1;
+    EXPECT_GE(objective(gc, buf, 0.002, Metric::Energy),
+              kInfeasiblePenalty);
+}
+
+// --- Batch trends (Table 3 shapes) -------------------------------------------
+
+class BatchSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BatchSweep, WeightsAmortizeAcrossBatch)
+{
+    int batch = GetParam();
+    Graph g = chain();
+    AcceleratorConfig accel;
+    accel.batch = batch;
+    CostModel model(g, accel);
+    BufferConfig buf = bigSeparate();
+
+    AcceleratorConfig accel1;
+    CostModel model1(g, accel1);
+
+    SubgraphCost cb = model.subgraphCost({1, 2}, buf);
+    SubgraphCost c1 = model1.subgraphCost({1, 2}, buf);
+    // EMA grows sub-linearly: activations scale, weights do not.
+    if (batch > 1) {
+        EXPECT_LT(cb.emaBytes, batch * c1.emaBytes);
+    }
+    EXPECT_GE(cb.emaBytes, c1.emaBytes);
+    // Energy likewise.
+    if (batch > 1) {
+        EXPECT_LT(cb.energyPj, batch * c1.energyPj);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep, ::testing::Values(1, 2, 4, 8));
+
+// --- Multi-core trends --------------------------------------------------------
+
+class CoreSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CoreSweep, LatencyDropsEnergyRises)
+{
+    int cores = GetParam();
+    Graph g = buildGoogleNet();
+    AcceleratorConfig accel;
+    accel.cores = cores;
+    CostModel model(g, accel);
+
+    AcceleratorConfig base;
+    CostModel model1(g, base);
+
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 1024 * 1024;
+
+    // Layer-level partition: always feasible on every core count.
+    Partition p = Partition::singletons(g);
+    GraphCost multi = model.partitionCost(p, buf);
+    GraphCost single = model1.partitionCost(p, buf);
+    ASSERT_TRUE(multi.feasible);
+    if (cores > 1) {
+        EXPECT_LT(multi.latencyCycles, single.latencyCycles);
+        EXPECT_GT(multi.latencyCycles, single.latencyCycles / (2.0 * cores));
+        EXPECT_GT(multi.energyPj, single.energyPj);
+    } else {
+        EXPECT_DOUBLE_EQ(multi.energyPj, single.energyPj);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cores, CoreSweep, ::testing::Values(1, 2, 4));
+
+TEST(Multicore, CrossbarTermsVanishOnSingleCore)
+{
+    SubgraphProfile prof;
+    prof.weightBytes = 1000;
+    prof.inBytes = 500;
+    AcceleratorConfig accel;
+    accel.cores = 1;
+    EXPECT_EQ(crossbarBytes(prof, accel), 0);
+    EXPECT_DOUBLE_EQ(crossbarEnergyPj(prof, accel), 0.0);
+    EXPECT_DOUBLE_EQ(crossbarCycles(prof, accel), 0.0);
+}
+
+TEST(Multicore, CrossbarTrafficScalesWithHops)
+{
+    SubgraphProfile prof;
+    prof.weightBytes = 1000;
+    prof.inBytes = 500;
+    AcceleratorConfig accel;
+    accel.cores = 4;
+    accel.batch = 1;
+    EXPECT_EQ(crossbarBytes(prof, accel), (1000 + 500) * 3);
+}
+
+TEST(Multicore, WeightShardingEnablesSmallerBuffers)
+{
+    // A weight-heavy two-layer subgraph that misses the weight budget
+    // on one core but fits when sharded across four.
+    Graph g("heavy");
+    g.addNode(mkLayer("in", LayerKind::Input, 8, 8, 64));
+    g.addNode(mkLayer("a", LayerKind::Conv, 8, 8, 64, 3, 1), {0});
+    g.addNode(mkLayer("b", LayerKind::Conv, 8, 8, 64, 3, 1), {1});
+
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 256 * 1024;
+    buf.weightBytes = 40 * 1024; // < 2 * 36KB of weights
+
+    AcceleratorConfig one;
+    CostModel m1(g, one);
+    EXPECT_FALSE(m1.fits({1, 2}, buf));
+
+    AcceleratorConfig four;
+    four.cores = 4;
+    CostModel m4(g, four);
+    EXPECT_TRUE(m4.fits({1, 2}, buf));
+}
+
+// --- Peak bandwidth (weight prefetch) ---------------------------------------
+
+TEST(PeakBw, AtLeastAverage)
+{
+    Graph g = buildResNet50();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf = bigSeparate();
+    GraphCost gc = model.partitionCost(Partition::fixedRuns(g, 3), buf);
+    EXPECT_GE(gc.peakBwGBps, 0.0);
+    EXPECT_GT(gc.peakBwGBps, 0.5 * gc.avgBwGBps);
+}
+
+TEST(PeakBw, PrefetchRaisesDemand)
+{
+    // Two singleton subgraphs: the first window carries the second's
+    // weights as prefetch, so its peak demand exceeds its own I/O
+    // alone.
+    Graph g = chain();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf = bigSeparate();
+
+    Partition p = Partition::singletons(g);
+    GraphCost gc = model.partitionCost(p, buf);
+
+    const SubgraphProfile &first = model.profile({1});
+    SubgraphCost c1 = model.subgraphCost({1}, buf);
+    double own = static_cast<double>(first.inBytes + first.outBytes) /
+                 c1.latencyCycles * accel.clockGhz;
+    EXPECT_GT(gc.peakBwGBps, own);
+}
+
+TEST(PeakBw, SingleSubgraphHasNoPrefetchTerm)
+{
+    Graph g = chain();
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf;
+    buf.style = BufferStyle::Shared;
+    buf.sharedBytes = 32 * 1024 * 1024;
+
+    Partition p;
+    p.block = {0, 0, 0};
+    p.numBlocks = 1;
+    GraphCost gc = model.partitionCost(p, buf);
+    const SubgraphProfile &prof = model.profile({0, 1, 2});
+    SubgraphCost c = model.subgraphCost({0, 1, 2}, buf);
+    double expect = static_cast<double>(prof.inBytes + prof.outBytes) /
+                    c.latencyCycles * accel.clockGhz;
+    EXPECT_NEAR(gc.peakBwGBps, expect, 1e-9);
+}
+
+// --- Double-buffered weight prefetch ----------------------------------------
+
+TEST(DoubleBuffer, AdjacentWeightsMustCoReside)
+{
+    Graph g = chain();
+    AcceleratorConfig strict;
+    strict.doubleBufferWeights = true;
+    CostModel model(g, strict);
+
+    // Each conv has 576 B of weights; singleton blocks need
+    // 2 x 576 = 1152 B co-resident under strict prefetch.
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 1024 * 1024;
+    buf.weightBytes = 1151;
+    Partition p = Partition::singletons(g);
+    EXPECT_FALSE(model.partitionCost(p, buf).feasible);
+
+    buf.weightBytes = 1152;
+    EXPECT_TRUE(model.partitionCost(p, buf).feasible);
+
+    // The default (banked prefetch) platform accepts the small buffer.
+    AcceleratorConfig relaxed;
+    CostModel model2(g, relaxed);
+    buf.weightBytes = 600;
+    EXPECT_TRUE(model2.partitionCost(p, buf).feasible);
+}
+
+TEST(DoubleBuffer, RepairSplitsHeavyNeighbours)
+{
+    Graph g = buildResNet50();
+    AcceleratorConfig strict;
+    strict.doubleBufferWeights = true;
+    CostModel model(g, strict);
+
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 1024 * 1024;
+    // Large enough that every violating pair is repairable by
+    // splitting (ResNet50's worst adjacent singletons hold ~3.4MB).
+    buf.weightBytes = 3584 * 1024;
+
+    Partition p = Partition::fixedRuns(g, 8);
+    p = repairToCapacity(g, std::move(p), model, buf);
+    EXPECT_TRUE(p.valid(g));
+    // After repair, every adjacent pair of blocks fits the strict
+    // constraint.
+    auto blocks = p.blocks();
+    for (size_t i = 0; i + 1 < blocks.size(); ++i) {
+        int64_t pair = model.profile(blocks[i]).weightBytes +
+                       model.profile(blocks[i + 1]).weightBytes;
+        EXPECT_LE(pair, buf.weightBytes) << "pair " << i;
+    }
+    EXPECT_TRUE(model.partitionCost(p, buf).feasible);
+}
+
+TEST(DoubleBuffer, StrictModeNeverBeatsRelaxed)
+{
+    Graph g = buildGoogleNet();
+    AcceleratorConfig strict;
+    strict.doubleBufferWeights = true;
+    CostModel strict_model(g, strict);
+    CostModel relaxed_model(g, {});
+
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 512 * 1024;
+    buf.weightBytes = 288 * 1024;
+
+    Partition p = Partition::fixedRuns(g, 4);
+    Partition ps = repairToCapacity(g, p, strict_model, buf);
+    Partition pr = repairToCapacity(g, p, relaxed_model, buf);
+    GraphCost cs = strict_model.partitionCost(ps, buf);
+    GraphCost cr = relaxed_model.partitionCost(pr, buf);
+    if (cs.feasible && cr.feasible) {
+        // Strict prefetch can only force more (or equal) splitting.
+        EXPECT_GE(cs.subgraphs, cr.subgraphs);
+        EXPECT_GE(cs.emaBytes, cr.emaBytes);
+    }
+}

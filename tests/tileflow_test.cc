@@ -1,0 +1,385 @@
+/**
+ * @file
+ * Tests for the tile-flow module, centred on the paper's own worked
+ * example (Figure 5/6): the 1-D subgraph whose derived offsets, tile
+ * sizes, and upd_num values the paper states explicitly. Also covers
+ * 2-D MAIN/SIDE footprints, the stage-1 mapper, and the
+ * production-centric ablation baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "tileflow/footprint.h"
+#include "tileflow/production.h"
+#include "tileflow/scheme.h"
+
+using namespace cocco;
+
+namespace {
+
+Layer
+layer1d(const char *name, LayerKind kind, int h, int c, int k, int s)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.outH = h;
+    l.outW = 1;
+    l.outC = c;
+    l.kernel = k;
+    l.stride = s;
+    return l;
+}
+
+/**
+ * The Figure 5 example graph. Paper node -> id:
+ *   Node(-2) -> 0 (input), Node(-1) -> 1 (input),
+ *   Node(0)  -> 2 (F=3, s=2, consumes -2),
+ *   Node(1)  -> 3 (F=3, s=1, consumes -2 and -1),
+ *   Node(2)  -> 4 (F=1, s=1, consumes -1).
+ */
+Graph
+paperExample()
+{
+    Graph g("fig5");
+    g.addNode(layer1d("in_m2", LayerKind::Input, 64, 1, 1, 1));
+    g.addNode(layer1d("in_m1", LayerKind::Input, 64, 1, 1, 1));
+    g.addNode(layer1d("n0", LayerKind::Conv, 32, 1, 3, 2), {0});
+    g.addNode(layer1d("n1", LayerKind::Conv, 64, 1, 3, 1), {0, 1});
+    g.addNode(layer1d("n2", LayerKind::Conv, 64, 1, 1, 1), {1});
+    return g;
+}
+
+Layer
+layer2d(const char *name, LayerKind kind, int h, int w, int c, int k, int s)
+{
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.outH = h;
+    l.outW = w;
+    l.outC = c;
+    l.kernel = k;
+    l.stride = s;
+    return l;
+}
+
+} // namespace
+
+// --- The paper's Figure 5 example, exact values --------------------------
+
+class PaperExample : public ::testing::Test
+{
+  protected:
+    Graph g_ = paperExample();
+    ExecutionScheme s_ = deriveConsumptionScheme(g_, {2, 3, 4}, 2);
+};
+
+TEST_F(PaperExample, OutputNodesGetStage1Tile)
+{
+    for (NodeId v : {2, 3, 4}) {
+        const NodeScheme *ns = s_.find(v);
+        ASSERT_NE(ns, nullptr);
+        EXPECT_TRUE(ns->is_output);
+        EXPECT_EQ(ns->deltaH, 2);
+        EXPECT_EQ(ns->xH, 2);
+    }
+}
+
+TEST_F(PaperExample, DeltaOfInputMinus2IsLcm)
+{
+    // Delta(-2) = lcm{Delta(0)s(0), Delta(1)s(1)} = lcm{4, 2} = 4.
+    const NodeScheme *ns = s_.find(0);
+    ASSERT_NE(ns, nullptr);
+    EXPECT_TRUE(ns->external);
+    EXPECT_EQ(ns->deltaH, 4);
+}
+
+TEST_F(PaperExample, TileOfInputMinus2IsSix)
+{
+    // x(-2) = max{f0(2), f1(4)} = max{5, 6} = 6.
+    EXPECT_EQ(s_.find(0)->xH, 6);
+}
+
+TEST_F(PaperExample, DeltaAndTileOfInputMinus1)
+{
+    // Delta(-1) = 2, x(-1) = max{f1(2), f2(2)} = max{4, 2} = 4.
+    EXPECT_EQ(s_.find(1)->deltaH, 2);
+    EXPECT_EQ(s_.find(1)->xH, 4);
+}
+
+TEST_F(PaperExample, UpdNumIsMinimalCoPrimeSolution)
+{
+    // Paper: {upd(-2), upd(-1), upd(0), upd(1), upd(2)} = {1,2,1,2,2}.
+    EXPECT_TRUE(s_.updConsistent);
+    EXPECT_EQ(s_.find(0)->updNum, 1);
+    EXPECT_EQ(s_.find(1)->updNum, 2);
+    EXPECT_EQ(s_.find(2)->updNum, 1);
+    EXPECT_EQ(s_.find(3)->updNum, 2);
+    EXPECT_EQ(s_.find(4)->updNum, 2);
+}
+
+TEST_F(PaperExample, MemoryAllocationSizesMatchFigure6)
+{
+    // Figure 6: size(-2)=6, size(-1)=4, size(0)=size(1)=size(2)=2.
+    EXPECT_EQ(s_.find(0)->mainBytes, 6);
+    EXPECT_EQ(s_.find(1)->mainBytes, 4);
+    EXPECT_EQ(s_.find(2)->mainBytes, 2);
+    EXPECT_EQ(s_.find(3)->mainBytes, 2);
+    EXPECT_EQ(s_.find(4)->mainBytes, 2);
+}
+
+TEST_F(PaperExample, ExternalInputsListedFirst)
+{
+    ASSERT_EQ(s_.nodes.size(), 5u);
+    EXPECT_TRUE(s_.nodes[0].external);
+    EXPECT_TRUE(s_.nodes[1].external);
+    EXPECT_FALSE(s_.nodes[2].external);
+}
+
+TEST_F(PaperExample, FootprintSumsMainAndSide)
+{
+    int64_t sum = 0;
+    for (const auto &ns : s_.nodes)
+        sum += ns.mainBytes + ns.sideBytes;
+    EXPECT_EQ(s_.actFootprintBytes, sum);
+}
+
+// --- General consumption-scheme properties -------------------------------
+
+TEST(ConsumptionScheme, SingleConvLayer)
+{
+    Graph g("single");
+    g.addNode(layer2d("in", LayerKind::Input, 32, 32, 8, 1, 1));
+    g.addNode(layer2d("c", LayerKind::Conv, 32, 32, 16, 3, 1), {0});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 4);
+    const NodeScheme *out = s.find(1);
+    ASSERT_NE(out, nullptr);
+    EXPECT_EQ(out->deltaH, 4);
+    EXPECT_EQ(out->xH, 4);
+    // Input tile: f(4) = 3 + 3*1 = 6.
+    const NodeScheme *in = s.find(0);
+    EXPECT_EQ(in->xH, 6);
+    EXPECT_EQ(in->xW, 6);
+    EXPECT_EQ(in->deltaH, 4);
+}
+
+TEST(ConsumptionScheme, SideRegionForOverlappingKernels)
+{
+    Graph g("side");
+    g.addNode(layer2d("in", LayerKind::Input, 32, 32, 8, 1, 1));
+    g.addNode(layer2d("c", LayerKind::Conv, 32, 32, 16, 3, 1), {0});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 4);
+    const NodeScheme *in = s.find(0);
+    // Overlap rows = F - s = 2 over the (W - xW) = 26 columns.
+    EXPECT_EQ(in->sideBytes, 2LL * 26 * 8);
+}
+
+TEST(ConsumptionScheme, NoSideRegionWhenKernelEqualsStride)
+{
+    Graph g("noside");
+    g.addNode(layer2d("in", LayerKind::Input, 32, 32, 8, 1, 1));
+    g.addNode(layer2d("p", LayerKind::Pool, 16, 16, 8, 2, 2), {0});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 4);
+    EXPECT_EQ(s.find(0)->sideBytes, 0);
+}
+
+TEST(ConsumptionScheme, WholeTensorResidentHasNoSide)
+{
+    Graph g("tiny");
+    g.addNode(layer2d("in", LayerKind::Input, 4, 4, 8, 1, 1));
+    g.addNode(layer2d("c", LayerKind::Conv, 4, 4, 8, 3, 1), {0});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 8);
+    const NodeScheme *in = s.find(0);
+    EXPECT_EQ(in->xH, 4); // clipped to tensor
+    EXPECT_EQ(in->sideBytes, 0);
+}
+
+TEST(ConsumptionScheme, TileClippedToTensorExtent)
+{
+    Graph g("clip");
+    g.addNode(layer2d("in", LayerKind::Input, 8, 8, 4, 1, 1));
+    g.addNode(layer2d("c", LayerKind::Conv, 8, 8, 4, 3, 1), {0});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1}, 64);
+    EXPECT_EQ(s.find(1)->xH, 8);
+    EXPECT_EQ(s.find(0)->xH, 8);
+}
+
+TEST(ConsumptionScheme, ChainDeltasComposeStrides)
+{
+    Graph g("chain");
+    g.addNode(layer2d("in", LayerKind::Input, 64, 64, 4, 1, 1));
+    g.addNode(layer2d("a", LayerKind::Conv, 32, 32, 4, 3, 2), {0});
+    g.addNode(layer2d("b", LayerKind::Conv, 16, 16, 4, 3, 2), {1});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1, 2}, 2);
+    // Delta(a) = Delta(b)*s(b) = 4; Delta(in) = Delta(a)*s(a) = 8.
+    EXPECT_EQ(s.find(1)->deltaH, 4);
+    EXPECT_EQ(s.find(0)->deltaH, 8);
+    // x(a) = f_b(4/2) = 3 + 1*2 = 5; x(in) = f_a(8/2) = 3 + 3*2 = 9.
+    EXPECT_EQ(s.find(1)->xH, 5);
+    EXPECT_EQ(s.find(0)->xH, 9);
+}
+
+TEST(ConsumptionScheme, UpdConsistentOnReconvergentBranches)
+{
+    // Residual block shape: both branches downsample by 2.
+    Graph g("res");
+    g.addNode(layer2d("in", LayerKind::Input, 32, 32, 8, 1, 1));
+    g.addNode(layer2d("a", LayerKind::Conv, 16, 16, 8, 3, 2), {0});
+    g.addNode(layer2d("b", LayerKind::Conv, 16, 16, 8, 1, 2), {0});
+    g.addNode(layer2d("add", LayerKind::Eltwise, 16, 16, 8, 1, 1), {1, 2});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1, 2, 3}, 2);
+    EXPECT_TRUE(s.updConsistent);
+    EXPECT_GE(s.find(0)->updNum, 1);
+}
+
+TEST(ConsumptionScheme, RegionCountCountsSideRegions)
+{
+    Graph g("regions");
+    g.addNode(layer2d("in", LayerKind::Input, 32, 32, 8, 1, 1));
+    g.addNode(layer2d("c1", LayerKind::Conv, 32, 32, 8, 3, 1), {0});
+    g.addNode(layer2d("c2", LayerKind::Conv, 32, 32, 8, 3, 1), {1});
+
+    ExecutionScheme s = deriveConsumptionScheme(g, {1, 2}, 4);
+    // in: MAIN+SIDE, c1: MAIN+SIDE, c2: MAIN -> 5 regions.
+    EXPECT_EQ(s.numRegions, 5);
+}
+
+TEST(ConsumptionSchemeDeath, EmptySubgraph)
+{
+    Graph g = paperExample();
+    EXPECT_DEATH(deriveConsumptionScheme(g, {}, 2), "empty subgraph");
+}
+
+TEST(ConsumptionSchemeDeath, BadTile)
+{
+    Graph g = paperExample();
+    EXPECT_DEATH(deriveConsumptionScheme(g, {2}, 0), "out_tile");
+}
+
+TEST(ConsumptionSchemeDeath, DuplicateNodes)
+{
+    Graph g = paperExample();
+    EXPECT_DEATH(deriveConsumptionScheme(g, {2, 2}, 2), "duplicate");
+}
+
+// --- Stage-1 mapper (bestScheme) ------------------------------------------
+
+TEST(BestScheme, PicksMinimumFootprintCandidate)
+{
+    Graph g("best");
+    g.addNode(layer2d("in", LayerKind::Input, 64, 64, 16, 1, 1));
+    g.addNode(layer2d("c", LayerKind::Conv, 64, 64, 16, 3, 1), {0});
+
+    ExecutionScheme best = bestScheme(g, {1});
+    for (int t : defaultTileCandidates()) {
+        ExecutionScheme s = deriveConsumptionScheme(g, {1}, t);
+        EXPECT_LE(best.actFootprintBytes, s.actFootprintBytes);
+    }
+}
+
+TEST(BestScheme, TieBreaksTowardLargerTile)
+{
+    // 1x1 spatial FC stack: all tiles clip to 1, footprints equal.
+    Graph g("fc");
+    g.addNode(layer2d("in", LayerKind::Input, 1, 1, 128, 1, 1));
+    g.addNode(layer2d("fc", LayerKind::Conv, 1, 1, 128, 1, 1), {0});
+
+    ExecutionScheme best = bestScheme(g, {1});
+    EXPECT_EQ(best.outTile, defaultTileCandidates().back());
+}
+
+// --- Production-centric baseline (Figure 4 ablation) ----------------------
+
+TEST(ProductionScheme, MatchesConsumptionOnBalancedChain)
+{
+    Graph g("bal");
+    g.addNode(layer2d("in", LayerKind::Input, 32, 32, 8, 1, 1));
+    g.addNode(layer2d("c", LayerKind::Conv, 32, 32, 8, 3, 1), {0});
+
+    ExecutionScheme cons = deriveConsumptionScheme(g, {1}, 4);
+    int in_tile = 0;
+    for (const auto &ns : cons.nodes)
+        if (ns.external)
+            in_tile = std::max(in_tile, ns.xH);
+    ExecutionScheme prod = deriveProductionScheme(g, {1}, in_tile);
+    // On a single layer the two schemes hold the same data.
+    EXPECT_EQ(prod.find(0)->xH, cons.find(0)->xH);
+}
+
+TEST(ProductionScheme, WastesMemoryOnUnbalancedBranches)
+{
+    // Figure 4's situation: a 5x5/2 branch beside a 1x1 + 3x3/2
+    // branch joining at an add. The production-centric scheme buffers
+    // results that cannot be consumed yet.
+    Graph g("unbal");
+    g.addNode(layer2d("in", LayerKind::Input, 40, 40, 8, 1, 1));
+    g.addNode(layer2d("n0", LayerKind::Conv, 20, 20, 8, 5, 2), {0});
+    g.addNode(layer2d("n1", LayerKind::Conv, 40, 40, 8, 1, 1), {0});
+    g.addNode(layer2d("n2", LayerKind::Conv, 20, 20, 8, 3, 2), {2});
+    g.addNode(layer2d("n3", LayerKind::Eltwise, 20, 20, 8, 1, 1), {1, 3});
+
+    std::vector<NodeId> sub{1, 2, 3, 4};
+    ExecutionScheme cons = deriveConsumptionScheme(g, sub, 1);
+    int in_tile = 0;
+    for (const auto &ns : cons.nodes)
+        if (ns.external)
+            in_tile = std::max(in_tile, ns.xH);
+    ExecutionScheme prod = deriveProductionScheme(g, sub, in_tile);
+    EXPECT_GT(prod.actFootprintBytes, cons.actFootprintBytes);
+}
+
+TEST(ProductionSchemeDeath, BadTile)
+{
+    Graph g = paperExample();
+    EXPECT_DEATH(deriveProductionScheme(g, {2}, 0), "in_tile");
+}
+
+// --- Parameterized sweep: scheme invariants over tile sizes ---------------
+
+class TileSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(TileSweep, InvariantsHoldOnPaperExample)
+{
+    Graph g = paperExample();
+    ExecutionScheme s = deriveConsumptionScheme(g, {2, 3, 4}, GetParam());
+    EXPECT_TRUE(s.updConsistent);
+    for (const auto &ns : s.nodes) {
+        // Resident tile can never be smaller than the update offset.
+        EXPECT_GE(ns.xH, ns.deltaH);
+        EXPECT_GE(ns.xW, ns.deltaW);
+        EXPECT_GE(ns.updNum, 1);
+        EXPECT_GE(ns.mainBytes, 1);
+        EXPECT_GE(ns.sideBytes, 0);
+        // Tiles are clipped to the tensor.
+        EXPECT_LE(ns.xH, g.layer(ns.node).outH);
+        EXPECT_LE(ns.xW, g.layer(ns.node).outW);
+    }
+}
+
+TEST_P(TileSweep, FootprintGrowsWeaklyWithTile)
+{
+    Graph g = paperExample();
+    int t = GetParam();
+    if (t < 2)
+        return;
+    ExecutionScheme small = deriveConsumptionScheme(g, {2, 3, 4}, t - 1);
+    ExecutionScheme big = deriveConsumptionScheme(g, {2, 3, 4}, t);
+    // MAIN regions grow with the tile; SIDE shrinks, but on this 1-D
+    // example (W = 1) there is no SIDE, so growth is monotone.
+    EXPECT_GE(big.actFootprintBytes, small.actFootprintBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Tiles, TileSweep, ::testing::Values(1, 2, 3, 4, 6,
+                                                              8, 12, 16));

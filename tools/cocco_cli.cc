@@ -1,0 +1,257 @@
+/**
+ * @file
+ * cocco — command-line driver for the library.
+ *
+ * Subcommands:
+ *   models                          list built-in models
+ *   describe  <model>               print the graph summary
+ *   dot       <model> [--runs L]    DOT export (optionally partitioned)
+ *   partition <model> --algo A      run one partitioner and report costs
+ *             (A = greedy | dp | enum | ga | sa)
+ *   coexplore <model> [--style s]   hardware-mapping co-exploration
+ *             (s = shared | separate)
+ * Common flags: --samples N, --alpha F, --metric ema|energy, --seed N,
+ *               --json (machine-readable output)
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/cocco.h"
+#include "core/serialize.h"
+#include "graph/dot.h"
+#include "graph/stats.h"
+#include "partition/dp.h"
+#include "partition/enumeration.h"
+#include "partition/greedy.h"
+#include "sim/timeline.h"
+#include "util/table.h"
+
+using namespace cocco;
+
+namespace {
+
+struct CliArgs
+{
+    std::string command;
+    std::string model;
+    std::string algo = "ga";
+    std::string style = "shared";
+    int64_t samples = 5000;
+    double alpha = 0.002;
+    Metric metric = Metric::Energy;
+    uint64_t seed = 1;
+    bool json = false;
+    int runs = 0;
+};
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: cocco <command> [args]\n"
+        "  models\n"
+        "  describe  <model>\n"
+        "  timeline  <model>\n"
+        "  dot       <model> [--runs L]\n"
+        "  partition <model> --algo greedy|dp|enum|ga|sa\n"
+        "  coexplore <model> [--style shared|separate]\n"
+        "flags: --samples N --alpha F --metric ema|energy --seed N "
+        "--json\n");
+    std::exit(2);
+}
+
+CliArgs
+parse(int argc, char **argv)
+{
+    if (argc < 2)
+        usage();
+    CliArgs a;
+    a.command = argv[1];
+    int i = 2;
+    if (a.command != "models") {
+        if (i >= argc)
+            usage();
+        a.model = argv[i++];
+    }
+    for (; i < argc; ++i) {
+        std::string f = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage();
+            return argv[++i];
+        };
+        if (f == "--algo")
+            a.algo = next();
+        else if (f == "--style")
+            a.style = next();
+        else if (f == "--samples")
+            a.samples = std::atoll(next());
+        else if (f == "--alpha")
+            a.alpha = std::atof(next());
+        else if (f == "--seed")
+            a.seed = std::strtoull(next(), nullptr, 10);
+        else if (f == "--runs")
+            a.runs = std::atoi(next());
+        else if (f == "--metric")
+            a.metric = std::string(next()) == "ema" ? Metric::EMA
+                                                    : Metric::Energy;
+        else if (f == "--json")
+            a.json = true;
+        else
+            usage();
+    }
+    return a;
+}
+
+void
+printCost(const Graph &g, const GraphCost &c, const BufferConfig &buf,
+          double alpha, Metric metric)
+{
+    Table t({"metric", "value"});
+    t.addRow({"buffer", buf.str()});
+    t.addRow({"subgraphs", Table::fmtInt(c.subgraphs)});
+    t.addRow({"EMA", Table::fmtMB(static_cast<double>(c.emaBytes))});
+    t.addRow({"energy", Table::fmtDouble(c.energyPj / 1e9, 3) + " mJ"});
+    t.addRow({"latency", Table::fmtDouble(c.latencyMs(), 3) + " ms"});
+    t.addRow({"avg BW", Table::fmtDouble(c.avgBwGBps, 2) + " GB/s"});
+    t.addRow({"peak BW", Table::fmtDouble(c.peakBwGBps, 2) + " GB/s"});
+    t.addRow({"objective", Table::fmtSci(objective(c, buf, alpha, metric))});
+    t.print();
+    (void)g;
+}
+
+int
+runPartition(const CliArgs &a)
+{
+    Graph g = buildModel(a.model);
+    AcceleratorConfig accel;
+    CostModel model(g, accel);
+    BufferConfig buf;
+    buf.style = BufferStyle::Separate;
+    buf.actBytes = 1024 * 1024;
+    buf.weightBytes = 1152 * 1024;
+
+    Partition p;
+    if (a.algo == "greedy") {
+        p = greedyPartition(g, model, buf, a.metric);
+    } else if (a.algo == "dp") {
+        p = dpPartition(g, model, buf, a.metric);
+    } else if (a.algo == "enum") {
+        EnumerationResult r = enumeratePartition(g, model, buf, a.metric);
+        if (!r.complete) {
+            std::fprintf(stderr,
+                         "enumeration exceeded its budget (%lld states)\n",
+                         static_cast<long long>(r.statesVisited));
+            return 1;
+        }
+        p = r.best;
+    } else if (a.algo == "ga" || a.algo == "sa") {
+        CoccoFramework cocco(g, accel);
+        GaOptions o;
+        o.sampleBudget = a.samples;
+        o.metric = a.metric;
+        o.seed = a.seed;
+        if (a.algo == "sa") {
+            DseSpace space = DseSpace::fixedSpace(buf);
+            SaOptions so;
+            so.sampleBudget = a.samples;
+            so.metric = a.metric;
+            so.seed = a.seed;
+            so.coExplore = false;
+            p = simulatedAnnealing(cocco.model(), space, so).best.part;
+        } else {
+            p = cocco.partitionOnly(buf, o).partition;
+        }
+    } else {
+        usage();
+    }
+
+    GraphCost c = model.partitionCost(p, buf);
+    if (a.json) {
+        std::printf("%s\n", partitionToJson(g, p).c_str());
+    } else {
+        std::printf("%s: %s partition -> %zu subgraphs\n",
+                    a.model.c_str(), a.algo.c_str(), p.blocks().size());
+        printCost(g, c, buf, a.alpha, a.metric);
+    }
+    return 0;
+}
+
+int
+runCoExplore(const CliArgs &a)
+{
+    Graph g = buildModel(a.model);
+    AcceleratorConfig accel;
+    CoccoFramework cocco(g, accel);
+    GaOptions o;
+    o.sampleBudget = a.samples;
+    o.alpha = a.alpha;
+    o.metric = a.metric;
+    o.seed = a.seed;
+    BufferStyle style = a.style == "separate" ? BufferStyle::Separate
+                                              : BufferStyle::Shared;
+    CoccoResult r = cocco.coExplore(style, o);
+    if (a.json) {
+        std::printf("%s\n", resultToJson(g, r).c_str());
+    } else {
+        std::printf("%s: recommended buffer %s after %lld samples\n",
+                    a.model.c_str(), r.buffer.str().c_str(),
+                    static_cast<long long>(r.samples));
+        printCost(g, r.cost, r.buffer, a.alpha, a.metric);
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliArgs a = parse(argc, argv);
+
+    if (a.command == "models") {
+        for (const std::string &name : allModelNames())
+            std::printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (a.command == "describe") {
+        Graph g = buildModel(a.model);
+        std::printf("%s\n%s", g.str().c_str(),
+                    computeStats(g).str().c_str());
+        return 0;
+    }
+    if (a.command == "timeline") {
+        Graph g = buildModel(a.model);
+        AcceleratorConfig accel;
+        CostModel model(g, accel);
+        BufferConfig buf;
+        buf.style = BufferStyle::Separate;
+        buf.actBytes = 1024 * 1024;
+        buf.weightBytes = 1152 * 1024;
+        Partition p = greedyPartition(g, model, buf, a.metric);
+        Timeline tl = buildTimeline(model, p, buf);
+        std::printf("%s: greedy partition timeline\n%s", a.model.c_str(),
+                    tl.gantt().c_str());
+        return 0;
+    }
+    if (a.command == "dot") {
+        Graph g = buildModel(a.model);
+        if (a.runs > 0) {
+            Partition p = Partition::fixedRuns(g, a.runs);
+            p.canonicalize(g);
+            std::printf("%s", toDot(g, p).c_str());
+        } else {
+            std::printf("%s", toDot(g).c_str());
+        }
+        return 0;
+    }
+    if (a.command == "partition")
+        return runPartition(a);
+    if (a.command == "coexplore")
+        return runCoExplore(a);
+    usage();
+}
