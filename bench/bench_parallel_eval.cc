@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Parallel-evaluation microbench: wall-clock throughput of batched
+ * population evaluation (the GA driver end to end) at increasing
+ * thread counts, on a fresh CostModel per run so no run warms
+ * another's profile memo.
+ *
+ * Also the determinism check for the engine's headline contract:
+ * every parallel run must report the exact best objective and trace
+ * of the serial run.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cocco.h"
+#include "util/table.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+namespace {
+
+struct RunStats
+{
+    double seconds = 0.0;
+    SearchResult result;
+};
+
+RunStats
+runOnce(const Graph &g, const AcceleratorConfig &accel, int threads,
+        int64_t budget, int population, uint64_t seed)
+{
+    CostModel model(g, accel); // fresh memo: no cross-run warm-up
+    DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+    GaOptions opts;
+    opts.population = population;
+    opts.sampleBudget = budget;
+    opts.seed = seed;
+    opts.threads = threads;
+
+    auto t0 = std::chrono::steady_clock::now();
+    RunStats stats;
+    stats.result = GeneticSearch(model, space, opts).run();
+    stats.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return stats;
+}
+
+bool
+sameResult(const SearchResult &a, const SearchResult &b)
+{
+    if (a.bestCost != b.bestCost || a.samples != b.samples ||
+        a.trace.size() != b.trace.size())
+        return false;
+    for (size_t i = 0; i < a.trace.size(); ++i)
+        if (a.trace[i].sample != b.trace[i].sample ||
+            a.trace[i].bestCost != b.trace[i].bestCost)
+            return false;
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "parallel population evaluation");
+    banner("Parallel evaluation engine: serial vs batched GA", args);
+
+    AcceleratorConfig accel = paperAccelerator();
+    int64_t budget = args.full ? 20000 : 4000;
+    int population = args.population();
+
+    int hw = static_cast<int>(std::thread::hardware_concurrency());
+    std::printf("hardware threads: %d\n", hw);
+    if (hw < 2)
+        std::printf("note: single-core machine — parallel runs can only "
+                    "verify determinism, not speed up\n");
+    std::vector<int> thread_counts{1, 2, 4};
+    if (hw > 4)
+        thread_counts.push_back(hw);
+
+    for (const std::string &name : {std::string("GoogleNet"),
+                                    std::string("ResNet50")}) {
+        Graph g = buildModel(name);
+        std::printf("\n%s: %lld samples, population %d\n", name.c_str(),
+                    static_cast<long long>(budget), population);
+
+        Table t({"threads", "time (s)", "samples/s", "speedup",
+                 "deterministic"});
+        RunStats serial;
+        for (int threads : thread_counts) {
+            RunStats s = runOnce(g, accel, threads, budget, population,
+                                 args.seed);
+            if (threads == 1)
+                serial = s;
+            bool same = sameResult(serial.result, s.result);
+            t.addRow({Table::fmtInt(threads),
+                      Table::fmtDouble(s.seconds, 2),
+                      Table::fmtDouble(s.result.samples / s.seconds, 0),
+                      Table::fmtDouble(serial.seconds / s.seconds, 2) + "x",
+                      same ? "yes" : "MISMATCH"});
+            if (!same)
+                std::fprintf(stderr,
+                             "error: threads=%d diverged from serial\n",
+                             threads);
+        }
+        t.print();
+        std::printf("best objective %.6g after %lld samples\n",
+                    serial.result.bestCost,
+                    static_cast<long long>(serial.result.samples));
+    }
+    return 0;
+}

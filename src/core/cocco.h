@@ -15,6 +15,19 @@
  *   CoccoResult r = cocco.coExplore(BufferStyle::Shared);
  *   // r.buffer, r.partition, r.cost ...
  * @endcode
+ *
+ * Parallel evaluation: population evaluation is batched through the
+ * EvalEngine, so the searches scale across cores while staying
+ * bit-identical to the serial run (per-genome RNG streams, results
+ * written back by index, shared thread-safe profile memo):
+ * @code
+ *   GaOptions opts;
+ *   opts.threads = 0;                       // one per hardware thread
+ *   CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+ *   // identical best/trace to opts.threads == 1, only faster
+ * @endcode
+ * The same knob exists on SaOptions (plus neighborBatch for the
+ * speculative SA neighbor batches) and TwoStepOptions.
  */
 
 #ifndef COCCO_CORE_COCCO_H

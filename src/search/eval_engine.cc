@@ -1,0 +1,89 @@
+#include "search/eval_engine.h"
+
+#include <utility>
+
+#include "partition/repair.h"
+
+namespace cocco {
+
+namespace {
+
+/** SplitMix64-style mix so adjacent stream ids decorrelate and the
+ *  streams never coincide with a driver's own Rng(seed). */
+uint64_t
+mixStream(uint64_t seed, uint64_t stream)
+{
+    uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+} // namespace
+
+EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
+                       const EvalOptions &opts,
+                       std::shared_ptr<ThreadPool> pool)
+    : model_(model), space_(space), opts_(opts), pool_(std::move(pool))
+{
+    if (!pool_) {
+        int total = ThreadPool::resolveThreads(opts.threads);
+        if (total > 1)
+            pool_ = std::make_shared<ThreadPool>(total);
+    } else if (pool_->size() == 1) {
+        pool_ = nullptr; // a serial pool is just the inline path
+    }
+}
+
+double
+EvalEngine::evaluate(Genome &genome)
+{
+    BufferConfig buf = genome.buffer(space_);
+    if (opts_.inSituSplit) {
+        genome.part = repairToCapacity(model_.graph(),
+                                       std::move(genome.part), model_, buf);
+    }
+    GraphCost gc = model_.partitionCost(genome.part, buf);
+    if (opts_.coExplore)
+        return objective(gc, buf, opts_.alpha, opts_.metric);
+    if (!gc.feasible)
+        return kInfeasiblePenalty;
+    return gc.metricValue(opts_.metric);
+}
+
+Rng
+EvalEngine::streamRng(uint64_t index) const
+{
+    return Rng(mixStream(opts_.seed, streamCounter_ + index));
+}
+
+void
+EvalEngine::forEachStream(size_t n,
+                          const std::function<void(size_t, Rng &)> &fn)
+{
+    uint64_t base = streamCounter_;
+    streamCounter_ += n;
+    auto task = [&](size_t i) {
+        Rng rng(mixStream(opts_.seed, base + i));
+        fn(i, rng);
+    };
+    if (pool_) {
+        pool_->parallelFor(n, task);
+    } else {
+        for (size_t i = 0; i < n; ++i)
+            task(i);
+    }
+}
+
+std::vector<double>
+EvalEngine::evaluateBatch(std::vector<Genome> &genomes)
+{
+    std::vector<double> costs(genomes.size(), kInfeasiblePenalty);
+    forEachStream(genomes.size(), [&](size_t i, Rng &rng) {
+        (void)rng; // evaluation itself is deterministic today
+        costs[i] = evaluate(genomes[i]);
+    });
+    return costs;
+}
+
+} // namespace cocco

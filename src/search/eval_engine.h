@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The parallel evaluation engine: evaluates batches of genomes
+ * (decode buffer, in-situ capacity tuning, cost-model assembly)
+ * concurrently on a fixed thread pool, with deterministic semantics.
+ *
+ * Determinism contract: a batch produces bit-identical results for
+ * any thread count. This rests on three rules:
+ *   - every stochastic decision made on behalf of batch element i
+ *     draws from a private RNG stream derived from (seed, stream
+ *     counter + i), never from a shared generator;
+ *   - results are written back by index, so completion order is
+ *     irrelevant;
+ *   - the CostModel's profile memo is shared and thread-safe, and
+ *     profiles are pure functions of the node set, so cache warm-up
+ *     order cannot change any value.
+ *
+ * GA populations, SA neighbor batches and the two-step baselines all
+ * submit work through this engine (paper Section 4.4's evaluation
+ * stage, parallelized).
+ */
+
+#ifndef COCCO_SEARCH_EVAL_ENGINE_H
+#define COCCO_SEARCH_EVAL_ENGINE_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "search/genome.h"
+#include "sim/cost_model.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace cocco {
+
+/** Evaluation-environment knobs shared by all search drivers. */
+struct EvalOptions
+{
+    double alpha = 0.002;        ///< Formula 2 weight
+    Metric metric = Metric::Energy;
+    bool coExplore = true;       ///< false = Formula 1 (metric only)
+    bool inSituSplit = true;     ///< capacity repair at evaluation
+    int threads = 1;             ///< total parallelism; <= 0 = all cores
+    uint64_t seed = 1;           ///< base of the per-genome RNG streams
+};
+
+/** Batched, thread-parallel genome evaluator. */
+class EvalEngine
+{
+  public:
+    /**
+     * @param pool an existing pool to share (e.g. across the inner
+     *             GAs of a two-step sweep); null = own one sized by
+     *             opts.threads. Shared pools must not be used from
+     *             two engines concurrently (parallelFor is not
+     *             reentrant).
+     */
+    EvalEngine(CostModel &model, const DseSpace &space,
+               const EvalOptions &opts,
+               std::shared_ptr<ThreadPool> pool = nullptr);
+
+    /** Resolved parallelism (>= 1). */
+    int threads() const { return pool_ ? pool_->size() : 1; }
+
+    /** The evaluation environment. */
+    CostModel &model() { return model_; }
+    const DseSpace &space() const { return space_; }
+    const EvalOptions &options() const { return opts_; }
+
+    /**
+     * Evaluate one genome in the calling thread: decode its buffer,
+     * apply in-situ capacity tuning (mutates genome.part), and return
+     * the objective (Formula 2) or metric (Formula 1) value.
+     */
+    double evaluate(Genome &genome);
+
+    /**
+     * Evaluate a batch concurrently; genome i's cost lands in slot i
+     * of the returned vector. In-situ tuning mutates each genome in
+     * place, exactly as the serial path does.
+     */
+    std::vector<double> evaluateBatch(std::vector<Genome> &genomes);
+
+    /**
+     * Run fn(i, rng) for every i in [0, n) on the pool, where rng is
+     * a private stream derived from (seed, stream counter + i). Use
+     * this to generate *and* evaluate batch elements concurrently:
+     * the per-index streams keep any stochastic construction (e.g.
+     * GA variation operators) deterministic for any thread count.
+     * Advances the stream counter by n.
+     */
+    void forEachStream(size_t n,
+                       const std::function<void(size_t, Rng &)> &fn);
+
+    /** RNG stream for the i-th element of the *next* batch. */
+    Rng streamRng(uint64_t index) const;
+
+  private:
+    CostModel &model_;
+    DseSpace space_;
+    EvalOptions opts_;
+    std::shared_ptr<ThreadPool> pool_; ///< null when threads == 1
+    uint64_t streamCounter_ = 0;
+};
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_EVAL_ENGINE_H

@@ -8,42 +8,55 @@
 
 namespace cocco {
 
-GeneticSearch::GeneticSearch(CostModel &model, const DseSpace &space,
-                             const GaOptions &opts)
-    : model_(model), space_(space), opts_(opts)
+namespace {
+
+/** Validate the GA knobs and derive the engine's options. */
+EvalOptions
+gaEvalOptions(const GaOptions &opts)
 {
-    if (opts_.population < 2)
+    if (opts.population < 2)
         fatal("GA population must be >= 2");
-    if (opts_.tournament < 1)
+    if (opts.tournament < 1)
         fatal("GA tournament size must be >= 1");
+    EvalOptions e;
+    e.alpha = opts.alpha;
+    e.metric = opts.metric;
+    e.coExplore = opts.coExplore;
+    e.inSituSplit = opts.inSituSplit;
+    e.threads = opts.threads;
+    e.seed = opts.seed;
+    return e;
+}
+
+} // namespace
+
+GeneticSearch::GeneticSearch(CostModel &model, const DseSpace &space,
+                             const GaOptions &opts,
+                             std::shared_ptr<ThreadPool> pool)
+    : model_(model), space_(space), opts_(opts),
+      engine_(model, space, gaEvalOptions(opts), std::move(pool))
+{
 }
 
 double
 GeneticSearch::evaluate(Genome &genome)
 {
-    BufferConfig buf = genome.buffer(space_);
-    if (opts_.inSituSplit) {
-        genome.part = repairToCapacity(model_.graph(), std::move(genome.part),
-                                       model_, buf);
-    }
-    GraphCost gc = model_.partitionCost(genome.part, buf);
-    if (opts_.coExplore)
-        return objective(gc, buf, opts_.alpha, opts_.metric);
-    if (!gc.feasible)
-        return kInfeasiblePenalty;
-    return gc.metricValue(opts_.metric);
+    return engine_.evaluate(genome);
 }
 
 SearchResult
 GeneticSearch::run(const std::vector<Genome> &seeds)
 {
+    // Master stream: selection only. Variation and evaluation draw
+    // from per-offspring streams inside the engine, so population
+    // batches parallelize without perturbing this sequence.
     Rng rng(opts_.seed);
     SearchResult res;
 
     struct Scored
     {
         Genome genome;
-        double cost;
+        double cost = kInfeasiblePenalty;
     };
     std::vector<Scored> pop;
     pop.reserve(opts_.population);
@@ -63,70 +76,78 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
         }
     };
 
-    // --- Initialization (optionally seeded with external results). ---
-    for (const Genome &s : seeds) {
-        if (static_cast<int>(pop.size()) >= opts_.population)
-            break;
-        Scored sc{s, 0.0};
-        sc.cost = evaluate(sc.genome);
-        record(sc);
-        pop.push_back(std::move(sc));
-    }
-    while (static_cast<int>(pop.size()) < opts_.population) {
-        Scored sc{randomGenome(model_.graph(), space_, rng), 0.0};
-        sc.cost = evaluate(sc.genome);
-        record(sc);
-        pop.push_back(std::move(sc));
-    }
-
-    auto tournament_pick = [&]() -> const Scored & {
-        const Scored *best = &pop[rng.index(pop.size())];
+    auto tournament_pick = [&](const std::vector<Scored> &pool,
+                               Rng &r) -> const Scored & {
+        const Scored *best = &pool[r.index(pool.size())];
         for (int t = 1; t < opts_.tournament; ++t) {
-            const Scored &c = pop[rng.index(pop.size())];
+            const Scored &c = pool[r.index(pool.size())];
             if (c.cost < best->cost)
                 best = &c;
         }
         return *best;
     };
 
+    // --- Initialization (optionally seeded with external results):
+    //     one batch through the engine. ---
+    {
+        size_t n = static_cast<size_t>(opts_.population);
+        size_t n_seed = std::min(seeds.size(), n);
+        std::vector<Scored> init(n);
+        for (size_t i = 0; i < n_seed; ++i)
+            init[i].genome = seeds[i];
+        engine_.forEachStream(n, [&](size_t i, Rng &r) {
+            if (i >= n_seed)
+                init[i].genome = randomGenome(model_.graph(), space_, r);
+            init[i].cost = engine_.evaluate(init[i].genome);
+        });
+        for (Scored &s : init) {
+            record(s);
+            pop.push_back(std::move(s));
+        }
+    }
+
     // --- Generations. ---
     while (res.samples < opts_.sampleBudget) {
-        std::vector<Scored> offspring;
-        offspring.reserve(opts_.population);
-        for (int i = 0; i < opts_.population &&
-                        res.samples + static_cast<int64_t>(offspring.size()) <
-                            opts_.sampleBudget;
-             ++i) {
+        size_t want = static_cast<size_t>(
+            std::min<int64_t>(opts_.population,
+                              opts_.sampleBudget - res.samples));
+        if (want == 0)
+            break;
+
+        // Offspring are produced *and* evaluated inside the batch:
+        // slot i draws its crossover/mutation decisions from stream i
+        // against the read-only parent population, so the batch is
+        // embarrassingly parallel yet deterministic.
+        std::vector<Scored> offspring(want);
+        const std::vector<Scored> &parents = pop;
+        engine_.forEachStream(want, [&](size_t i, Rng &r) {
             Genome child;
-            if (rng.bernoulli(opts_.crossoverRate)) {
-                const Scored &dad = tournament_pick();
-                const Scored &mom = tournament_pick();
+            if (r.bernoulli(opts_.crossoverRate)) {
+                const Scored &dad = tournament_pick(parents, r);
+                const Scored &mom = tournament_pick(parents, r);
                 child = crossover(model_.graph(), space_, dad.genome,
-                                  mom.genome, rng);
+                                  mom.genome, r);
             } else {
-                child = tournament_pick().genome;
+                child = tournament_pick(parents, r).genome;
             }
-            if (rng.bernoulli(opts_.mutPartitionRate)) {
-                switch (rng.index(3)) {
+            if (r.bernoulli(opts_.mutPartitionRate)) {
+                switch (r.index(3)) {
                   case 0:
-                    mutateModifyNode(model_.graph(), child, rng);
+                    mutateModifyNode(model_.graph(), child, r);
                     break;
                   case 1:
-                    mutateSplitSubgraph(model_.graph(), child, rng);
+                    mutateSplitSubgraph(model_.graph(), child, r);
                     break;
                   default:
-                    mutateMergeSubgraph(model_.graph(), child, rng);
+                    mutateMergeSubgraph(model_.graph(), child, r);
                 }
             }
-            if (space_.searchHw && rng.bernoulli(opts_.mutDseRate))
-                mutateDse(space_, child, rng);
+            if (space_.searchHw && r.bernoulli(opts_.mutDseRate))
+                mutateDse(space_, child, r);
 
-            Scored sc{std::move(child), 0.0};
-            sc.cost = evaluate(sc.genome);
-            offspring.push_back(std::move(sc));
-        }
-        if (offspring.empty())
-            break;
+            offspring[i].genome = std::move(child);
+            offspring[i].cost = engine_.evaluate(offspring[i].genome);
+        });
         for (const Scored &sc : offspring)
             record(sc);
 
@@ -143,15 +164,8 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
         int elite = std::min<int>(opts_.elite, static_cast<int>(pool.size()));
         for (int e = 0; e < elite; ++e)
             pop.push_back(pool[e]);
-        while (static_cast<int>(pop.size()) < opts_.population) {
-            const Scored *best = &pool[rng.index(pool.size())];
-            for (int t = 1; t < opts_.tournament; ++t) {
-                const Scored &c = pool[rng.index(pool.size())];
-                if (c.cost < best->cost)
-                    best = &c;
-            }
-            pop.push_back(*best);
-        }
+        while (static_cast<int>(pop.size()) < opts_.population)
+            pop.push_back(tournament_pick(pool, rng));
     }
 
     res.bestBuffer = res.best.buffer(space_);

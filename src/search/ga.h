@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "search/eval_engine.h"
 #include "search/genome.h"
 #include "sim/cost_model.h"
 #include "util/random.h"
@@ -61,6 +62,15 @@ struct GaOptions
     bool coExplore = true;       ///< false = Formula 1 (metric only)
     bool recordPoints = false;   ///< keep every sample (Figure 13)
     bool inSituSplit = true;     ///< capacity repair at evaluation
+
+    /**
+     * Evaluation parallelism: total threads used to produce and
+     * evaluate each population batch (<= 0 = one per hardware
+     * thread). Results are bit-identical for any value — offspring
+     * are built from per-index RNG streams and written back by index
+     * (see EvalEngine).
+     */
+    int threads = 1;
 };
 
 /** The genetic optimizer. */
@@ -71,9 +81,13 @@ class GeneticSearch
      * @param model evaluation environment (graph + accelerator)
      * @param space the hardware design space (or frozen buffer)
      * @param opts  hyper-parameters
+     * @param pool  optional shared worker pool for the evaluation
+     *              engine (e.g. reused across the inner GAs of a
+     *              two-step sweep); null = own one per opts.threads
      */
     GeneticSearch(CostModel &model, const DseSpace &space,
-                  const GaOptions &opts);
+                  const GaOptions &opts,
+                  std::shared_ptr<ThreadPool> pool = nullptr);
 
     /** Run to the sample budget; optional seed genomes join the
      *  initial population (flexible initialization). */
@@ -90,6 +104,7 @@ class GeneticSearch
     CostModel &model_;
     DseSpace space_;
     GaOptions opts_;
+    EvalEngine engine_;
 };
 
 } // namespace cocco

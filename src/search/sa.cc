@@ -1,5 +1,6 @@
 #include "search/sa.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "search/operators.h"
@@ -13,16 +14,21 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
 {
     Rng rng(opts.seed);
 
-    // Reuse the GA's evaluation (in-situ capacity tuning included).
-    GaOptions ga_opts;
-    ga_opts.alpha = opts.alpha;
-    ga_opts.metric = opts.metric;
-    ga_opts.coExplore = opts.coExplore;
-    GeneticSearch evaluator(model, space, ga_opts);
+    // Same evaluation environment as the GA (in-situ capacity tuning
+    // included), shared through the parallel engine.
+    EvalOptions eo;
+    eo.alpha = opts.alpha;
+    eo.metric = opts.metric;
+    eo.coExplore = opts.coExplore;
+    eo.threads = opts.threads;
+    eo.seed = opts.seed;
+    EvalEngine engine(model, space, eo);
+
+    int batch = std::max(opts.neighborBatch, 1);
 
     SearchResult res;
     Genome cur = randomGenome(model.graph(), space, rng);
-    double cur_cost = evaluator.evaluate(cur);
+    double cur_cost = engine.evaluate(cur);
 
     auto record = [&](const Genome &genome, double cost) {
         ++res.samples;
@@ -38,31 +44,44 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
     double t_end = t0 * opts.tempEndFrac;
 
     while (res.samples < opts.sampleBudget) {
-        double progress =
-            static_cast<double>(res.samples) / opts.sampleBudget;
-        double temp = t0 * std::pow(t_end / t0, progress);
+        size_t want = static_cast<size_t>(std::min<int64_t>(
+            batch, opts.sampleBudget - res.samples));
 
-        Genome cand = cur;
-        switch (rng.index(3)) {
-          case 0:
-            mutateModifyNode(model.graph(), cand, rng);
-            break;
-          case 1:
-            mutateSplitSubgraph(model.graph(), cand, rng);
-            break;
-          default:
-            mutateMergeSubgraph(model.graph(), cand, rng);
-        }
-        if (space.searchHw && rng.bernoulli(opts.dseMutationRate))
-            mutateDse(space, cand, rng);
+        // Speculatively mutate `want` neighbors of the current state
+        // and evaluate them as one batch; per-neighbor RNG streams
+        // keep the batch deterministic for any thread count.
+        const Genome snapshot = cur;
+        std::vector<Genome> cands(want);
+        std::vector<double> costs(want, kInfeasiblePenalty);
+        engine.forEachStream(want, [&](size_t i, Rng &r) {
+            Genome cand = snapshot;
+            switch (r.index(3)) {
+              case 0:
+                mutateModifyNode(model.graph(), cand, r);
+                break;
+              case 1:
+                mutateSplitSubgraph(model.graph(), cand, r);
+                break;
+              default:
+                mutateMergeSubgraph(model.graph(), cand, r);
+            }
+            if (space.searchHw && r.bernoulli(opts.dseMutationRate))
+                mutateDse(space, cand, r);
+            cands[i] = std::move(cand);
+            costs[i] = engine.evaluate(cands[i]);
+        });
 
-        double cand_cost = evaluator.evaluate(cand);
-        record(cand, cand_cost);
-
-        double delta = cand_cost - cur_cost;
-        if (delta <= 0 || rng.bernoulli(std::exp(-delta / temp))) {
-            cur = std::move(cand);
-            cur_cost = cand_cost;
+        // Sequential Metropolis sweep in index order.
+        for (size_t i = 0; i < want; ++i) {
+            double progress =
+                static_cast<double>(res.samples) / opts.sampleBudget;
+            double temp = t0 * std::pow(t_end / t0, progress);
+            record(cands[i], costs[i]);
+            double delta = costs[i] - cur_cost;
+            if (delta <= 0 || rng.bernoulli(std::exp(-delta / temp))) {
+                cur = std::move(cands[i]);
+                cur_cost = costs[i];
+            }
         }
     }
 

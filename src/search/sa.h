@@ -4,6 +4,14 @@
  * optimization using the same customized mutation operators and the
  * same evaluation environment as the GA, with geometric cooling and
  * Metropolis acceptance.
+ *
+ * Parallelism: each round speculatively generates a batch of
+ * neighbors of the current state (per-neighbor RNG streams), submits
+ * the batch to the EvalEngine, then sweeps the results in index
+ * order with the usual Metropolis rule. With the default
+ * neighborBatch == 1 this is the classic serial chain. Results
+ * depend on the batch size but never on the thread count, so a
+ * fixed (seed, neighborBatch) pair reproduces exactly anywhere.
  */
 
 #ifndef COCCO_SEARCH_SA_H
@@ -24,6 +32,12 @@ struct SaOptions
     Metric metric = Metric::Energy;
     bool coExplore = true;
     double dseMutationRate = 0.3;
+
+    int threads = 1;       ///< evaluation parallelism; <= 0 = all cores
+    /** Speculative neighbors per round. The default 1 is the classic
+     *  serial chain (threads then gain nothing); raise it to occupy
+     *  the pool. Results depend on this value, not on threads. */
+    int neighborBatch = 1;
 };
 
 /** Run simulated annealing over the same genome space as the GA. */

@@ -39,6 +39,12 @@ runCandidates(CostModel &model, const DseSpace &space,
     SearchResult global;
     uint64_t sub_seed = opts.seed;
 
+    // One worker pool shared by every inner GA: the candidate loop
+    // must not pay thread spawn/join per hardware point.
+    std::shared_ptr<ThreadPool> pool;
+    if (ThreadPool::resolveThreads(opts.threads) > 1)
+        pool = std::make_shared<ThreadPool>(opts.threads);
+
     for (const HwPoint &pt : candidates) {
         if (global.samples >= opts.sampleBudget)
             break;
@@ -52,9 +58,10 @@ runCandidates(CostModel &model, const DseSpace &space,
         ga.alpha = opts.alpha;
         ga.metric = opts.metric;
         ga.coExplore = false; // partition-only under this capacity
+        ga.threads = opts.threads; // batch populations through the engine
 
         DseSpace fixed = DseSpace::fixedSpace(buf);
-        GeneticSearch search(model, fixed, ga);
+        GeneticSearch search(model, fixed, ga, pool);
         SearchResult inner = search.run();
 
         // Fold the inner (metric-only) trace into the global co-opt

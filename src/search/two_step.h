@@ -24,6 +24,9 @@ struct TwoStepOptions
     double alpha = 0.002;
     Metric metric = Metric::Energy;
     int population = 100;
+    /** Evaluation parallelism for the per-candidate inner GAs
+     *  (<= 0 = one per hardware thread). */
+    int threads = 1;
 };
 
 /** Random-search capacity sampling + GA partition (RS+GA). */

@@ -14,11 +14,10 @@ namespace cocco {
 
 namespace {
 
-/** Order-independent hash of a node set. */
+/** Hash of an already-sorted node set. */
 uint64_t
-hashNodeSet(std::vector<NodeId> nodes)
+hashSortedNodeSet(const std::vector<NodeId> &nodes)
 {
-    std::sort(nodes.begin(), nodes.end());
     uint64_t h = 0xcbf29ce484222325ULL;
     for (NodeId v : nodes) {
         uint64_t x = static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ULL;
@@ -30,6 +29,12 @@ hashNodeSet(std::vector<NodeId> nodes)
 }
 
 } // namespace
+
+size_t
+CostModel::NodeSetHash::operator()(const std::vector<NodeId> &nodes) const
+{
+    return static_cast<size_t>(hashSortedNodeSet(nodes));
+}
 
 double
 GraphCost::latencyMs(double clock_ghz) const
@@ -61,11 +66,38 @@ CostModel::CostModel(const Graph &g, const AcceleratorConfig &accel)
 const SubgraphProfile &
 CostModel::profile(const std::vector<NodeId> &nodes)
 {
-    uint64_t key = hashNodeSet(nodes);
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
+    // Canonical (sorted) node set: the cache key compares by value on
+    // hash hit, so a 64-bit collision cannot alias two subgraphs.
+    std::vector<NodeId> key(nodes);
+    std::sort(key.begin(), key.end());
+    uint64_t h = hashSortedNodeSet(key);
+    CacheShard &shard = shards_[h % kCacheShards];
 
+    // The shard lock is held across the profile computation: a second
+    // thread asking for the same subgraph waits for the memoized
+    // result instead of duplicating the tile-flow profiling.
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.map.find(key);
+    if (it != shard.map.end())
+        return it->second;
+    return shard.map.emplace(std::move(key), computeProfile(nodes))
+        .first->second;
+}
+
+size_t
+CostModel::cacheSize() const
+{
+    size_t n = 0;
+    for (const CacheShard &shard : shards_) {
+        std::lock_guard<std::mutex> lk(shard.mu);
+        n += shard.map.size();
+    }
+    return n;
+}
+
+SubgraphProfile
+CostModel::computeProfile(const std::vector<NodeId> &nodes) const
+{
     SubgraphProfile prof;
     prof.nodeCount = static_cast<int>(nodes.size());
 
@@ -137,10 +169,7 @@ CostModel::profile(const std::vector<NodeId> &nodes)
         prof.kernel = l.kernel;
         prof.stride = l.stride;
     }
-
-    auto [ins, ok] = cache_.emplace(key, prof);
-    (void)ok;
-    return ins->second;
+    return prof;
 }
 
 SubgraphCost

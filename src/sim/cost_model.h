@@ -21,6 +21,7 @@
 #define COCCO_SIM_COST_MODEL_H
 
 #include <cstdint>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -105,7 +106,18 @@ double objective(const GraphCost &cost, const BufferConfig &buf,
 /** Penalty objective value assigned to infeasible partitions. */
 constexpr double kInfeasiblePenalty = 1e18;
 
-/** Memoizing evaluator for one (graph, accelerator) pair. */
+/**
+ * Memoizing evaluator for one (graph, accelerator) pair.
+ *
+ * Thread safety: profile(), subgraphCost(), fits() and
+ * partitionCost() may be called concurrently from any number of
+ * threads. The profile memo is sharded across striped locks keyed by
+ * the node-set hash, so concurrent callers share (rather than
+ * duplicate) memoized profiles; a profile is computed at most once.
+ * Entries are keyed on the canonical (sorted) node set and compared
+ * by value on lookup, so a 64-bit hash collision can never alias two
+ * different subgraphs.
+ */
 class CostModel
 {
   public:
@@ -131,15 +143,32 @@ class CostModel
     GraphCost partitionCost(const Partition &p, const BufferConfig &buf);
 
     /** Number of distinct subgraphs profiled so far. */
-    size_t cacheSize() const { return cache_.size(); }
+    size_t cacheSize() const;
 
   private:
+    /** FNV-style hash of an already-sorted node set. */
+    struct NodeSetHash
+    {
+        size_t operator()(const std::vector<NodeId> &nodes) const;
+    };
+
+    /** One stripe of the profile memo. */
+    struct CacheShard
+    {
+        mutable std::mutex mu;
+        std::unordered_map<std::vector<NodeId>, SubgraphProfile, NodeSetHash>
+            map;
+    };
+
+    static constexpr int kCacheShards = 64;
+
     SubgraphCost assemble(const SubgraphProfile &prof,
                           const BufferConfig &buf) const;
+    SubgraphProfile computeProfile(const std::vector<NodeId> &nodes) const;
 
     const Graph &g_;
     AcceleratorConfig accel_;
-    std::unordered_map<uint64_t, SubgraphProfile> cache_;
+    CacheShard shards_[kCacheShards];
 };
 
 } // namespace cocco

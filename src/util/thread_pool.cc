@@ -1,0 +1,92 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace cocco {
+
+int
+ThreadPool::resolveThreads(int threads)
+{
+    if (threads > 0)
+        return threads;
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int total = resolveThreads(threads);
+    workers_.reserve(total - 1);
+    for (int i = 1; i < total; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        stop_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::runIndices(const std::function<void(size_t)> &fn, size_t n)
+{
+    for (size_t i; (i = next_.fetch_add(1, std::memory_order_relaxed)) < n;)
+        fn(i);
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        wake_cv_.wait(lk, [&] { return stop_ || jobId_ != seen; });
+        if (stop_)
+            return;
+        seen = jobId_;
+        ++arrived_;
+        ++busy_;
+        const std::function<void(size_t)> *fn = fn_;
+        size_t n = jobSize_;
+        lk.unlock();
+        runIndices(*fn, n);
+        lk.lock();
+        if (--busy_ == 0 && arrived_ == workers_.size())
+            done_cv_.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    if (workers_.empty() || n == 1) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        fn_ = &fn;
+        jobSize_ = n;
+        next_.store(0, std::memory_order_relaxed);
+        arrived_ = 0;
+        busy_ = 0;
+        ++jobId_;
+    }
+    wake_cv_.notify_all();
+    runIndices(fn, n);
+    // Wait for every worker to have both picked up and finished this
+    // job; a worker that wakes late must not see the next job's state.
+    std::unique_lock<std::mutex> lk(mu_);
+    done_cv_.wait(lk,
+                  [&] { return arrived_ == workers_.size() && busy_ == 0; });
+}
+
+} // namespace cocco

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A fixed-size worker pool with a parallel-for primitive, sized for
+ * the search layer's batched genome evaluation.
+ *
+ * Design points:
+ *   - the calling thread participates in every parallelFor, so a pool
+ *     constructed with 1 thread spawns no workers and runs inline
+ *     (zero overhead, bit-identical to a plain loop);
+ *   - indices are handed out through a shared atomic counter, so work
+ *     is dynamically balanced across workers;
+ *   - parallelFor blocks until every index has been processed and all
+ *     workers have quiesced, so the callable may safely live on the
+ *     caller's stack.
+ *
+ * parallelFor is not reentrant: the callable must not itself call
+ * parallelFor on the same pool.
+ */
+
+#ifndef COCCO_UTIL_THREAD_POOL_H
+#define COCCO_UTIL_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cocco {
+
+/** Fixed worker pool; see file comment for semantics. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param threads total parallelism including the caller; <= 0
+     *                means one per hardware thread.
+     */
+    explicit ThreadPool(int threads = 0);
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total parallelism (workers + the participating caller). */
+    int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+    /**
+     * Run fn(i) for every i in [0, n), distributing indices across
+     * the workers and the calling thread; returns when all are done.
+     * fn must not throw.
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+    /** Resolve a threads knob: <= 0 means hardware concurrency. */
+    static int resolveThreads(int threads);
+
+  private:
+    void workerLoop();
+    void runIndices(const std::function<void(size_t)> &fn, size_t n);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mu_;
+    std::condition_variable wake_cv_;  ///< caller -> workers: new job
+    std::condition_variable done_cv_;  ///< workers -> caller: job done
+
+    // Current job, guarded by mu_ except for next_.
+    const std::function<void(size_t)> *fn_ = nullptr;
+    size_t jobSize_ = 0;
+    std::atomic<size_t> next_{0};
+    uint64_t jobId_ = 0;   ///< bumped per job so workers detect new work
+    size_t arrived_ = 0;   ///< workers that have picked up this job
+    size_t busy_ = 0;      ///< workers still running this job
+    bool stop_ = false;
+};
+
+} // namespace cocco
+
+#endif // COCCO_UTIL_THREAD_POOL_H

@@ -11,6 +11,7 @@
  *   coexplore <model> [--style s]   hardware-mapping co-exploration
  *             (s = shared | separate)
  * Common flags: --samples N, --alpha F, --metric ema|energy, --seed N,
+ *               --threads N (parallel evaluation; 0 = all cores),
  *               --json (machine-readable output)
  */
 
@@ -45,6 +46,7 @@ struct CliArgs
     uint64_t seed = 1;
     bool json = false;
     int runs = 0;
+    int threads = 1;
 };
 
 [[noreturn]] void
@@ -60,7 +62,7 @@ usage()
         "  partition <model> --algo greedy|dp|enum|ga|sa\n"
         "  coexplore <model> [--style shared|separate]\n"
         "flags: --samples N --alpha F --metric ema|energy --seed N "
-        "--json\n");
+        "--threads N --json\n");
     std::exit(2);
 }
 
@@ -96,6 +98,8 @@ parse(int argc, char **argv)
             a.seed = std::strtoull(next(), nullptr, 10);
         else if (f == "--runs")
             a.runs = std::atoi(next());
+        else if (f == "--threads")
+            a.threads = std::atoi(next());
         else if (f == "--metric")
             a.metric = std::string(next()) == "ema" ? Metric::EMA
                                                     : Metric::Energy;
@@ -155,6 +159,7 @@ runPartition(const CliArgs &a)
         o.sampleBudget = a.samples;
         o.metric = a.metric;
         o.seed = a.seed;
+        o.threads = a.threads;
         if (a.algo == "sa") {
             DseSpace space = DseSpace::fixedSpace(buf);
             SaOptions so;
@@ -162,6 +167,7 @@ runPartition(const CliArgs &a)
             so.metric = a.metric;
             so.seed = a.seed;
             so.coExplore = false;
+            so.threads = a.threads;
             p = simulatedAnnealing(cocco.model(), space, so).best.part;
         } else {
             p = cocco.partitionOnly(buf, o).partition;
@@ -192,6 +198,7 @@ runCoExplore(const CliArgs &a)
     o.alpha = a.alpha;
     o.metric = a.metric;
     o.seed = a.seed;
+    o.threads = a.threads;
     BufferStyle style = a.style == "separate" ? BufferStyle::Separate
                                               : BufferStyle::Shared;
     CoccoResult r = cocco.coExplore(style, o);
