@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_flow.dir/bench/bench_ablation_flow.cc.o"
+  "CMakeFiles/bench_ablation_flow.dir/bench/bench_ablation_flow.cc.o.d"
+  "CMakeFiles/bench_ablation_flow.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_flow.dir/bench/bench_common.cc.o.d"
+  "bench_ablation_flow"
+  "bench_ablation_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_partition.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_partition.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_partition.dir/bench/bench_fig11_partition.cc.o"
+  "CMakeFiles/bench_fig11_partition.dir/bench/bench_fig11_partition.cc.o.d"
+  "bench_fig11_partition"
+  "bench_fig11_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_convergence.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_convergence.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_convergence.dir/bench/bench_fig12_convergence.cc.o"
+  "CMakeFiles/bench_fig12_convergence.dir/bench/bench_fig12_convergence.cc.o.d"
+  "bench_fig12_convergence"
+  "bench_fig12_convergence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_convergence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_distribution.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig13_distribution.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig13_distribution.dir/bench/bench_fig13_distribution.cc.o"
+  "CMakeFiles/bench_fig13_distribution.dir/bench/bench_fig13_distribution.cc.o.d"
+  "bench_fig13_distribution"
+  "bench_fig13_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_alpha.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig14_alpha.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig14_alpha.dir/bench/bench_fig14_alpha.cc.o"
+  "CMakeFiles/bench_fig14_alpha.dir/bench/bench_fig14_alpha.cc.o.d"
+  "bench_fig14_alpha"
+  "bench_fig14_alpha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

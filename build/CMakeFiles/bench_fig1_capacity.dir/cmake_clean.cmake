@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_capacity.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig1_capacity.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig1_capacity.dir/bench/bench_fig1_capacity.cc.o"
+  "CMakeFiles/bench_fig1_capacity.dir/bench/bench_fig1_capacity.cc.o.d"
+  "bench_fig1_capacity"
+  "bench_fig1_capacity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_capacity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

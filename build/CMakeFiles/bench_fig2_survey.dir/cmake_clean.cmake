@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_survey.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig2_survey.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig2_survey.dir/bench/bench_fig2_survey.cc.o"
+  "CMakeFiles/bench_fig2_survey.dir/bench/bench_fig2_survey.cc.o.d"
+  "bench_fig2_survey"
+  "bench_fig2_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fusion.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_fig3_fusion.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig3_fusion.dir/bench/bench_fig3_fusion.cc.o"
+  "CMakeFiles/bench_fig3_fusion.dir/bench/bench_fig3_fusion.cc.o.d"
+  "bench_fig3_fusion"
+  "bench_fig3_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab1_separate.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_tab1_separate.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_tab1_separate.dir/bench/bench_tab1_separate.cc.o"
+  "CMakeFiles/bench_tab1_separate.dir/bench/bench_tab1_separate.cc.o.d"
+  "bench_tab1_separate"
+  "bench_tab1_separate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab1_separate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

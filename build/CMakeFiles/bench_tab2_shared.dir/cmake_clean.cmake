@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab2_shared.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_tab2_shared.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_tab2_shared.dir/bench/bench_tab2_shared.cc.o"
+  "CMakeFiles/bench_tab2_shared.dir/bench/bench_tab2_shared.cc.o.d"
+  "bench_tab2_shared"
+  "bench_tab2_shared.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab2_shared.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

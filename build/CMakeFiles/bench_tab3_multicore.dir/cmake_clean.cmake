@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab3_multicore.dir/bench/bench_common.cc.o"
+  "CMakeFiles/bench_tab3_multicore.dir/bench/bench_common.cc.o.d"
+  "CMakeFiles/bench_tab3_multicore.dir/bench/bench_tab3_multicore.cc.o"
+  "CMakeFiles/bench_tab3_multicore.dir/bench/bench_tab3_multicore.cc.o.d"
+  "bench_tab3_multicore"
+  "bench_tab3_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab3_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

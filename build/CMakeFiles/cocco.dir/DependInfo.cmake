@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cocco.cc" "CMakeFiles/cocco.dir/src/core/cocco.cc.o" "gcc" "CMakeFiles/cocco.dir/src/core/cocco.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "CMakeFiles/cocco.dir/src/core/serialize.cc.o" "gcc" "CMakeFiles/cocco.dir/src/core/serialize.cc.o.d"
+  "/root/repo/src/graph/algorithms.cc" "CMakeFiles/cocco.dir/src/graph/algorithms.cc.o" "gcc" "CMakeFiles/cocco.dir/src/graph/algorithms.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "CMakeFiles/cocco.dir/src/graph/dot.cc.o" "gcc" "CMakeFiles/cocco.dir/src/graph/dot.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "CMakeFiles/cocco.dir/src/graph/graph.cc.o" "gcc" "CMakeFiles/cocco.dir/src/graph/graph.cc.o.d"
+  "/root/repo/src/graph/layer.cc" "CMakeFiles/cocco.dir/src/graph/layer.cc.o" "gcc" "CMakeFiles/cocco.dir/src/graph/layer.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "CMakeFiles/cocco.dir/src/graph/stats.cc.o" "gcc" "CMakeFiles/cocco.dir/src/graph/stats.cc.o.d"
+  "/root/repo/src/mem/buffer_config.cc" "CMakeFiles/cocco.dir/src/mem/buffer_config.cc.o" "gcc" "CMakeFiles/cocco.dir/src/mem/buffer_config.cc.o.d"
+  "/root/repo/src/mem/energy_model.cc" "CMakeFiles/cocco.dir/src/mem/energy_model.cc.o" "gcc" "CMakeFiles/cocco.dir/src/mem/energy_model.cc.o.d"
+  "/root/repo/src/mem/layout.cc" "CMakeFiles/cocco.dir/src/mem/layout.cc.o" "gcc" "CMakeFiles/cocco.dir/src/mem/layout.cc.o.d"
+  "/root/repo/src/mem/region_manager.cc" "CMakeFiles/cocco.dir/src/mem/region_manager.cc.o" "gcc" "CMakeFiles/cocco.dir/src/mem/region_manager.cc.o.d"
+  "/root/repo/src/models/googlenet.cc" "CMakeFiles/cocco.dir/src/models/googlenet.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/googlenet.cc.o.d"
+  "/root/repo/src/models/mobilenet.cc" "CMakeFiles/cocco.dir/src/models/mobilenet.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/mobilenet.cc.o.d"
+  "/root/repo/src/models/nasnet.cc" "CMakeFiles/cocco.dir/src/models/nasnet.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/nasnet.cc.o.d"
+  "/root/repo/src/models/random_dag.cc" "CMakeFiles/cocco.dir/src/models/random_dag.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/random_dag.cc.o.d"
+  "/root/repo/src/models/randwire.cc" "CMakeFiles/cocco.dir/src/models/randwire.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/randwire.cc.o.d"
+  "/root/repo/src/models/registry.cc" "CMakeFiles/cocco.dir/src/models/registry.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/registry.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "CMakeFiles/cocco.dir/src/models/resnet.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/resnet.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "CMakeFiles/cocco.dir/src/models/transformer.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/transformer.cc.o.d"
+  "/root/repo/src/models/vgg.cc" "CMakeFiles/cocco.dir/src/models/vgg.cc.o" "gcc" "CMakeFiles/cocco.dir/src/models/vgg.cc.o.d"
+  "/root/repo/src/partition/dp.cc" "CMakeFiles/cocco.dir/src/partition/dp.cc.o" "gcc" "CMakeFiles/cocco.dir/src/partition/dp.cc.o.d"
+  "/root/repo/src/partition/enumeration.cc" "CMakeFiles/cocco.dir/src/partition/enumeration.cc.o" "gcc" "CMakeFiles/cocco.dir/src/partition/enumeration.cc.o.d"
+  "/root/repo/src/partition/greedy.cc" "CMakeFiles/cocco.dir/src/partition/greedy.cc.o" "gcc" "CMakeFiles/cocco.dir/src/partition/greedy.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "CMakeFiles/cocco.dir/src/partition/partition.cc.o" "gcc" "CMakeFiles/cocco.dir/src/partition/partition.cc.o.d"
+  "/root/repo/src/partition/repair.cc" "CMakeFiles/cocco.dir/src/partition/repair.cc.o" "gcc" "CMakeFiles/cocco.dir/src/partition/repair.cc.o.d"
+  "/root/repo/src/search/eval_engine.cc" "CMakeFiles/cocco.dir/src/search/eval_engine.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/eval_engine.cc.o.d"
+  "/root/repo/src/search/ga.cc" "CMakeFiles/cocco.dir/src/search/ga.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/ga.cc.o.d"
+  "/root/repo/src/search/genome.cc" "CMakeFiles/cocco.dir/src/search/genome.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/genome.cc.o.d"
+  "/root/repo/src/search/operators.cc" "CMakeFiles/cocco.dir/src/search/operators.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/operators.cc.o.d"
+  "/root/repo/src/search/pareto.cc" "CMakeFiles/cocco.dir/src/search/pareto.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/pareto.cc.o.d"
+  "/root/repo/src/search/sa.cc" "CMakeFiles/cocco.dir/src/search/sa.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/sa.cc.o.d"
+  "/root/repo/src/search/two_step.cc" "CMakeFiles/cocco.dir/src/search/two_step.cc.o" "gcc" "CMakeFiles/cocco.dir/src/search/two_step.cc.o.d"
+  "/root/repo/src/sim/accelerator.cc" "CMakeFiles/cocco.dir/src/sim/accelerator.cc.o" "gcc" "CMakeFiles/cocco.dir/src/sim/accelerator.cc.o.d"
+  "/root/repo/src/sim/cost_model.cc" "CMakeFiles/cocco.dir/src/sim/cost_model.cc.o" "gcc" "CMakeFiles/cocco.dir/src/sim/cost_model.cc.o.d"
+  "/root/repo/src/sim/mapper.cc" "CMakeFiles/cocco.dir/src/sim/mapper.cc.o" "gcc" "CMakeFiles/cocco.dir/src/sim/mapper.cc.o.d"
+  "/root/repo/src/sim/multicore.cc" "CMakeFiles/cocco.dir/src/sim/multicore.cc.o" "gcc" "CMakeFiles/cocco.dir/src/sim/multicore.cc.o.d"
+  "/root/repo/src/sim/timeline.cc" "CMakeFiles/cocco.dir/src/sim/timeline.cc.o" "gcc" "CMakeFiles/cocco.dir/src/sim/timeline.cc.o.d"
+  "/root/repo/src/tileflow/footprint.cc" "CMakeFiles/cocco.dir/src/tileflow/footprint.cc.o" "gcc" "CMakeFiles/cocco.dir/src/tileflow/footprint.cc.o.d"
+  "/root/repo/src/tileflow/production.cc" "CMakeFiles/cocco.dir/src/tileflow/production.cc.o" "gcc" "CMakeFiles/cocco.dir/src/tileflow/production.cc.o.d"
+  "/root/repo/src/tileflow/schedule.cc" "CMakeFiles/cocco.dir/src/tileflow/schedule.cc.o" "gcc" "CMakeFiles/cocco.dir/src/tileflow/schedule.cc.o.d"
+  "/root/repo/src/tileflow/scheme.cc" "CMakeFiles/cocco.dir/src/tileflow/scheme.cc.o" "gcc" "CMakeFiles/cocco.dir/src/tileflow/scheme.cc.o.d"
+  "/root/repo/src/util/csv.cc" "CMakeFiles/cocco.dir/src/util/csv.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/csv.cc.o.d"
+  "/root/repo/src/util/json.cc" "CMakeFiles/cocco.dir/src/util/json.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/json.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/cocco.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/math_util.cc" "CMakeFiles/cocco.dir/src/util/math_util.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/math_util.cc.o.d"
+  "/root/repo/src/util/random.cc" "CMakeFiles/cocco.dir/src/util/random.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/random.cc.o.d"
+  "/root/repo/src/util/table.cc" "CMakeFiles/cocco.dir/src/util/table.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/table.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "CMakeFiles/cocco.dir/src/util/thread_pool.cc.o" "gcc" "CMakeFiles/cocco.dir/src/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cocco_cli.dir/tools/cocco_cli.cc.o"
+  "CMakeFiles/cocco_cli.dir/tools/cocco_cli.cc.o.d"
+  "cocco"
+  "cocco.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cocco_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/design_space_report.dir/examples/design_space_report.cpp.o"
+  "CMakeFiles/design_space_report.dir/examples/design_space_report.cpp.o.d"
+  "design_space_report"
+  "design_space_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/design_space_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

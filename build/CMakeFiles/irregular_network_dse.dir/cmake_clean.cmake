@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irregular_network_dse.dir/examples/irregular_network_dse.cpp.o"
+  "CMakeFiles/irregular_network_dse.dir/examples/irregular_network_dse.cpp.o.d"
+  "irregular_network_dse"
+  "irregular_network_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irregular_network_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

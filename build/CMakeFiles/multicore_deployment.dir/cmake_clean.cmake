@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_deployment.dir/examples/multicore_deployment.cpp.o"
+  "CMakeFiles/multicore_deployment.dir/examples/multicore_deployment.cpp.o.d"
+  "multicore_deployment"
+  "multicore_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

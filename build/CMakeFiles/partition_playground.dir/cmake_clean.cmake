@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_playground.dir/examples/partition_playground.cpp.o"
+  "CMakeFiles/partition_playground.dir/examples/partition_playground.cpp.o.d"
+  "partition_playground"
+  "partition_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

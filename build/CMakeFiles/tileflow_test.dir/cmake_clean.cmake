@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tileflow_test.dir/tests/tileflow_test.cc.o"
+  "CMakeFiles/tileflow_test.dir/tests/tileflow_test.cc.o.d"
+  "tileflow_test"
+  "tileflow_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tileflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
