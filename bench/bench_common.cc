@@ -17,10 +17,14 @@ parseArgs(int argc, char **argv, const char *what)
             args.full = false;
         } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
             args.seed = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--metrics-out") == 0 &&
+                   i + 1 < argc) {
+            args.metricsOut = argv[++i];
         } else if (std::strcmp(argv[i], "--help") == 0) {
             std::printf("%s\n  --fast   CI-sized budgets (default)\n"
                         "  --full   paper-sized budgets\n"
-                        "  --seed N PRNG seed (default 1)\n",
+                        "  --seed N PRNG seed (default 1)\n"
+                        "  --metrics-out FILE  write JSON run metrics\n",
                         what);
             std::exit(0);
         }
@@ -58,6 +62,22 @@ banner(const char *title, const BenchArgs &args)
                 args.full ? "--full (paper-sized budgets)"
                           : "--fast (CI-sized budgets)",
                 static_cast<unsigned long long>(args.seed));
+}
+
+bool
+writeMetrics(const BenchArgs &args, const char *tool,
+             const std::vector<RunMetrics> &runs)
+{
+    if (args.metricsOut.empty())
+        return true;
+    if (!writeMetricsFile(args.metricsOut, tool, runs)) {
+        std::fprintf(stderr, "error: could not write metrics to %s\n",
+                     args.metricsOut.c_str());
+        return false;
+    }
+    std::printf("metrics: %zu run(s) -> %s\n", runs.size(),
+                args.metricsOut.c_str());
+    return true;
 }
 
 } // namespace cocco::bench

@@ -2,8 +2,9 @@
  * @file
  * Shared helpers for the experiment harnesses: command-line handling
  * (--fast for CI-sized budgets, --full for paper-sized budgets,
- * --seed N), and the standard accelerator/buffer setups the paper's
- * evaluation section uses.
+ * --seed N, --metrics-out FILE), the standard accelerator/buffer
+ * setups the paper's evaluation section uses, and the JSON metrics
+ * sink CI consumes.
  */
 
 #ifndef COCCO_BENCH_COMMON_H
@@ -13,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "core/metrics.h"
 #include "mem/buffer_config.h"
 #include "sim/accelerator.h"
 
@@ -23,6 +25,7 @@ struct BenchArgs
 {
     bool full = false;   ///< paper-sized sample budgets
     uint64_t seed = 1;
+    std::string metricsOut; ///< JSON metrics path ("" = don't write)
 
     /** Samples for partition-only searches (paper: 400,000). */
     int64_t partitionBudget() const { return full ? 400000 : 4000; }
@@ -51,6 +54,14 @@ std::vector<std::string> coExploreModels();
 
 /** Header banner for a harness. */
 void banner(const char *title, const BenchArgs &args);
+
+/**
+ * Write the collected per-run metrics to args.metricsOut (no-op when
+ * the flag was not given). Prints the path / any error to stdout and
+ * returns false only on an I/O failure.
+ */
+bool writeMetrics(const BenchArgs &args, const char *tool,
+                  const std::vector<RunMetrics> &runs);
 
 } // namespace cocco::bench
 

@@ -1,17 +1,26 @@
 /**
  * @file
- * Parallel-evaluation microbench: wall-clock throughput of batched
- * population evaluation (the GA driver end to end) at increasing
- * thread counts, on a fresh CostModel per run so no run warms
- * another's profile memo.
+ * Parallel-evaluation + evaluation-cache microbench.
  *
- * Also the determinism check for the engine's headline contract:
- * every parallel run must report the exact best objective and trace
- * of the serial run.
+ * Section 1 (threads): wall-clock throughput of batched population
+ * evaluation (the GA driver end to end) at increasing thread counts,
+ * on a fresh CostModel per run so no run warms another's profile
+ * memo. Every parallel run must report the exact best objective and
+ * trace of the serial run (the engine's determinism contract).
+ *
+ * Section 2 (cache): the evaluation-cache contract. A cache-disabled
+ * run, a cold-cache run and a warm repeat (same seed, shared cache)
+ * must be bit-identical; the warm repeat must serve at least half of
+ * its evaluations from cache.
+ *
+ * --metrics-out FILE writes every run as a structured JSON record
+ * (the artifact CI uploads). Exits non-zero on any contract
+ * violation.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -32,7 +41,8 @@ struct RunStats
 
 RunStats
 runOnce(const Graph &g, const AcceleratorConfig &accel, int threads,
-        int64_t budget, int population, uint64_t seed)
+        int64_t budget, int population, uint64_t seed, bool cache_enabled,
+        const std::shared_ptr<EvalCache> &cache)
 {
     CostModel model(g, accel); // fresh memo: no cross-run warm-up
     DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
@@ -41,6 +51,8 @@ runOnce(const Graph &g, const AcceleratorConfig &accel, int threads,
     opts.sampleBudget = budget;
     opts.seed = seed;
     opts.threads = threads;
+    opts.cacheEnabled = cache_enabled;
+    opts.cache = cache;
 
     auto t0 = std::chrono::steady_clock::now();
     RunStats stats;
@@ -64,17 +76,39 @@ sameResult(const SearchResult &a, const SearchResult &b)
     return true;
 }
 
+RunMetrics
+toMetrics(const std::string &name, const std::string &model,
+          int threads, uint64_t seed, bool cache_enabled,
+          const RunStats &s)
+{
+    RunMetrics m;
+    m.name = name;
+    m.model = model;
+    m.threads = threads;
+    m.seed = seed;
+    m.samples = s.result.samples;
+    m.bestCost = s.result.bestCost;
+    m.wallSeconds = s.seconds;
+    m.cacheEnabled = cache_enabled;
+    m.cache = s.result.cacheStats;
+    return m;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     BenchArgs args = parseArgs(argc, argv, "parallel population evaluation");
-    banner("Parallel evaluation engine: serial vs batched GA", args);
+    banner("Parallel evaluation engine: serial vs batched GA, "
+           "evaluation cache",
+           args);
 
     AcceleratorConfig accel = paperAccelerator();
     int64_t budget = args.full ? 20000 : 4000;
     int population = args.population();
+    bool failed = false;
+    std::vector<RunMetrics> metrics;
 
     int hw = static_cast<int>(std::thread::hardware_concurrency());
     std::printf("hardware threads: %d\n", hw);
@@ -91,12 +125,13 @@ main(int argc, char **argv)
         std::printf("\n%s: %lld samples, population %d\n", name.c_str(),
                     static_cast<long long>(budget), population);
 
+        // --- Section 1: thread scaling (per-run private caches). ---
         Table t({"threads", "time (s)", "samples/s", "speedup",
                  "deterministic"});
         RunStats serial;
         for (int threads : thread_counts) {
             RunStats s = runOnce(g, accel, threads, budget, population,
-                                 args.seed);
+                                 args.seed, true, nullptr);
             if (threads == 1)
                 serial = s;
             bool same = sameResult(serial.result, s.result);
@@ -105,15 +140,87 @@ main(int argc, char **argv)
                       Table::fmtDouble(s.result.samples / s.seconds, 0),
                       Table::fmtDouble(serial.seconds / s.seconds, 2) + "x",
                       same ? "yes" : "MISMATCH"});
-            if (!same)
+            if (!same) {
                 std::fprintf(stderr,
                              "error: threads=%d diverged from serial\n",
                              threads);
+                failed = true;
+            }
+            metrics.push_back(toMetrics(
+                "threads-" + std::to_string(threads), name, threads,
+                args.seed, true, s));
         }
         t.print();
         std::printf("best objective %.6g after %lld samples\n",
                     serial.result.bestCost,
                     static_cast<long long>(serial.result.samples));
+
+        // --- Section 2: the evaluation-cache contract. ---
+        RunStats nocache = runOnce(g, accel, 1, budget, population,
+                                   args.seed, false, nullptr);
+        auto cache = std::make_shared<EvalCache>();
+        RunStats cold = runOnce(g, accel, 1, budget, population, args.seed,
+                                true, cache);
+        RunStats warm = runOnce(g, accel, 1, budget, population, args.seed,
+                                true, cache);
+
+        auto served = [](const RunStats &s) {
+            return static_cast<long long>(s.result.cacheStats.hits);
+        };
+        auto answered = [](const RunStats &s) {
+            return static_cast<long long>(s.result.cacheStats.hits +
+                                          s.result.cacheStats.misses);
+        };
+        Table ct({"run", "time (s)", "served/evals", "hit rate",
+                  "identical"});
+        auto crow = [&](const char *label, const RunStats &s,
+                        bool cache_on) {
+            bool same = sameResult(nocache.result, s.result);
+            ct.addRow({label, Table::fmtDouble(s.seconds, 2),
+                       cache_on ? Table::fmtInt(served(s)) + "/" +
+                                      Table::fmtInt(answered(s))
+                                : "-",
+                       cache_on
+                           ? Table::fmtDouble(
+                                 100.0 * s.result.cacheStats.hitRate(), 1) +
+                                 "%"
+                           : "-",
+                       same ? "yes" : "MISMATCH"});
+            if (!same) {
+                std::fprintf(stderr,
+                             "error: %s diverged from the cache-disabled "
+                             "run\n",
+                             label);
+                failed = true;
+            }
+        };
+        crow("no-cache", nocache, false);
+        crow("cold", cold, true);
+        crow("warm", warm, true);
+        ct.print();
+
+        double warm_rate = warm.result.cacheStats.hitRate();
+        std::printf("warm repeat: %lld/%lld evaluations served from cache "
+                    "(%.1f%%)\n",
+                    served(warm), answered(warm), 100.0 * warm_rate);
+        if (warm_rate < 0.5) {
+            std::fprintf(stderr,
+                         "error: warm cache served %.1f%% < 50%% of "
+                         "evaluations\n",
+                         100.0 * warm_rate);
+            failed = true;
+        }
+
+        metrics.push_back(
+            toMetrics("cache-disabled", name, 1, args.seed, false,
+                      nocache));
+        metrics.push_back(
+            toMetrics("cache-cold", name, 1, args.seed, true, cold));
+        metrics.push_back(
+            toMetrics("cache-warm", name, 1, args.seed, true, warm));
     }
-    return 0;
+
+    if (!writeMetrics(args, "bench_parallel_eval", metrics))
+        failed = true;
+    return failed ? 1 : 0;
 }

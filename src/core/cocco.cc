@@ -19,6 +19,8 @@ CoccoFramework::package(const SearchResult &r, const DseSpace &space,
     out.samples = r.samples;
     out.trace = r.trace;
     out.points = r.points;
+    out.cacheStats = r.cacheStats;
+    out.deltaStats = r.deltaStats;
     (void)opts;
     return out;
 }

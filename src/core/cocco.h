@@ -54,6 +54,8 @@ struct CoccoResult
     int64_t samples = 0;
     std::vector<TracePoint> trace;
     std::vector<SamplePoint> points;
+    EvalCacheStats cacheStats; ///< evaluation-cache activity of the run
+    DeltaStats deltaStats;     ///< operator gene-change accounting
 };
 
 /** The hardware-mapping co-exploration framework. */

@@ -1,0 +1,86 @@
+#include "core/metrics.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace cocco {
+
+int64_t
+RunMetrics::evalsTotal() const
+{
+    if (!cacheEnabled)
+        return samples;
+    return static_cast<int64_t>(cache.hits + cache.misses);
+}
+
+int64_t
+RunMetrics::evalsComputed() const
+{
+    return evalsTotal() - evalsCached();
+}
+
+int64_t
+RunMetrics::evalsCached() const
+{
+    return cacheEnabled ? static_cast<int64_t>(cache.hits) : 0;
+}
+
+std::string
+metricsToJson(const std::string &generator,
+              const std::vector<RunMetrics> &runs)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", 1);
+    w.field("generator", generator);
+    w.key("runs").beginArray();
+    for (const RunMetrics &r : runs) {
+        w.beginObject();
+        w.field("name", r.name);
+        w.field("model", r.model);
+        w.field("threads", r.threads);
+        w.field("seed", r.seed);
+        w.field("samples", r.samples);
+        w.field("best_cost", r.bestCost);
+        w.field("wall_seconds", r.wallSeconds);
+        w.field("evals_total", r.evalsTotal());
+        w.field("evals_computed", r.evalsComputed());
+        w.field("evals_cached", r.evalsCached());
+        w.key("cache").beginObject();
+        w.field("enabled", r.cacheEnabled);
+        w.field("hits", r.cache.hits);
+        w.field("misses", r.cache.misses);
+        w.field("insertions", r.cache.insertions);
+        w.field("evictions", r.cache.evictions);
+        w.field("hit_rate", r.cache.hitRate());
+        w.field("block_hits", r.cache.blockHits);
+        w.field("block_misses", r.cache.blockMisses);
+        w.field("entries", r.cache.entries);
+        w.field("block_entries", r.cache.blockEntries);
+        w.endObject();
+        w.key("extra").beginObject();
+        for (const auto &[key, value] : r.extra)
+            w.field(key, value);
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+bool
+writeMetricsFile(const std::string &path, const std::string &generator,
+                 const std::vector<RunMetrics> &runs)
+{
+    std::string doc = metricsToJson(generator, runs);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace cocco

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The machine-readable metrics pipeline: a flat per-run record
+ * (search outcome, evaluation/cache accounting, wall time, thread
+ * count) serialized to a versioned JSON document. The bench harnesses
+ * (--metrics-out) and the CLI emit it; CI uploads it as an artifact
+ * so the perf trajectory is tracked from structured data instead of
+ * stdout scraping.
+ *
+ * Schema (version 1):
+ * {
+ *   "schema_version": 1,
+ *   "generator": "<tool name>",
+ *   "runs": [
+ *     {
+ *       "name": "...", "model": "...",
+ *       "threads": N, "seed": N, "samples": N,
+ *       "best_cost": X, "wall_seconds": X,
+ *       "evals_total": N, "evals_computed": N, "evals_cached": N,
+ *       "cache": { "enabled": B, "hits": N, "misses": N,
+ *                  "insertions": N, "evictions": N, "hit_rate": X,
+ *                  "block_hits": N, "block_misses": N,
+ *                  "entries": N, "block_entries": N },
+ *       "extra": { "<key>": X, ... }
+ *     }, ...
+ *   ]
+ * }
+ */
+
+#ifndef COCCO_CORE_METRICS_H
+#define COCCO_CORE_METRICS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "search/eval_cache.h"
+
+namespace cocco {
+
+/** One run's worth of metrics (one element of the "runs" array). */
+struct RunMetrics
+{
+    std::string name;   ///< run label ("ga-cold", "coexplore", ...)
+    std::string model;  ///< workload model name
+    int threads = 1;
+    uint64_t seed = 0;
+    int64_t samples = 0;
+    double bestCost = 0.0;
+    double wallSeconds = 0.0;
+
+    bool cacheEnabled = false;
+    EvalCacheStats cache; ///< per-run counter deltas
+
+    /** Free-form numeric side channel ("speedup", "budget", ...). */
+    std::vector<std::pair<std::string, double>> extra;
+
+    /** Evaluations answered, computed and served from cache. */
+    int64_t evalsTotal() const;
+    int64_t evalsComputed() const;
+    int64_t evalsCached() const;
+};
+
+/** Serialize a metrics document (schema above). */
+std::string metricsToJson(const std::string &generator,
+                          const std::vector<RunMetrics> &runs);
+
+/** Write a metrics document to @p path. @return false on I/O error. */
+bool writeMetricsFile(const std::string &path, const std::string &generator,
+                      const std::vector<RunMetrics> &runs);
+
+} // namespace cocco
+
+#endif // COCCO_CORE_METRICS_H

@@ -1,5 +1,8 @@
 #include "core/serialize.h"
 
+#include <cinttypes>
+#include <cstdio>
+
 #include "util/json.h"
 
 namespace cocco {
@@ -85,6 +88,82 @@ resultToJson(const Graph &g, const CoccoResult &r)
     w.endArray();
     w.endObject();
     return w.str();
+}
+
+namespace {
+
+constexpr const char *kCacheMagic = "COCCO-EVALCACHE";
+constexpr int kCacheVersion = 1;
+
+/** Guard against absurd vector lengths from corrupt files. */
+constexpr int kMaxPersistedNodes = 1 << 22;
+
+} // namespace
+
+bool
+saveEvalCache(const EvalCache &cache, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "%s %d\n", kCacheMagic, kCacheVersion);
+    bool ok = true;
+    cache.forEachEntry([&](const EvalCache::Entry &e) {
+        if (!ok || e.keyBlock.size() != e.repairedBlock.size())
+            return;
+        // E hash salt act wgt shr numBlocks cost n key... repaired...
+        std::fprintf(f, "E %" PRIx64 " %" PRIx64 " %d %d %d %d %a %zu",
+                     e.hash, e.salt, e.actIdx, e.weightIdx, e.sharedIdx,
+                     e.numBlocks, e.cost, e.keyBlock.size());
+        for (int b : e.keyBlock)
+            std::fprintf(f, " %d", b);
+        for (int b : e.repairedBlock)
+            std::fprintf(f, " %d", b);
+        if (std::fputc('\n', f) == EOF)
+            ok = false;
+    });
+    if (std::fclose(f) != 0)
+        ok = false;
+    return ok;
+}
+
+int
+loadEvalCache(EvalCache &cache, const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r");
+    if (!f)
+        return -1;
+    char magic[32] = {0};
+    int version = 0;
+    if (std::fscanf(f, "%31s %d", magic, &version) != 2 ||
+        std::string(magic) != kCacheMagic || version != kCacheVersion) {
+        std::fclose(f);
+        return -1;
+    }
+    int loaded = 0;
+    char tag[4];
+    while (std::fscanf(f, "%3s", tag) == 1 && tag[0] == 'E' && !tag[1]) {
+        EvalCache::Entry e;
+        size_t n = 0;
+        if (std::fscanf(f, "%" SCNx64 " %" SCNx64 " %d %d %d %d %la %zu",
+                        &e.hash, &e.salt, &e.actIdx, &e.weightIdx,
+                        &e.sharedIdx, &e.numBlocks, &e.cost, &n) != 8 ||
+            n > static_cast<size_t>(kMaxPersistedNodes))
+            break;
+        e.keyBlock.resize(n);
+        e.repairedBlock.resize(n);
+        bool ok = true;
+        for (size_t i = 0; ok && i < n; ++i)
+            ok = std::fscanf(f, "%d", &e.keyBlock[i]) == 1;
+        for (size_t i = 0; ok && i < n; ++i)
+            ok = std::fscanf(f, "%d", &e.repairedBlock[i]) == 1;
+        if (!ok)
+            break;
+        cache.insertEntry(std::move(e));
+        ++loaded;
+    }
+    std::fclose(f);
+    return loaded;
 }
 
 } // namespace cocco

@@ -1,8 +1,9 @@
 /**
  * @file
- * JSON serialization of the framework's artifacts — the recommended
- * configuration, the partition, per-subgraph execution schemes —
- * so downstream compilers/visualizers can consume search results.
+ * Serialization of the framework's artifacts: JSON for downstream
+ * compilers/visualizers (recommended configuration, partition,
+ * per-subgraph execution schemes), and the on-disk evaluation-cache
+ * format that lets repeated CLI/bench runs warm-start.
  */
 
 #ifndef COCCO_CORE_SERIALIZE_H
@@ -11,6 +12,7 @@
 #include <string>
 
 #include "core/cocco.h"
+#include "search/eval_cache.h"
 #include "tileflow/scheme.h"
 
 namespace cocco {
@@ -23,6 +25,28 @@ std::string schemeToJson(const Graph &g, const ExecutionScheme &s);
 
 /** Serialize a full CoccoResult (buffer, costs, partition). */
 std::string resultToJson(const Graph &g, const CoccoResult &r);
+
+/**
+ * Persist the genome level of an evaluation cache to @p path.
+ *
+ * Line-oriented text format, version-tagged; doubles are written as
+ * hexfloats so a round trip is bit-exact. Entries carry their context
+ * salt, so a file may safely be loaded into any run — entries from a
+ * different model/accelerator/space/option set simply never hit.
+ *
+ * @return false when the file cannot be written.
+ */
+bool saveEvalCache(const EvalCache &cache, const std::string &path);
+
+/**
+ * Merge the entries stored at @p path into @p cache (subject to its
+ * capacity/LRU policy).
+ *
+ * @return the number of entries loaded, or -1 when the file cannot
+ *         be read or has an unknown format version. A truncated or
+ *         corrupt tail stops the load but keeps earlier entries.
+ */
+int loadEvalCache(EvalCache &cache, const std::string &path);
 
 } // namespace cocco
 

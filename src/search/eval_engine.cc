@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "partition/repair.h"
+#include "util/hash.h"
 
 namespace cocco {
 
@@ -19,12 +20,32 @@ mixStream(uint64_t seed, uint64_t stream)
     return x ^ (x >> 31);
 }
 
+/** Fingerprint of everything the objective value depends on. Seed and
+ *  thread count are deliberately absent: results are independent of
+ *  both, so caches warm across seeds and machines. */
+uint64_t
+contextSalt(const CostModel &model, const DseSpace &space,
+            const EvalOptions &opts)
+{
+    uint64_t h = kHashSeed;
+    h = hashGraph(h, model.graph());
+    h = hashAccelerator(h, model.accel());
+    h = hashDseSpace(h, space);
+    h = hashDouble(h, opts.alpha);
+    h = hashU64(h, static_cast<uint64_t>(opts.metric));
+    h = hashU64(h, opts.coExplore ? 1 : 0);
+    h = hashU64(h, opts.inSituSplit ? 1 : 0);
+    return hashFinalize(h);
+}
+
 } // namespace
 
 EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
                        const EvalOptions &opts,
-                       std::shared_ptr<ThreadPool> pool)
-    : model_(model), space_(space), opts_(opts), pool_(std::move(pool))
+                       std::shared_ptr<ThreadPool> pool,
+                       std::shared_ptr<EvalCache> cache)
+    : model_(model), space_(space), opts_(opts), pool_(std::move(pool)),
+      cache_(std::move(cache))
 {
     if (!pool_) {
         int total = ThreadPool::resolveThreads(opts.threads);
@@ -33,22 +54,109 @@ EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
     } else if (pool_->size() == 1) {
         pool_ = nullptr; // a serial pool is just the inline path
     }
+    if (!cache_ && opts_.cacheEnabled)
+        cache_ = std::make_shared<EvalCache>(opts_.cacheCapacity);
+    if (!opts_.cacheEnabled)
+        cache_ = nullptr;
+    salt_ = contextSalt(model_, space_, opts_);
+    // Block costs depend only on the model, so fencing them by this
+    // narrower salt lets engines that differ in alpha/metric/space
+    // still share per-subgraph work through one cache.
+    modelSalt_ = hashFinalize(
+        hashAccelerator(hashGraph(kHashSeed, model_.graph()),
+                        model_.accel()));
+}
+
+uint64_t
+EvalEngine::genomeHash(const Genome &genome) const
+{
+    uint64_t h = hashU64(kHashSeed, salt_);
+    return hashFinalize(hashGenome(h, genome, space_));
+}
+
+EvalCache::KeyView
+EvalEngine::makeKey(uint64_t hash, const std::vector<int> &block,
+                    const Genome &genome) const
+{
+    EvalCache::KeyView key{hash, salt_, block, 0, 0, 0};
+    // Only live hardware genes participate: dead genes (frozen space,
+    // other buffer style) are normalized to 0 so genomes that decode
+    // identically share one entry.
+    if (space_.searchHw) {
+        if (space_.style == BufferStyle::Shared) {
+            key.sharedIdx = genome.sharedIdx;
+        } else {
+            key.actIdx = genome.actIdx;
+            key.weightIdx = genome.weightIdx;
+        }
+    }
+    return key;
 }
 
 double
-EvalEngine::evaluate(Genome &genome)
+EvalEngine::evaluateUncached(Genome &genome)
 {
     BufferConfig buf = genome.buffer(space_);
     if (opts_.inSituSplit) {
         genome.part = repairToCapacity(model_.graph(),
                                        std::move(genome.part), model_, buf);
     }
-    GraphCost gc = model_.partitionCost(genome.part, buf);
+    GraphCost gc;
+    if (cache_) {
+        EvalCache::BlockView blocks = cache_->blockView(modelSalt_);
+        gc = model_.partitionCost(genome.part, buf, &blocks);
+    } else {
+        gc = model_.partitionCost(genome.part, buf);
+    }
     if (opts_.coExplore)
         return objective(gc, buf, opts_.alpha, opts_.metric);
     if (!gc.feasible)
         return kInfeasiblePenalty;
     return gc.metricValue(opts_.metric);
+}
+
+void
+EvalEngine::noteDelta(const GeneDelta &delta)
+{
+    deltaReports_.fetch_add(1, std::memory_order_relaxed);
+    deltaNodes_.fetch_add(delta.nodes.size(), std::memory_order_relaxed);
+    if (delta.hwChanged && !delta.partitionChanged)
+        deltaHwOnly_.fetch_add(1, std::memory_order_relaxed);
+    if (delta.partitionChanged && delta.nodes.empty())
+        deltaRewrites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+DeltaStats
+EvalEngine::deltaStats() const
+{
+    DeltaStats s;
+    s.reports = deltaReports_.load(std::memory_order_relaxed);
+    s.nodesTouched = deltaNodes_.load(std::memory_order_relaxed);
+    s.hwOnly = deltaHwOnly_.load(std::memory_order_relaxed);
+    s.rewrites = deltaRewrites_.load(std::memory_order_relaxed);
+    return s;
+}
+
+double
+EvalEngine::evaluate(Genome &genome, const GeneDelta *delta)
+{
+    if (delta)
+        noteDelta(*delta);
+    if (!cache_)
+        return evaluateUncached(genome);
+
+    uint64_t hash = genomeHash(genome);
+    double cost = 0.0;
+    if (cache_->lookup(makeKey(hash, genome.part.block, genome),
+                       &genome.part, &cost))
+        return cost;
+
+    // Snapshot the pre-repair key material: evaluation mutates the
+    // partition in place (in-situ capacity tuning).
+    std::vector<int> pre_block = genome.part.block;
+    cost = evaluateUncached(genome);
+    cache_->insert(makeKey(hash, pre_block, genome), genome.part, cost);
+    return cost;
 }
 
 Rng

@@ -18,16 +18,29 @@
  * GA populations, SA neighbor batches and the two-step baselines all
  * submit work through this engine (paper Section 4.4's evaluation
  * stage, parallelized).
+ *
+ * Caching: unless disabled, every evaluation is memoized in an
+ * EvalCache keyed by a content hash of (evaluation context, genome).
+ * A hit restores the cached objective AND the cached in-situ-repaired
+ * partition, so cached and uncached runs are bit-identical. Cache
+ * misses additionally reuse per-subgraph cost contributions through
+ * the cache's block level, so a genome that shares most blocks with
+ * previously seen ones (the common case after one mutation) only
+ * assembles the changed blocks. Pass a shared cache to warm-start
+ * across engines/runs (e.g. two-step candidate sweeps, repeated CLI
+ * runs via the on-disk format).
  */
 
 #ifndef COCCO_SEARCH_EVAL_ENGINE_H
 #define COCCO_SEARCH_EVAL_ENGINE_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
 
+#include "search/eval_cache.h"
 #include "search/genome.h"
 #include "sim/cost_model.h"
 #include "util/random.h"
@@ -44,6 +57,29 @@ struct EvalOptions
     bool inSituSplit = true;     ///< capacity repair at evaluation
     int threads = 1;             ///< total parallelism; <= 0 = all cores
     uint64_t seed = 1;           ///< base of the per-genome RNG streams
+
+    bool cacheEnabled = true;    ///< memoize evaluations in an EvalCache
+    size_t cacheCapacity = EvalCache::kDefaultCapacity; ///< genome entries
+};
+
+/** Operator-reported gene-change accounting (see GeneDelta). */
+struct DeltaStats
+{
+    uint64_t reports = 0;      ///< evaluations arriving with a delta
+    uint64_t nodesTouched = 0; ///< total reassigned nodes across them
+    uint64_t hwOnly = 0;       ///< deltas that touched hardware genes only
+    uint64_t rewrites = 0;     ///< global partition rewrites (crossover)
+
+    /** Counter-wise accumulation (e.g. across two-step inner GAs). */
+    DeltaStats &
+    operator+=(const DeltaStats &o)
+    {
+        reports += o.reports;
+        nodesTouched += o.nodesTouched;
+        hwOnly += o.hwOnly;
+        rewrites += o.rewrites;
+        return *this;
+    }
 };
 
 /** Batched, thread-parallel genome evaluator. */
@@ -51,15 +87,20 @@ class EvalEngine
 {
   public:
     /**
-     * @param pool an existing pool to share (e.g. across the inner
-     *             GAs of a two-step sweep); null = own one sized by
-     *             opts.threads. Shared pools must not be used from
-     *             two engines concurrently (parallelFor is not
-     *             reentrant).
+     * @param pool  an existing pool to share (e.g. across the inner
+     *              GAs of a two-step sweep); null = own one sized by
+     *              opts.threads. Shared pools must not be used from
+     *              two engines concurrently (parallelFor is not
+     *              reentrant).
+     * @param cache an existing cache to share/warm-start from; null =
+     *              own one sized by opts.cacheCapacity (none at all
+     *              when opts.cacheEnabled is false). Shared caches
+     *              may serve any number of engines concurrently.
      */
     EvalEngine(CostModel &model, const DseSpace &space,
                const EvalOptions &opts,
-               std::shared_ptr<ThreadPool> pool = nullptr);
+               std::shared_ptr<ThreadPool> pool = nullptr,
+               std::shared_ptr<EvalCache> cache = nullptr);
 
     /** Resolved parallelism (>= 1). */
     int threads() const { return pool_ ? pool_->size() : 1; }
@@ -69,12 +110,28 @@ class EvalEngine
     const DseSpace &space() const { return space_; }
     const EvalOptions &options() const { return opts_; }
 
+    /** The evaluation cache (null when disabled). */
+    std::shared_ptr<EvalCache> cache() const { return cache_; }
+
+    /** Evaluation-context fingerprint: graph, accelerator, space and
+     *  the result-affecting options (not seed/threads). Two engines
+     *  share cache entries iff their salts match. */
+    uint64_t salt() const { return salt_; }
+
+    /** Gene-change accounting accumulated from evaluate() deltas. */
+    DeltaStats deltaStats() const;
+
     /**
      * Evaluate one genome in the calling thread: decode its buffer,
      * apply in-situ capacity tuning (mutates genome.part), and return
-     * the objective (Formula 2) or metric (Formula 1) value.
+     * the objective (Formula 2) or metric (Formula 1) value. Served
+     * from the cache when the genome was evaluated before (the cached
+     * repaired partition is restored, so hits are indistinguishable
+     * from recomputation). @p delta, when provided, reports which
+     * genes the producing operator chain touched (accounting only —
+     * correctness never depends on it).
      */
-    double evaluate(Genome &genome);
+    double evaluate(Genome &genome, const GeneDelta *delta = nullptr);
 
     /**
      * Evaluate a batch concurrently; genome i's cost lands in slot i
@@ -98,11 +155,26 @@ class EvalEngine
     Rng streamRng(uint64_t index) const;
 
   private:
+    double evaluateUncached(Genome &genome);
+    EvalCache::KeyView makeKey(uint64_t hash,
+                               const std::vector<int> &block,
+                               const Genome &genome) const;
+    uint64_t genomeHash(const Genome &genome) const;
+    void noteDelta(const GeneDelta &delta);
+
     CostModel &model_;
     DseSpace space_;
     EvalOptions opts_;
     std::shared_ptr<ThreadPool> pool_; ///< null when threads == 1
+    std::shared_ptr<EvalCache> cache_; ///< null when caching disabled
+    uint64_t salt_ = 0;      ///< full evaluation context (genome level)
+    uint64_t modelSalt_ = 0; ///< graph + accelerator only (block level)
     uint64_t streamCounter_ = 0;
+
+    std::atomic<uint64_t> deltaReports_{0};
+    std::atomic<uint64_t> deltaNodes_{0};
+    std::atomic<uint64_t> deltaHwOnly_{0};
+    std::atomic<uint64_t> deltaRewrites_{0};
 };
 
 } // namespace cocco

@@ -25,6 +25,8 @@ gaEvalOptions(const GaOptions &opts)
     e.inSituSplit = opts.inSituSplit;
     e.threads = opts.threads;
     e.seed = opts.seed;
+    e.cacheEnabled = opts.cacheEnabled;
+    e.cacheCapacity = opts.cacheCapacity;
     return e;
 }
 
@@ -34,7 +36,8 @@ GeneticSearch::GeneticSearch(CostModel &model, const DseSpace &space,
                              const GaOptions &opts,
                              std::shared_ptr<ThreadPool> pool)
     : model_(model), space_(space), opts_(opts),
-      engine_(model, space, gaEvalOptions(opts), std::move(pool))
+      engine_(model, space, gaEvalOptions(opts), std::move(pool),
+              opts.cache)
 {
 }
 
@@ -52,6 +55,9 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
     // batches parallelize without perturbing this sequence.
     Rng rng(opts_.seed);
     SearchResult res;
+    EvalCacheStats cache_start;
+    if (engine_.cache())
+        cache_start = engine_.cache()->stats();
 
     struct Scored
     {
@@ -122,31 +128,33 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
         const std::vector<Scored> &parents = pop;
         engine_.forEachStream(want, [&](size_t i, Rng &r) {
             Genome child;
+            GeneDelta delta;
             if (r.bernoulli(opts_.crossoverRate)) {
                 const Scored &dad = tournament_pick(parents, r);
                 const Scored &mom = tournament_pick(parents, r);
                 child = crossover(model_.graph(), space_, dad.genome,
-                                  mom.genome, r);
+                                  mom.genome, r, &delta);
             } else {
                 child = tournament_pick(parents, r).genome;
             }
             if (r.bernoulli(opts_.mutPartitionRate)) {
                 switch (r.index(3)) {
                   case 0:
-                    mutateModifyNode(model_.graph(), child, r);
+                    mutateModifyNode(model_.graph(), child, r, &delta);
                     break;
                   case 1:
-                    mutateSplitSubgraph(model_.graph(), child, r);
+                    mutateSplitSubgraph(model_.graph(), child, r, &delta);
                     break;
                   default:
-                    mutateMergeSubgraph(model_.graph(), child, r);
+                    mutateMergeSubgraph(model_.graph(), child, r, &delta);
                 }
             }
             if (space_.searchHw && r.bernoulli(opts_.mutDseRate))
-                mutateDse(space_, child, r);
+                mutateDse(space_, child, r, 2.0, &delta);
 
             offspring[i].genome = std::move(child);
-            offspring[i].cost = engine_.evaluate(offspring[i].genome);
+            offspring[i].cost =
+                engine_.evaluate(offspring[i].genome, &delta);
         });
         for (const Scored &sc : offspring)
             record(sc);
@@ -170,6 +178,9 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
 
     res.bestBuffer = res.best.buffer(space_);
     res.bestGraphCost = model_.partitionCost(res.best.part, res.bestBuffer);
+    if (engine_.cache())
+        res.cacheStats = engine_.cache()->stats() - cache_start;
+    res.deltaStats = engine_.deltaStats();
     return res;
 }
 

@@ -44,6 +44,13 @@ struct SearchResult
     int64_t samples = 0;
     std::vector<TracePoint> trace;
     std::vector<SamplePoint> points; ///< filled when recordPoints
+
+    /** Evaluation-cache activity attributable to this run (a delta
+     *  when the cache is shared across runs; zeros when disabled). */
+    EvalCacheStats cacheStats;
+
+    /** Operator gene-change accounting for this run. */
+    DeltaStats deltaStats;
 };
 
 /** GA hyper-parameters. */
@@ -71,6 +78,16 @@ struct GaOptions
      * (see EvalEngine).
      */
     int threads = 1;
+
+    /** Memoize evaluations (bit-identical either way; see EvalCache). */
+    bool cacheEnabled = true;
+
+    /** Genome-entry capacity of an engine-owned cache. */
+    size_t cacheCapacity = EvalCache::kDefaultCapacity;
+
+    /** Optional shared cache (warm-start / cross-run accumulation);
+     *  null = the engine owns one per cacheCapacity. */
+    std::shared_ptr<EvalCache> cache;
 };
 
 /** The genetic optimizer. */

@@ -43,6 +43,40 @@ struct Genome
     BufferConfig buffer(const DseSpace &space) const;
 };
 
+/**
+ * Change report filled by the variation operators: which genes a
+ * crossover/mutation touched, so the evaluation layer knows how much
+ * of a genome survived from its parent (incremental re-evaluation
+ * accounting — the unchanged blocks' cost contributions come from the
+ * EvalCache's block level instead of being recomputed).
+ *
+ * The report covers the operator's direct reassignments, pre-repair:
+ * structural repair may ripple block renumbering further, which is
+ * why the cache layers key on content, not on this report. An empty
+ * `nodes` with `partitionChanged` set means a global rewrite
+ * (crossover builds the child partition from scratch).
+ */
+struct GeneDelta
+{
+    std::vector<NodeId> nodes;     ///< nodes the operator reassigned
+    bool partitionChanged = false; ///< any partition gene touched
+    bool hwChanged = false;        ///< any hardware gene touched
+
+    /** Record the reassignment of one node. */
+    void
+    noteNode(NodeId v)
+    {
+        nodes.push_back(v);
+        partitionChanged = true;
+    }
+
+    /** Record a hardware-gene change. */
+    void noteHw() { hwChanged = true; }
+
+    /** True when no gene changed (the child equals its parent). */
+    bool unchanged() const { return !partitionChanged && !hwChanged; }
+};
+
 } // namespace cocco
 
 #endif // COCCO_SEARCH_GENOME_H

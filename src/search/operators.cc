@@ -64,8 +64,15 @@ randomGenome(const Graph &g, const DseSpace &space, Rng &rng)
 
 Genome
 crossover(const Graph &g, const DseSpace &space, const Genome &dad,
-          const Genome &mom, Rng &rng)
+          const Genome &mom, Rng &rng, GeneDelta *delta)
 {
+    if (delta) {
+        // The child partition is written from scratch; an empty node
+        // list with the flag set encodes the global rewrite.
+        delta->partitionChanged = true;
+        if (space.searchHw)
+            delta->noteHw();
+    }
     Genome child;
     child.part.block.assign(g.size(), -1);
     int next_block = 0;
@@ -118,7 +125,7 @@ crossover(const Graph &g, const DseSpace &space, const Genome &dad,
 }
 
 void
-mutateModifyNode(const Graph &g, Genome &genome, Rng &rng)
+mutateModifyNode(const Graph &g, Genome &genome, Rng &rng, GeneDelta *delta)
 {
     NodeId v = static_cast<NodeId>(rng.index(g.size()));
 
@@ -133,12 +140,18 @@ mutateModifyNode(const Graph &g, Genome &genome, Rng &rng)
         fresh = std::max(fresh, b + 1);
     targets.push_back(fresh);
 
-    genome.part.block[v] = targets[rng.index(targets.size())];
+    int target = targets[rng.index(targets.size())];
+    if (target == genome.part.block[v])
+        return; // node keeps its block: genome unchanged
+    if (delta)
+        delta->noteNode(v);
+    genome.part.block[v] = target;
     genome.part = repairStructure(g, std::move(genome.part));
 }
 
 void
-mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng)
+mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng,
+                    GeneDelta *delta)
 {
     auto blocks = genome.part.blocks();
     std::vector<int> multi;
@@ -154,13 +167,17 @@ mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng)
     int fresh = 0;
     for (int b : genome.part.block)
         fresh = std::max(fresh, b + 1);
-    for (size_t i = cut; i < blk.size(); ++i)
+    for (size_t i = cut; i < blk.size(); ++i) {
+        if (delta)
+            delta->noteNode(blk[i]);
         genome.part.block[blk[i]] = fresh;
+    }
     genome.part = repairStructure(g, std::move(genome.part));
 }
 
 void
-mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng)
+mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng,
+                    GeneDelta *delta)
 {
     // Collect inter-block edges; merging adjacent blocks keeps the
     // result connected (structural repair handles any cycle fallout).
@@ -173,25 +190,36 @@ mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng)
     if (pairs.empty())
         return;
     auto [a, b] = pairs[rng.index(pairs.size())];
-    for (int &x : genome.part.block)
-        if (x == b)
-            x = a;
+    for (NodeId v = 0; v < g.size(); ++v)
+        if (genome.part.block[v] == b) {
+            if (delta)
+                delta->noteNode(v);
+            genome.part.block[v] = a;
+        }
     genome.part = repairStructure(g, std::move(genome.part));
 }
 
 void
-mutateDse(const DseSpace &space, Genome &genome, Rng &rng, double sigma)
+mutateDse(const DseSpace &space, Genome &genome, Rng &rng, double sigma,
+          GeneDelta *delta)
 {
     if (!space.searchHw)
         return;
     if (space.style == BufferStyle::Shared) {
-        genome.sharedIdx =
-            gaussStep(genome.sharedIdx, space.sharedGrid, rng, sigma);
+        int idx = gaussStep(genome.sharedIdx, space.sharedGrid, rng, sigma);
+        if (delta && idx != genome.sharedIdx)
+            delta->noteHw();
+        genome.sharedIdx = idx;
     } else if (rng.bernoulli(0.5)) {
-        genome.actIdx = gaussStep(genome.actIdx, space.actGrid, rng, sigma);
+        int idx = gaussStep(genome.actIdx, space.actGrid, rng, sigma);
+        if (delta && idx != genome.actIdx)
+            delta->noteHw();
+        genome.actIdx = idx;
     } else {
-        genome.weightIdx =
-            gaussStep(genome.weightIdx, space.weightGrid, rng, sigma);
+        int idx = gaussStep(genome.weightIdx, space.weightGrid, rng, sigma);
+        if (delta && idx != genome.weightIdx)
+            delta->noteHw();
+        genome.weightIdx = idx;
     }
 }
 

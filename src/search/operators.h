@@ -29,25 +29,32 @@ Genome randomGenome(const Graph &g, const DseSpace &space, Rng &rng);
  * with already-decided layers are resolved by splitting out a new
  * subgraph or merging with a decided one (both choices sampled).
  * Hardware indices average (rounded to the grid).
+ *
+ * Every operator optionally reports what it touched through @p delta
+ * (appended, never cleared, so one report can span an operator
+ * chain); crossover reports a global partition rewrite.
  */
 Genome crossover(const Graph &g, const DseSpace &space, const Genome &dad,
-                 const Genome &mom, Rng &rng);
+                 const Genome &mom, Rng &rng, GeneDelta *delta = nullptr);
 
 /** modify-node (Figure 9(c)): reassign one random node. */
-void mutateModifyNode(const Graph &g, Genome &genome, Rng &rng);
+void mutateModifyNode(const Graph &g, Genome &genome, Rng &rng,
+                      GeneDelta *delta = nullptr);
 
 /** split-subgraph (Figure 9(d)): split one random multi-node block. */
-void mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng);
+void mutateSplitSubgraph(const Graph &g, Genome &genome, Rng &rng,
+                         GeneDelta *delta = nullptr);
 
 /** merge-subgraph (Figure 9(e)): merge two adjacent blocks. */
-void mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng);
+void mutateMergeSubgraph(const Graph &g, Genome &genome, Rng &rng,
+                         GeneDelta *delta = nullptr);
 
 /**
  * mutation-DSE: gaussian step on the capacity grid indices
  * (std deviation @p sigma grid steps).
  */
 void mutateDse(const DseSpace &space, Genome &genome, Rng &rng,
-               double sigma = 2.0);
+               double sigma = 2.0, GeneDelta *delta = nullptr);
 
 } // namespace cocco
 

@@ -22,7 +22,12 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
     eo.coExplore = opts.coExplore;
     eo.threads = opts.threads;
     eo.seed = opts.seed;
-    EvalEngine engine(model, space, eo);
+    eo.cacheEnabled = opts.cacheEnabled;
+    eo.cacheCapacity = opts.cacheCapacity;
+    EvalEngine engine(model, space, eo, nullptr, opts.cache);
+    EvalCacheStats cache_start;
+    if (engine.cache())
+        cache_start = engine.cache()->stats();
 
     int batch = std::max(opts.neighborBatch, 1);
 
@@ -55,20 +60,21 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
         std::vector<double> costs(want, kInfeasiblePenalty);
         engine.forEachStream(want, [&](size_t i, Rng &r) {
             Genome cand = snapshot;
+            GeneDelta delta;
             switch (r.index(3)) {
               case 0:
-                mutateModifyNode(model.graph(), cand, r);
+                mutateModifyNode(model.graph(), cand, r, &delta);
                 break;
               case 1:
-                mutateSplitSubgraph(model.graph(), cand, r);
+                mutateSplitSubgraph(model.graph(), cand, r, &delta);
                 break;
               default:
-                mutateMergeSubgraph(model.graph(), cand, r);
+                mutateMergeSubgraph(model.graph(), cand, r, &delta);
             }
             if (space.searchHw && r.bernoulli(opts.dseMutationRate))
-                mutateDse(space, cand, r);
+                mutateDse(space, cand, r, 2.0, &delta);
             cands[i] = std::move(cand);
-            costs[i] = engine.evaluate(cands[i]);
+            costs[i] = engine.evaluate(cands[i], &delta);
         });
 
         // Sequential Metropolis sweep in index order.
@@ -87,6 +93,9 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
 
     res.bestBuffer = res.best.buffer(space);
     res.bestGraphCost = model.partitionCost(res.best.part, res.bestBuffer);
+    if (engine.cache())
+        res.cacheStats = engine.cache()->stats() - cache_start;
+    res.deltaStats = engine.deltaStats();
     return res;
 }
 

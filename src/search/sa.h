@@ -38,6 +38,11 @@ struct SaOptions
      *  serial chain (threads then gain nothing); raise it to occupy
      *  the pool. Results depend on this value, not on threads. */
     int neighborBatch = 1;
+
+    /** Evaluation-cache knobs (see GaOptions). */
+    bool cacheEnabled = true;
+    size_t cacheCapacity = EvalCache::kDefaultCapacity;
+    std::shared_ptr<EvalCache> cache;
 };
 
 /** Run simulated annealing over the same genome space as the GA. */

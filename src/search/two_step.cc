@@ -45,6 +45,14 @@ runCandidates(CostModel &model, const DseSpace &space,
     if (ThreadPool::resolveThreads(opts.threads) > 1)
         pool = std::make_shared<ThreadPool>(opts.threads);
 
+    // One evaluation cache shared by every inner GA likewise.
+    std::shared_ptr<EvalCache> cache = opts.cache;
+    if (!cache && opts.cacheEnabled)
+        cache = std::make_shared<EvalCache>(opts.cacheCapacity);
+    EvalCacheStats cache_start;
+    if (cache)
+        cache_start = cache->stats();
+
     for (const HwPoint &pt : candidates) {
         if (global.samples >= opts.sampleBudget)
             break;
@@ -59,10 +67,14 @@ runCandidates(CostModel &model, const DseSpace &space,
         ga.metric = opts.metric;
         ga.coExplore = false; // partition-only under this capacity
         ga.threads = opts.threads; // batch populations through the engine
+        ga.cacheEnabled = opts.cacheEnabled;
+        ga.cacheCapacity = opts.cacheCapacity;
+        ga.cache = cache;
 
         DseSpace fixed = DseSpace::fixedSpace(buf);
         GeneticSearch search(model, fixed, ga, pool);
         SearchResult inner = search.run();
+        global.deltaStats += inner.deltaStats;
 
         // Fold the inner (metric-only) trace into the global co-opt
         // objective trace.
@@ -84,6 +96,8 @@ runCandidates(CostModel &model, const DseSpace &space,
         global.bestGraphCost =
             model.partitionCost(global.best.part, global.bestBuffer);
     }
+    if (cache)
+        global.cacheStats = cache->stats() - cache_start;
     return global;
 }
 

@@ -27,6 +27,14 @@ struct TwoStepOptions
     /** Evaluation parallelism for the per-candidate inner GAs
      *  (<= 0 = one per hardware thread). */
     int threads = 1;
+
+    /** Evaluation-cache knobs (see GaOptions). One cache is shared
+     *  across all inner GAs: genome entries are fenced per candidate
+     *  buffer (the salt covers the frozen space), while the profile
+     *  memo and the accounting accumulate across the sweep. */
+    bool cacheEnabled = true;
+    size_t cacheCapacity = EvalCache::kDefaultCapacity;
+    std::shared_ptr<EvalCache> cache;
 };
 
 /** Random-search capacity sampling + GA partition (RS+GA). */

@@ -268,7 +268,8 @@ CostModel::fits(const std::vector<NodeId> &nodes, const BufferConfig &buf)
 }
 
 GraphCost
-CostModel::partitionCost(const Partition &p, const BufferConfig &buf)
+CostModel::partitionCost(const Partition &p, const BufferConfig &buf,
+                         SubgraphCostCache *block_cache)
 {
     GraphCost total;
     total.feasible = true;
@@ -276,7 +277,12 @@ CostModel::partitionCost(const Partition &p, const BufferConfig &buf)
     std::vector<SubgraphCost> costs;
     costs.reserve(blocks.size());
     for (const auto &blk : blocks) {
-        SubgraphCost c = subgraphCost(blk, buf);
+        SubgraphCost c;
+        if (!block_cache || !block_cache->lookupBlock(blk, buf, &c)) {
+            c = subgraphCost(blk, buf);
+            if (block_cache)
+                block_cache->insertBlock(blk, buf, c);
+        }
         ++total.subgraphs;
         costs.push_back(c);
         if (!c.feasible) {

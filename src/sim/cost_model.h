@@ -107,6 +107,31 @@ double objective(const GraphCost &cost, const BufferConfig &buf,
 constexpr double kInfeasiblePenalty = 1e18;
 
 /**
+ * Hook for an external per-(subgraph, buffer) cost cache. When a
+ * partition evaluation only changed a few blocks relative to earlier
+ * evaluations, the unchanged blocks' SubgraphCosts are served from
+ * here instead of being reassembled (incremental re-evaluation; the
+ * EvalCache in src/search/eval_cache.h is the production
+ * implementation). Implementations must be thread-safe and must
+ * return exactly the value that was inserted — a cache may evict or
+ * miss freely, but never alias two different keys.
+ */
+class SubgraphCostCache
+{
+  public:
+    virtual ~SubgraphCostCache() = default;
+
+    /** @return true and fill @p out when (nodes, buf) is cached. */
+    virtual bool lookupBlock(const std::vector<NodeId> &nodes,
+                             const BufferConfig &buf, SubgraphCost *out) = 0;
+
+    /** Record the cost of (nodes, buf). */
+    virtual void insertBlock(const std::vector<NodeId> &nodes,
+                             const BufferConfig &buf,
+                             const SubgraphCost &cost) = 0;
+};
+
+/**
  * Memoizing evaluator for one (graph, accelerator) pair.
  *
  * Thread safety: profile(), subgraphCost(), fits() and
@@ -139,8 +164,14 @@ class CostModel
     /** Whether a subgraph fits @p buf (residency + region limit). */
     bool fits(const std::vector<NodeId> &nodes, const BufferConfig &buf);
 
-    /** Aggregate cost of a partition under @p buf. */
-    GraphCost partitionCost(const Partition &p, const BufferConfig &buf);
+    /**
+     * Aggregate cost of a partition under @p buf. When @p block_cache
+     * is non-null, per-block SubgraphCosts are looked up there first
+     * and inserted on miss, so re-evaluating a partition that shares
+     * blocks with earlier ones only assembles the changed blocks.
+     */
+    GraphCost partitionCost(const Partition &p, const BufferConfig &buf,
+                            SubgraphCostCache *block_cache = nullptr);
 
     /** Number of distinct subgraphs profiled so far. */
     size_t cacheSize() const;

@@ -130,6 +130,15 @@ JsonWriter::value(int64_t v)
 }
 
 JsonWriter &
+JsonWriter::value(uint64_t v)
+{
+    comma();
+    pending_key_ = false;
+    out_ += strprintf("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(double v)
 {
     comma();

@@ -34,6 +34,7 @@ class JsonWriter
     JsonWriter &value(const std::string &v);
     JsonWriter &value(const char *v);
     JsonWriter &value(int64_t v);
+    JsonWriter &value(uint64_t v);
     JsonWriter &value(int v) { return value(static_cast<int64_t>(v)); }
     JsonWriter &value(double v);
     JsonWriter &value(bool v);

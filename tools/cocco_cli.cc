@@ -12,15 +12,21 @@
  *             (s = shared | separate)
  * Common flags: --samples N, --alpha F, --metric ema|energy, --seed N,
  *               --threads N (parallel evaluation; 0 = all cores),
- *               --json (machine-readable output)
+ *               --json (machine-readable output),
+ *               --cache-size N (evaluation-cache entries; 0 disables),
+ *               --cache-file F (persist/warm-start the cache),
+ *               --metrics-out F (write a JSON run-metrics report)
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "core/cocco.h"
+#include "core/metrics.h"
 #include "core/serialize.h"
 #include "graph/dot.h"
 #include "graph/stats.h"
@@ -47,6 +53,10 @@ struct CliArgs
     bool json = false;
     int runs = 0;
     int threads = 1;
+    int64_t cacheSize =
+        static_cast<int64_t>(EvalCache::kDefaultCapacity); ///< 0 = off
+    std::string cacheFile;  ///< warm-start / persist path ("" = none)
+    std::string metricsOut; ///< JSON metrics path ("" = none)
 };
 
 [[noreturn]] void
@@ -62,7 +72,8 @@ usage()
         "  partition <model> --algo greedy|dp|enum|ga|sa\n"
         "  coexplore <model> [--style shared|separate]\n"
         "flags: --samples N --alpha F --metric ema|energy --seed N "
-        "--threads N --json\n");
+        "--threads N --json\n"
+        "       --cache-size N --cache-file F --metrics-out F\n");
     std::exit(2);
 }
 
@@ -100,6 +111,12 @@ parse(int argc, char **argv)
             a.runs = std::atoi(next());
         else if (f == "--threads")
             a.threads = std::atoi(next());
+        else if (f == "--cache-size")
+            a.cacheSize = std::atoll(next());
+        else if (f == "--cache-file")
+            a.cacheFile = next();
+        else if (f == "--metrics-out")
+            a.metricsOut = next();
         else if (f == "--metric")
             a.metric = std::string(next()) == "ema" ? Metric::EMA
                                                     : Metric::Energy;
@@ -109,6 +126,84 @@ parse(int argc, char **argv)
             usage();
     }
     return a;
+}
+
+/** Build the run's evaluation cache per the CLI knobs; warm-start
+ *  from --cache-file when it exists. Null when caching is off. */
+std::shared_ptr<EvalCache>
+openCache(const CliArgs &a)
+{
+    if (a.cacheSize <= 0)
+        return nullptr;
+    auto cache =
+        std::make_shared<EvalCache>(static_cast<size_t>(a.cacheSize));
+    if (!a.cacheFile.empty()) {
+        int n = loadEvalCache(*cache, a.cacheFile);
+        if (n >= 0)
+            std::fprintf(stderr, "cache: warm-started %d entries from %s\n",
+                         n, a.cacheFile.c_str());
+        else
+            std::fprintf(stderr,
+                         "cache: %s missing or unreadable, starting cold\n",
+                         a.cacheFile.c_str());
+    }
+    return cache;
+}
+
+/** Persist the cache back to --cache-file (when both are in play). */
+void
+closeCache(const CliArgs &a, const std::shared_ptr<EvalCache> &cache)
+{
+    if (!cache || a.cacheFile.empty())
+        return;
+    if (saveEvalCache(*cache, a.cacheFile))
+        std::fprintf(stderr, "cache: saved %zu entries to %s\n",
+                     cache->size(), a.cacheFile.c_str());
+    else
+        std::fprintf(stderr, "cache: could not write %s\n",
+                     a.cacheFile.c_str());
+}
+
+/** Write the run's JSON metrics record (when --metrics-out given). */
+void
+emitMetrics(const CliArgs &a, const std::string &name, double wall_seconds,
+            int64_t samples, double best_cost, bool cache_enabled,
+            const EvalCacheStats &stats)
+{
+    if (a.metricsOut.empty())
+        return;
+    RunMetrics m;
+    m.name = name;
+    m.model = a.model;
+    m.threads = ThreadPool::resolveThreads(a.threads);
+    m.seed = a.seed;
+    m.samples = samples;
+    m.bestCost = best_cost;
+    m.wallSeconds = wall_seconds;
+    m.cacheEnabled = cache_enabled;
+    m.cache = stats;
+    if (!writeMetricsFile(a.metricsOut, "cocco_cli", {m}))
+        std::fprintf(stderr, "error: could not write metrics to %s\n",
+                     a.metricsOut.c_str());
+}
+
+/** Human-mode stderr summary of a run's cache activity. */
+void
+printCacheLine(const EvalCacheStats &stats)
+{
+    std::fprintf(stderr, "cache: %llu/%llu evaluations served (%.1f%%)\n",
+                 static_cast<unsigned long long>(stats.hits),
+                 static_cast<unsigned long long>(stats.hits + stats.misses),
+                 100.0 * stats.hitRate());
+}
+
+/** Seconds elapsed since @p t0. */
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         t0)
+        .count();
 }
 
 void
@@ -139,6 +234,14 @@ runPartition(const CliArgs &a)
     buf.actBytes = 1024 * 1024;
     buf.weightBytes = 1152 * 1024;
 
+    // Only the sampling searches evaluate genomes; greedy/dp/enum
+    // never touch the cache, so don't open (or rewrite) it for them.
+    bool sampling = a.algo == "ga" || a.algo == "sa";
+    std::shared_ptr<EvalCache> cache = sampling ? openCache(a) : nullptr;
+    EvalCacheStats run_stats;
+    int64_t samples = 0;
+    auto t0 = std::chrono::steady_clock::now();
+
     Partition p;
     if (a.algo == "greedy") {
         p = greedyPartition(g, model, buf, a.metric);
@@ -160,6 +263,8 @@ runPartition(const CliArgs &a)
         o.metric = a.metric;
         o.seed = a.seed;
         o.threads = a.threads;
+        o.cacheEnabled = cache != nullptr;
+        o.cache = cache;
         if (a.algo == "sa") {
             DseSpace space = DseSpace::fixedSpace(buf);
             SaOptions so;
@@ -168,14 +273,24 @@ runPartition(const CliArgs &a)
             so.seed = a.seed;
             so.coExplore = false;
             so.threads = a.threads;
-            p = simulatedAnnealing(cocco.model(), space, so).best.part;
+            so.cacheEnabled = cache != nullptr;
+            so.cache = cache;
+            SearchResult r = simulatedAnnealing(cocco.model(), space, so);
+            p = r.best.part;
+            run_stats = r.cacheStats;
+            samples = r.samples;
         } else {
-            p = cocco.partitionOnly(buf, o).partition;
+            CoccoResult r = cocco.partitionOnly(buf, o);
+            p = r.partition;
+            run_stats = r.cacheStats;
+            samples = r.samples;
         }
     } else {
         usage();
     }
 
+    double wall = secondsSince(t0);
+    closeCache(a, cache);
     GraphCost c = model.partitionCost(p, buf);
     if (a.json) {
         std::printf("%s\n", partitionToJson(g, p).c_str());
@@ -183,7 +298,11 @@ runPartition(const CliArgs &a)
         std::printf("%s: %s partition -> %zu subgraphs\n",
                     a.model.c_str(), a.algo.c_str(), p.blocks().size());
         printCost(g, c, buf, a.alpha, a.metric);
+        if (cache && samples > 0)
+            printCacheLine(run_stats);
     }
+    emitMetrics(a, "partition-" + a.algo, wall, samples,
+                c.metricValue(a.metric), cache != nullptr, run_stats);
     return 0;
 }
 
@@ -199,9 +318,15 @@ runCoExplore(const CliArgs &a)
     o.metric = a.metric;
     o.seed = a.seed;
     o.threads = a.threads;
+    std::shared_ptr<EvalCache> cache = openCache(a);
+    o.cacheEnabled = cache != nullptr;
+    o.cache = cache;
     BufferStyle style = a.style == "separate" ? BufferStyle::Separate
                                               : BufferStyle::Shared;
+    auto t0 = std::chrono::steady_clock::now();
     CoccoResult r = cocco.coExplore(style, o);
+    double wall = secondsSince(t0);
+    closeCache(a, cache);
     if (a.json) {
         std::printf("%s\n", resultToJson(g, r).c_str());
     } else {
@@ -209,7 +334,11 @@ runCoExplore(const CliArgs &a)
                     a.model.c_str(), r.buffer.str().c_str(),
                     static_cast<long long>(r.samples));
         printCost(g, r.cost, r.buffer, a.alpha, a.metric);
+        if (cache)
+            printCacheLine(r.cacheStats);
     }
+    emitMetrics(a, "coexplore", wall, r.samples, r.objective,
+                cache != nullptr, r.cacheStats);
     return 0;
 }
 
