@@ -32,6 +32,19 @@ parseArgs(int argc, char **argv, const char *what)
     return args;
 }
 
+cocco::SearchSpec
+searchSpec(const std::string &algo, const BenchArgs &args)
+{
+    cocco::SearchSpec spec;
+    spec.algo = algo;
+    spec.eval.sampleBudget = args.coExploreBudget();
+    spec.eval.seed = args.seed;
+    spec.ga.population = args.population();
+    spec.twoStep.population = args.population();
+    spec.twoStep.samplesPerCandidate = args.perCandidateBudget();
+    return spec;
+}
+
 AcceleratorConfig
 paperAccelerator()
 {

@@ -16,6 +16,7 @@
 
 #include "core/metrics.h"
 #include "mem/buffer_config.h"
+#include "search/driver.h"
 #include "sim/accelerator.h"
 
 namespace cocco::bench {
@@ -42,6 +43,16 @@ struct BenchArgs
 
 /** Parse --fast/--full/--seed; prints the chosen mode. */
 BenchArgs parseArgs(int argc, char **argv, const char *what);
+
+/**
+ * The standard run spec of the co-exploration studies for one
+ * registry driver: co-explore budget, the bench population, the
+ * per-candidate two-step budget, and the seed, all from @p args.
+ * Resolve it through SearcherRegistry (raw CostModel + DseSpace) or
+ * CoccoFramework::explore; tweak fields per study as needed.
+ */
+cocco::SearchSpec searchSpec(const std::string &algo,
+                             const BenchArgs &args);
 
 /** The paper's single-core evaluation platform. */
 AcceleratorConfig paperAccelerator();

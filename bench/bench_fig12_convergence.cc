@@ -17,8 +17,6 @@
 
 #include "bench_common.h"
 #include "core/cocco.h"
-#include "search/sa.h"
-#include "search/two_step.h"
 #include "util/csv.h"
 #include "util/table.h"
 
@@ -86,6 +84,10 @@ main(int argc, char **argv)
         };
         std::vector<Series> series;
 
+        // Every method resolves through the driver registry; the
+        // specs only differ in the algorithm key and the mode.
+        const SearcherRegistry &reg = SearcherRegistry::instance();
+
         // Fixed-HW baselines: partition-only GA whose trace is lifted
         // into the Formula 2 objective at that fixed size.
         for (auto [label, buf] :
@@ -95,13 +97,10 @@ main(int argc, char **argv)
                         BufferConfig::fixedMedium(BufferStyle::Shared)},
               std::pair{"Buf(L)+GA",
                         BufferConfig::fixedLarge(BufferStyle::Shared)}}) {
-            GaOptions o;
-            o.sampleBudget = budget;
-            o.population = args.population();
-            o.coExplore = false;
-            o.seed = args.seed;
+            SearchSpec spec = searchSpec("ga", args);
+            spec.eval.coExplore = false;
             DseSpace fixed = DseSpace::fixedSpace(buf);
-            SearchResult r = GeneticSearch(model, fixed, o).run();
+            SearchResult r = reg.make("ga", model, fixed, spec)->run();
             for (TracePoint &tp : r.trace)
                 if (tp.bestCost < kInfeasiblePenalty)
                     tp.bestCost = buf.totalBytes() + 0.002 * tp.bestCost;
@@ -109,24 +108,14 @@ main(int argc, char **argv)
             series.push_back({label, std::move(r)});
         }
 
-        TwoStepOptions ts;
-        ts.sampleBudget = budget;
-        ts.samplesPerCandidate = args.perCandidateBudget();
-        ts.population = args.population();
-        ts.seed = args.seed;
-        series.push_back({"RS+GA", twoStepRandom(model, space, ts)});
-        series.push_back({"GS+GA", twoStepGrid(model, space, ts)});
-
-        SaOptions sa;
-        sa.sampleBudget = budget;
-        sa.seed = args.seed;
-        series.push_back({"SA", simulatedAnnealing(model, space, sa)});
-
-        GaOptions ga;
-        ga.sampleBudget = budget;
-        ga.population = args.population();
-        ga.seed = args.seed;
-        series.push_back({"Cocco", GeneticSearch(model, space, ga).run()});
+        for (auto [label, key] : {std::pair{"RS+GA", "ts-random"},
+                                  std::pair{"GS+GA", "ts-grid"},
+                                  std::pair{"SA", "sa"},
+                                  std::pair{"Cocco", "ga"}}) {
+            SearchSpec spec = searchSpec(key, args);
+            series.push_back(
+                {label, reg.make(key, model, space, spec)->run()});
+        }
 
         // Print the convergence series.
         std::printf("%s (cost = Formula 2, checkpoints at 10%% of %lld "

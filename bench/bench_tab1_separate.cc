@@ -14,11 +14,10 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.h"
 #include "core/cocco.h"
-#include "search/sa.h"
-#include "search/two_step.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -31,12 +30,11 @@ double
 finalCost(CoccoFramework &cocco, const BufferConfig &buf,
           const BenchArgs &args)
 {
-    GaOptions opts;
-    opts.sampleBudget = args.coExploreBudget();
-    opts.population = args.population();
-    opts.metric = Metric::Energy;
-    opts.seed = args.seed + 99;
-    CoccoResult r = cocco.partitionOnly(buf, opts);
+    SearchSpec spec = searchSpec("ga", args);
+    spec.eval.coExplore = false;
+    spec.eval.seed = args.seed + 99;
+    spec.fixedBuffer = buf;
+    CoccoResult r = cocco.explore(spec);
     return objective(r.cost, buf, 0.002, Metric::Energy);
 }
 
@@ -71,44 +69,22 @@ main(int argc, char **argv)
         }
         t.addRule();
 
-        DseSpace space = DseSpace::paperSpace(BufferStyle::Separate);
-        CostModel &model = cocco.model();
-
-        // --- Two-step RS+GA / GS+GA. ---
-        TwoStepOptions ts;
-        ts.sampleBudget = args.coExploreBudget();
-        ts.samplesPerCandidate = args.perCandidateBudget();
-        ts.population = args.population();
-        ts.seed = args.seed;
-        for (auto [label, fn] : {std::pair{"RS+GA", &twoStepRandom},
-                                 std::pair{"GS+GA", &twoStepGrid}}) {
-            SearchResult r = fn(model, space, ts);
-            double cost = finalCost(cocco, r.bestBuffer, args);
-            t.addRow({label, Table::fmtKB(r.bestBuffer.actBytes),
-                      Table::fmtKB(r.bestBuffer.weightBytes),
+        // --- Sampling methods, all through one declarative path:
+        //     only the algorithm key differs between the rows. ---
+        for (auto [label, key] : {std::pair{"RS+GA", "ts-random"},
+                                  std::pair{"GS+GA", "ts-grid"},
+                                  std::pair{"SA", "sa"},
+                                  std::pair{"Cocco", "ga"}}) {
+            SearchSpec spec = searchSpec(key, args);
+            spec.style = BufferStyle::Separate;
+            CoccoResult r = cocco.explore(spec);
+            double cost = finalCost(cocco, r.buffer, args);
+            if (std::strcmp(label, "SA") == 0)
+                t.addRule(); // two-step rows above, co-opt rows below
+            t.addRow({label, Table::fmtKB(r.buffer.actBytes),
+                      Table::fmtKB(r.buffer.weightBytes),
                       Table::fmtSci(cost)});
         }
-        t.addRule();
-
-        // --- Co-optimization: SA and Cocco. ---
-        SaOptions sa;
-        sa.sampleBudget = args.coExploreBudget();
-        sa.seed = args.seed;
-        SearchResult r_sa = simulatedAnnealing(model, space, sa);
-        double sa_cost = finalCost(cocco, r_sa.bestBuffer, args);
-        t.addRow({"SA", Table::fmtKB(r_sa.bestBuffer.actBytes),
-                  Table::fmtKB(r_sa.bestBuffer.weightBytes),
-                  Table::fmtSci(sa_cost)});
-
-        GaOptions ga;
-        ga.sampleBudget = args.coExploreBudget();
-        ga.population = args.population();
-        ga.seed = args.seed;
-        CoccoResult r_ga = cocco.coExplore(BufferStyle::Separate, ga);
-        double ga_cost = finalCost(cocco, r_ga.buffer, args);
-        t.addRow({"Cocco", Table::fmtKB(r_ga.buffer.actBytes),
-                  Table::fmtKB(r_ga.buffer.weightBytes),
-                  Table::fmtSci(ga_cost)});
 
         std::printf("%s:\n", name.c_str());
         t.print();

@@ -9,11 +9,10 @@
  */
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.h"
 #include "core/cocco.h"
-#include "search/sa.h"
-#include "search/two_step.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -25,12 +24,11 @@ double
 finalCost(CoccoFramework &cocco, const BufferConfig &buf,
           const BenchArgs &args)
 {
-    GaOptions opts;
-    opts.sampleBudget = args.coExploreBudget();
-    opts.population = args.population();
-    opts.metric = Metric::Energy;
-    opts.seed = args.seed + 99;
-    CoccoResult r = cocco.partitionOnly(buf, opts);
+    SearchSpec spec = searchSpec("ga", args);
+    spec.eval.coExplore = false;
+    spec.eval.seed = args.seed + 99;
+    spec.fixedBuffer = buf;
+    CoccoResult r = cocco.explore(spec);
     return objective(r.cost, buf, 0.002, Metric::Energy);
 }
 
@@ -63,36 +61,19 @@ main(int argc, char **argv)
         }
         t.addRule();
 
-        DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
-        CostModel &model = cocco.model();
-
-        TwoStepOptions ts;
-        ts.sampleBudget = args.coExploreBudget();
-        ts.samplesPerCandidate = args.perCandidateBudget();
-        ts.population = args.population();
-        ts.seed = args.seed;
-        for (auto [label, fn] : {std::pair{"RS+GA", &twoStepRandom},
-                                 std::pair{"GS+GA", &twoStepGrid}}) {
-            SearchResult r = fn(model, space, ts);
-            double cost = finalCost(cocco, r.bestBuffer, args);
-            t.addRow({label, r.bestBuffer.str(), Table::fmtSci(cost)});
+        // Sampling methods through one declarative path (see Table 1).
+        for (auto [label, key] : {std::pair{"RS+GA", "ts-random"},
+                                  std::pair{"GS+GA", "ts-grid"},
+                                  std::pair{"SA", "sa"},
+                                  std::pair{"Cocco", "ga"}}) {
+            SearchSpec spec = searchSpec(key, args);
+            spec.style = BufferStyle::Shared;
+            CoccoResult r = cocco.explore(spec);
+            if (std::strcmp(label, "SA") == 0)
+                t.addRule();
+            t.addRow({label, r.buffer.str(),
+                      Table::fmtSci(finalCost(cocco, r.buffer, args))});
         }
-        t.addRule();
-
-        SaOptions sa;
-        sa.sampleBudget = args.coExploreBudget();
-        sa.seed = args.seed;
-        SearchResult r_sa = simulatedAnnealing(model, space, sa);
-        t.addRow({"SA", r_sa.bestBuffer.str(),
-                  Table::fmtSci(finalCost(cocco, r_sa.bestBuffer, args))});
-
-        GaOptions ga;
-        ga.sampleBudget = args.coExploreBudget();
-        ga.population = args.population();
-        ga.seed = args.seed;
-        CoccoResult r_ga = cocco.coExplore(BufferStyle::Shared, ga);
-        t.addRow({"Cocco", r_ga.buffer.str(),
-                  Table::fmtSci(finalCost(cocco, r_ga.buffer, args))});
 
         std::printf("%s:\n", name.c_str());
         t.print();

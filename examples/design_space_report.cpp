@@ -31,12 +31,13 @@ main(int argc, char **argv)
     AcceleratorConfig accel;
     CoccoFramework cocco(g, accel);
 
-    GaOptions opts;
-    opts.sampleBudget = budget;
-    opts.alpha = 0.002;
-    opts.metric = Metric::Energy;
-    opts.recordPoints = true;
-    CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+    SearchSpec spec;
+    spec.style = BufferStyle::Shared;
+    spec.eval.sampleBudget = budget;
+    spec.eval.alpha = 0.002;
+    spec.eval.metric = Metric::Energy;
+    spec.ga.recordPoints = true;
+    CoccoResult r = cocco.explore(spec);
 
     std::printf("%s: %lld samples recorded, recommended buffer %s\n\n",
                 name.c_str(), static_cast<long long>(r.samples),
@@ -58,10 +59,10 @@ main(int argc, char **argv)
     }
     t.print();
 
-    const ParetoPoint &chosen = selectByAlpha(front, opts.alpha);
+    const ParetoPoint &chosen = selectByAlpha(front, spec.eval.alpha);
     std::printf("\nAt alpha=%.4f the front selects %s — the search "
                 "returned %s.\n\n",
-                opts.alpha, Table::fmtKB(chosen.bufferBytes).c_str(),
+                spec.eval.alpha, Table::fmtKB(chosen.bufferBytes).c_str(),
                 r.buffer.str().c_str());
 
     // --- Execution timeline of the recommendation. ---

@@ -43,12 +43,14 @@ main(int argc, char **argv)
     Partition dp = dpPartition(g, model, fixed, Metric::EMA);
 
     CoccoFramework cocco(g, accel);
-    GaOptions opts;
-    opts.sampleBudget = budget;
-    opts.metric = Metric::EMA;
+    SearchSpec spec;
+    spec.eval.coExplore = false;
+    spec.fixedBuffer = fixed;
+    spec.eval.sampleBudget = budget;
+    spec.eval.metric = Metric::EMA;
     // Flexible initialization: warm-start the GA from the baselines
     // and let it fine-tune (paper Section 4.3, benefit 4).
-    CoccoResult ga = cocco.partitionOnly(fixed, opts, {greedy, dp});
+    CoccoResult ga = cocco.explore(spec, {greedy, dp});
 
     auto ema_of = [&](const Partition &p) {
         return static_cast<double>(model.partitionCost(p, fixed).emaBytes);
@@ -71,11 +73,12 @@ main(int argc, char **argv)
     std::printf("\nCo-exploration across alpha preferences:\n");
     Table t2({"alpha", "shared buffer", "energy (mJ)", "EMA (MB)"});
     for (double alpha : {5e-4, 2e-3, 1e-2}) {
-        GaOptions o;
-        o.sampleBudget = budget;
-        o.alpha = alpha;
-        o.metric = Metric::Energy;
-        CoccoResult r = cocco.coExplore(BufferStyle::Shared, o);
+        SearchSpec sweep;
+        sweep.style = BufferStyle::Shared;
+        sweep.eval.sampleBudget = budget;
+        sweep.eval.alpha = alpha;
+        sweep.eval.metric = Metric::Energy;
+        CoccoResult r = cocco.explore(sweep);
         t2.addRow({Table::fmtDouble(alpha, 4), r.buffer.str(),
                    Table::fmtDouble(r.cost.energyPj / 1e9, 3),
                    Table::fmtDouble(static_cast<double>(r.cost.emaBytes) /

@@ -33,11 +33,12 @@ main(int argc, char **argv)
             accel.batch = batch;
 
             CoccoFramework cocco(g, accel);
-            GaOptions opts;
-            opts.sampleBudget = budget;
-            opts.alpha = 0.002;
-            opts.metric = Metric::Energy;
-            CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+            SearchSpec spec;
+            spec.style = BufferStyle::Shared;
+            spec.eval.sampleBudget = budget;
+            spec.eval.alpha = 0.002;
+            spec.eval.metric = Metric::Energy;
+            CoccoResult r = cocco.explore(spec);
 
             t.addRow({Table::fmtInt(cores), Table::fmtInt(batch),
                       Table::fmtDouble(r.cost.energyPj / 1e9, 2),

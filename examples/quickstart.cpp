@@ -1,10 +1,13 @@
 /**
  * @file
- * Quickstart: build ResNet50, run Cocco's hardware-mapping
- * co-exploration for a shared buffer, and print the recommended
- * memory configuration with the resulting partition and costs.
+ * Quickstart: build ResNet50, run a hardware-mapping co-exploration
+ * for a shared buffer from a declarative SearchSpec, and print the
+ * recommended memory configuration with the resulting partition and
+ * costs. Any registered driver works — pass "sa", "ts-random" or
+ * "ts-grid" as the second argument to swap the strategy without
+ * touching any other line.
  *
- * Usage: quickstart [sample_budget]
+ * Usage: quickstart [sample_budget] [algo]
  */
 
 #include <cstdio>
@@ -19,6 +22,7 @@ int
 main(int argc, char **argv)
 {
     int64_t budget = argc > 1 ? std::atoll(argv[1]) : 4000;
+    std::string algo = argc > 2 ? argv[2] : "ga";
 
     Graph g = buildModel("ResNet50");
     std::printf("Model: %s — %d nodes, %d edges, %.2f GMACs, %.1f MB "
@@ -33,19 +37,22 @@ main(int argc, char **argv)
 
     CoccoFramework cocco(g, accel);
 
-    GaOptions opts;
-    opts.sampleBudget = budget;
-    opts.population = 100;
-    opts.alpha = 0.002;
-    opts.metric = Metric::Energy;
+    // One declarative spec drives any registered strategy.
+    SearchSpec spec;
+    spec.algo = algo;
+    spec.style = BufferStyle::Shared;
+    spec.eval.sampleBudget = budget;
+    spec.eval.alpha = 0.002;
+    spec.eval.metric = Metric::Energy;
+    spec.ga.population = 100;
 
-    CoccoResult r = cocco.coExplore(BufferStyle::Shared, opts);
+    CoccoResult r = cocco.explore(spec);
 
-    std::printf("Co-exploration finished after %lld samples.\n",
-                static_cast<long long>(r.samples));
+    std::printf("Co-exploration (%s) finished after %lld samples.\n",
+                algo.c_str(), static_cast<long long>(r.samples));
     std::printf("Recommended shared buffer: %s\n", r.buffer.str().c_str());
-    std::printf("Objective (Formula 2, alpha=%.4f): %.3E\n\n", opts.alpha,
-                r.objective);
+    std::printf("Objective (Formula 2, alpha=%.4f): %.3E\n\n",
+                spec.eval.alpha, r.objective);
 
     Table t({"metric", "value"});
     t.addRow({"subgraphs", Table::fmtInt(r.cost.subgraphs)});

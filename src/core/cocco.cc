@@ -8,20 +8,23 @@ CoccoFramework::CoccoFramework(const Graph &g, const AcceleratorConfig &accel)
 }
 
 CoccoResult
-CoccoFramework::package(const SearchResult &r, const DseSpace &space,
-                        const GaOptions &opts) const
+CoccoFramework::package(const SearchResult &r, const DseSpace &space) const
 {
     CoccoResult out;
-    out.buffer = r.best.buffer(space);
+    // bestBuffer, not best.buffer(space): the two-step drivers search
+    // capacities outside the genome's hardware genes, so only the
+    // recorded buffer is authoritative (identical for GA/SA).
+    out.buffer = r.bestBuffer;
     out.partition = r.best.part;
     out.cost = r.bestGraphCost;
     out.objective = r.bestCost;
     out.samples = r.samples;
     out.trace = r.trace;
     out.points = r.points;
+    out.stop = r.stop;
     out.cacheStats = r.cacheStats;
     out.deltaStats = r.deltaStats;
-    (void)opts;
+    (void)space;
     return out;
 }
 
@@ -46,25 +49,42 @@ wrapSeeds(const std::vector<Partition> &parts, const DseSpace &space)
 } // namespace
 
 CoccoResult
-CoccoFramework::coExplore(BufferStyle style, const GaOptions &opts,
-                          const std::vector<Partition> &seed_partitions)
+CoccoFramework::explore(const SearchSpec &spec,
+                        const std::vector<Partition> &seed_partitions)
 {
-    GaOptions o = opts;
-    o.coExplore = true;
-    DseSpace space = DseSpace::paperSpace(style);
-    GeneticSearch search(*model_, space, o);
-    return package(search.run(wrapSeeds(seed_partitions, space)), space, o);
+    DseSpace space = spec.eval.coExplore
+                         ? DseSpace::paperSpace(spec.style)
+                         : DseSpace::fixedSpace(spec.fixedBuffer);
+    std::unique_ptr<Searcher> searcher =
+        SearcherRegistry::instance().make(spec.algo, *model_, space, spec);
+    return package(searcher->run(wrapSeeds(seed_partitions, space)), space);
 }
 
 CoccoResult
-CoccoFramework::partitionOnly(const BufferConfig &buffer, GaOptions opts,
+CoccoFramework::coExplore(BufferStyle style, const GaOptions &opts,
+                          const std::vector<Partition> &seed_partitions)
+{
+    SearchSpec spec;
+    spec.algo = "ga";
+    spec.style = style;
+    spec.eval = opts; // slice: the shared core
+    spec.ga = opts;   // slice: the GA block
+    spec.eval.coExplore = true;
+    return explore(spec, seed_partitions);
+}
+
+CoccoResult
+CoccoFramework::partitionOnly(const BufferConfig &buffer,
+                              const GaOptions &opts,
                               const std::vector<Partition> &seed_partitions)
 {
-    opts.coExplore = false;
-    DseSpace space = DseSpace::fixedSpace(buffer);
-    GeneticSearch search(*model_, space, opts);
-    return package(search.run(wrapSeeds(seed_partitions, space)), space,
-                   opts);
+    SearchSpec spec;
+    spec.algo = "ga";
+    spec.fixedBuffer = buffer;
+    spec.eval = opts;
+    spec.ga = opts;
+    spec.eval.coExplore = false;
+    return explore(spec, seed_partitions);
 }
 
 } // namespace cocco

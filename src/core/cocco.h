@@ -36,9 +36,7 @@
 #include <memory>
 
 #include "models/models.h"
-#include "search/ga.h"
-#include "search/sa.h"
-#include "search/two_step.h"
+#include "search/driver.h"
 #include "sim/cost_model.h"
 
 namespace cocco {
@@ -54,6 +52,7 @@ struct CoccoResult
     int64_t samples = 0;
     std::vector<TracePoint> trace;
     std::vector<SamplePoint> points;
+    StopReason stop = StopReason::BudgetExhausted; ///< why the run ended
     EvalCacheStats cacheStats; ///< evaluation-cache activity of the run
     DeltaStats deltaStats;     ///< operator gene-change accounting
 };
@@ -72,27 +71,42 @@ class CoccoFramework
     CostModel &model() { return *model_; }
 
     /**
-     * Hardware-mapping co-exploration (Formula 2) over the paper's
-     * capacity grid for @p style. Optional @p seed_partitions join
-     * the initial population (the paper's flexible initialization:
-     * warm-start the GA from other algorithms' results); each is
-     * paired with a mid-grid hardware point.
+     * Run any registered search strategy from a declarative spec:
+     * spec.algo is resolved through the SearcherRegistry ("ga",
+     * "sa", "ts-random", "ts-grid", or anything registered at
+     * startup), spec.eval.coExplore selects hardware-mapping
+     * co-exploration over the paper's grid for spec.style (Formula
+     * 2) versus partition-only optimization under spec.fixedBuffer
+     * (Formula 1). Optional @p seed_partitions join the initial
+     * population where the strategy supports warm starts (the GA's
+     * flexible initialization); each is paired with a mid-grid
+     * hardware point.
+     *
+     * At a fixed seed and thread count the result is bit-identical
+     * to calling the strategy's legacy entry point directly.
+     */
+    CoccoResult explore(const SearchSpec &spec,
+                        const std::vector<Partition> &seed_partitions = {});
+
+    /**
+     * Hardware-mapping co-exploration (Formula 2) with the genetic
+     * search. Compatibility wrapper over explore(): builds a spec
+     * with algo = "ga" from @p opts.
      */
     CoccoResult coExplore(BufferStyle style, const GaOptions &opts = {},
                           const std::vector<Partition> &seed_partitions = {});
 
     /**
-     * Partition-only optimization (Formula 1) under a fixed buffer,
-     * optionally warm-started from @p seed_partitions.
+     * Partition-only optimization (Formula 1) under a fixed buffer.
+     * Compatibility wrapper over explore() (algo = "ga").
      */
     CoccoResult partitionOnly(const BufferConfig &buffer,
-                              GaOptions opts = {},
+                              const GaOptions &opts = {},
                               const std::vector<Partition> &seed_partitions =
                                   {});
 
   private:
-    CoccoResult package(const SearchResult &r, const DseSpace &space,
-                        const GaOptions &opts) const;
+    CoccoResult package(const SearchResult &r, const DseSpace &space) const;
 
     const Graph &g_;
     std::unique_ptr<CostModel> model_;

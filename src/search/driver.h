@@ -1,0 +1,149 @@
+/**
+ * @file
+ * The polymorphic search-driver layer: one composable entry point
+ * over every search strategy (paper Figure 10's one-stop framework).
+ *
+ * - Searcher: the abstract interface every strategy implements —
+ *   run(seeds), name(), describe().
+ * - SearcherRegistry: string-keyed factories ("ga", "sa",
+ *   "ts-random", "ts-grid"), mirroring the model registry, so
+ *   frontends dispatch by name and new algorithms plug in without
+ *   touching any caller.
+ * - SearchSpec: a declarative run description — algorithm key, mode
+ *   (co-explore vs partition-only), the shared EvalOptions core and
+ *   the per-algorithm parameter blocks — resolvable from C++ or from
+ *   a JSON document (searchSpecFromJson).
+ *
+ * CoccoFramework::explore(SearchSpec) drives any registered strategy
+ * through this layer; the legacy entry points (GeneticSearch,
+ * simulatedAnnealing, twoStepRandom/Grid, coExplore/partitionOnly)
+ * remain and are bit-identical to the registry path at a fixed seed
+ * and thread count.
+ */
+
+#ifndef COCCO_SEARCH_DRIVER_H
+#define COCCO_SEARCH_DRIVER_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "search/ga.h"
+#include "search/sa.h"
+#include "search/two_step.h"
+
+namespace cocco {
+
+class JsonValue;
+
+/**
+ * A declarative description of one search run. The evaluation core
+ * (budget, seed, objective, threads, cache, observer/early-stop) is
+ * shared; each strategy reads its own parameter block and ignores
+ * the others, so one spec can be re-dispatched across algorithms by
+ * only changing `algo`.
+ *
+ * Mode: eval.coExplore == true (default) searches the paper's
+ * capacity grid for `style` (Formula 2); false freezes `fixedBuffer`
+ * and optimizes the partition alone (Formula 1).
+ */
+struct SearchSpec
+{
+    std::string algo = "ga";     ///< SearcherRegistry key
+
+    BufferStyle style = BufferStyle::Shared; ///< co-explore grid
+    BufferConfig fixedBuffer;    ///< partition-only target buffer
+
+    EvalOptions eval;            ///< the shared evaluation core
+    GaParams ga;                 ///< read by "ga" (and two-step inners)
+    SaParams sa;                 ///< read by "sa"
+    TwoStepParams twoStep;       ///< read by "ts-random" / "ts-grid"
+};
+
+/** Assemble full per-algorithm options from a spec (core + block). */
+GaOptions gaOptions(const SearchSpec &spec);
+SaOptions saOptions(const SearchSpec &spec);
+TwoStepOptions twoStepOptions(const SearchSpec &spec);
+
+/** One search strategy bound to an evaluation environment. */
+class Searcher
+{
+  public:
+    virtual ~Searcher() = default;
+
+    /** The registry key ("ga", "sa", ...). */
+    virtual std::string name() const = 0;
+
+    /** One-line human description of the strategy. */
+    virtual std::string describe() const = 0;
+
+    /**
+     * Run to the spec's budget (or an early stop). @p seeds join the
+     * initial population where the strategy supports warm starts
+     * (the GA's flexible initialization); strategies without that
+     * notion ignore them.
+     */
+    virtual SearchResult run(const std::vector<Genome> &seeds = {}) = 0;
+};
+
+/** Factory: bind a strategy to (model, space, spec). */
+using SearcherFactory = std::unique_ptr<Searcher> (*)(
+    CostModel &model, const DseSpace &space, const SearchSpec &spec);
+
+/**
+ * The string-keyed driver registry. The four built-in strategies
+ * ("ga", "sa", "ts-random", "ts-grid") are registered on first use;
+ * additional strategies can be added at startup via add().
+ */
+class SearcherRegistry
+{
+  public:
+    /** The process-wide registry (built-ins pre-registered). */
+    static SearcherRegistry &instance();
+
+    /** Register a strategy (fatal on duplicate key). */
+    void add(const std::string &key, const std::string &summary,
+             SearcherFactory factory);
+
+    /** @return true when @p key names a registered strategy. */
+    bool contains(const std::string &key) const;
+
+    /** Instantiate @p key for an environment (fatal: unknown key). */
+    std::unique_ptr<Searcher> make(const std::string &key,
+                                   CostModel &model, const DseSpace &space,
+                                   const SearchSpec &spec) const;
+
+    /** Registered keys, in registration order. */
+    std::vector<std::string> keys() const;
+
+    /** The one-line summary registered for @p key (fatal: unknown). */
+    const std::string &summary(const std::string &key) const;
+
+  private:
+    SearcherRegistry();
+
+    struct Entry
+    {
+        std::string key;
+        std::string summary;
+        SearcherFactory factory;
+    };
+    const Entry *find(const std::string &key) const;
+
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Populate a SearchSpec from a parsed JSON run spec (the CLI's
+ * --spec document; schema in the README). Unknown keys and type
+ * mismatches are reported as errors so typos cannot silently fall
+ * back to defaults; a "model" key is tolerated (it addresses the
+ * workload, which the caller resolves separately).
+ * @return false with *err set on any problem.
+ */
+bool searchSpecFromJson(const JsonValue &doc, SearchSpec *spec,
+                        std::string *err);
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_DRIVER_H

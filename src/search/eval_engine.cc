@@ -45,7 +45,8 @@ EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
                        std::shared_ptr<ThreadPool> pool,
                        std::shared_ptr<EvalCache> cache)
     : model_(model), space_(space), opts_(opts), pool_(std::move(pool)),
-      cache_(std::move(cache))
+      cache_(std::move(cache)),
+      monitor_(opts.observer, opts.timeLimitSec, opts.stallLimit)
 {
     if (!pool_) {
         int total = ThreadPool::resolveThreads(opts.threads);
@@ -54,6 +55,8 @@ EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
     } else if (pool_->size() == 1) {
         pool_ = nullptr; // a serial pool is just the inline path
     }
+    if (!cache_)
+        cache_ = opts_.cache;
     if (!cache_ && opts_.cacheEnabled)
         cache_ = std::make_shared<EvalCache>(opts_.cacheCapacity);
     if (!opts_.cacheEnabled)
@@ -165,13 +168,22 @@ EvalEngine::streamRng(uint64_t index) const
     return Rng(mixStream(opts_.seed, streamCounter_ + index));
 }
 
-void
+bool
 EvalEngine::forEachStream(size_t n,
                           const std::function<void(size_t, Rng &)> &fn)
 {
     uint64_t base = streamCounter_;
     streamCounter_ += n;
+    // Cooperative cancellation: a hard stop (observer cancel / time
+    // limit) skips the remaining elements. The caller discards such
+    // a partial batch, so which elements already ran never shows up
+    // in any result.
+    std::atomic<bool> aborted{false};
     auto task = [&](size_t i) {
+        if (monitor_.cancelRequested()) {
+            aborted.store(true, std::memory_order_relaxed);
+            return;
+        }
         Rng rng(mixStream(opts_.seed, base + i));
         fn(i, rng);
     };
@@ -181,6 +193,7 @@ EvalEngine::forEachStream(size_t n,
         for (size_t i = 0; i < n; ++i)
             task(i);
     }
+    return !aborted.load(std::memory_order_relaxed);
 }
 
 std::vector<double>

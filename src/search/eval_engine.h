@@ -42,24 +42,49 @@
 
 #include "search/eval_cache.h"
 #include "search/genome.h"
+#include "search/observer.h"
 #include "sim/cost_model.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
 namespace cocco {
 
-/** Evaluation-environment knobs shared by all search drivers. */
+/**
+ * The evaluation-environment core shared by every search driver:
+ * GaOptions / SaOptions / TwoStepOptions all layer their algorithm
+ * parameters on top of this struct, and a SearchSpec carries it
+ * verbatim, so budget/seed/objective/parallelism/cache/early-stop
+ * knobs are declared (and documented) exactly once.
+ */
 struct EvalOptions
 {
+    int64_t sampleBudget = 50000; ///< total evaluations for the run
+    uint64_t seed = 1;           ///< base of the per-genome RNG streams
     double alpha = 0.002;        ///< Formula 2 weight
     Metric metric = Metric::Energy;
     bool coExplore = true;       ///< false = Formula 1 (metric only)
     bool inSituSplit = true;     ///< capacity repair at evaluation
     int threads = 1;             ///< total parallelism; <= 0 = all cores
-    uint64_t seed = 1;           ///< base of the per-genome RNG streams
 
     bool cacheEnabled = true;    ///< memoize evaluations in an EvalCache
     size_t cacheCapacity = EvalCache::kDefaultCapacity; ///< genome entries
+
+    /** Optional shared cache (warm-start / cross-run accumulation);
+     *  null = the engine owns one per cacheCapacity. */
+    std::shared_ptr<EvalCache> cache;
+
+    /** Optional progress/cancellation callbacks (not owned; must
+     *  outlive the run). Null = silent. */
+    SearchObserver *observer = nullptr;
+
+    /** Early stop: end the run after this much wall-clock (seconds;
+     *  0 = unlimited). Checked between and, cooperatively, inside
+     *  evaluation batches. */
+    double timeLimitSec = 0.0;
+
+    /** Early stop: end the run after this many recorded samples
+     *  without the incumbent improving (0 = never). */
+    int64_t stallLimit = 0;
 };
 
 /** Operator-reported gene-change accounting (see GeneDelta). */
@@ -93,9 +118,10 @@ class EvalEngine
      *              two engines concurrently (parallelFor is not
      *              reentrant).
      * @param cache an existing cache to share/warm-start from; null =
-     *              own one sized by opts.cacheCapacity (none at all
-     *              when opts.cacheEnabled is false). Shared caches
-     *              may serve any number of engines concurrently.
+     *              opts.cache, else own one sized by opts.cacheCapacity
+     *              (none at all when opts.cacheEnabled is false).
+     *              Shared caches may serve any number of engines
+     *              concurrently.
      */
     EvalEngine(CostModel &model, const DseSpace &space,
                const EvalOptions &opts,
@@ -112,6 +138,10 @@ class EvalEngine
 
     /** The evaluation cache (null when disabled). */
     std::shared_ptr<EvalCache> cache() const { return cache_; }
+
+    /** The run's observer/early-stop bookkeeping, built from the
+     *  options (drivers record samples and poll stop through it). */
+    SearchMonitor &monitor() { return monitor_; }
 
     /** Evaluation-context fingerprint: graph, accelerator, space and
      *  the result-affecting options (not seed/threads). Two engines
@@ -147,8 +177,14 @@ class EvalEngine
      * the per-index streams keep any stochastic construction (e.g.
      * GA variation operators) deterministic for any thread count.
      * Advances the stream counter by n.
+     *
+     * Cooperative cancellation: when the monitor reports a hard stop
+     * (observer cancellation or the wall-clock limit) the remaining
+     * elements are skipped. @return true when every element ran —
+     * false means the batch is partial and the caller must discard
+     * it and end the run (results would otherwise depend on timing).
      */
-    void forEachStream(size_t n,
+    bool forEachStream(size_t n,
                        const std::function<void(size_t, Rng &)> &fn);
 
     /** RNG stream for the i-th element of the *next* batch. */
@@ -167,6 +203,7 @@ class EvalEngine
     EvalOptions opts_;
     std::shared_ptr<ThreadPool> pool_; ///< null when threads == 1
     std::shared_ptr<EvalCache> cache_; ///< null when caching disabled
+    SearchMonitor monitor_;            ///< observer + early-stop state
     uint64_t salt_ = 0;      ///< full evaluation context (genome level)
     uint64_t modelSalt_ = 0; ///< graph + accelerator only (block level)
     uint64_t streamCounter_ = 0;

@@ -10,24 +10,16 @@ namespace cocco {
 
 namespace {
 
-/** Validate the GA knobs and derive the engine's options. */
-EvalOptions
-gaEvalOptions(const GaOptions &opts)
+/** Validate the GA knobs; the engine consumes the EvalOptions base
+ *  of the same struct directly (GaOptions slices to it). */
+const GaOptions &
+validated(const GaOptions &opts)
 {
     if (opts.population < 2)
         fatal("GA population must be >= 2");
     if (opts.tournament < 1)
         fatal("GA tournament size must be >= 1");
-    EvalOptions e;
-    e.alpha = opts.alpha;
-    e.metric = opts.metric;
-    e.coExplore = opts.coExplore;
-    e.inSituSplit = opts.inSituSplit;
-    e.threads = opts.threads;
-    e.seed = opts.seed;
-    e.cacheEnabled = opts.cacheEnabled;
-    e.cacheCapacity = opts.cacheCapacity;
-    return e;
+    return opts;
 }
 
 } // namespace
@@ -36,8 +28,7 @@ GeneticSearch::GeneticSearch(CostModel &model, const DseSpace &space,
                              const GaOptions &opts,
                              std::shared_ptr<ThreadPool> pool)
     : model_(model), space_(space), opts_(opts),
-      engine_(model, space, gaEvalOptions(opts), std::move(pool),
-              opts.cache)
+      engine_(model, space, validated(opts), std::move(pool))
 {
 }
 
@@ -55,6 +46,7 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
     // batches parallelize without perturbing this sequence.
     Rng rng(opts_.seed);
     SearchResult res;
+    SearchMonitor &mon = engine_.monitor();
     EvalCacheStats cache_start;
     if (engine_.cache())
         cache_start = engine_.cache()->stats();
@@ -69,11 +61,13 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
 
     auto record = [&](const Scored &s) {
         ++res.samples;
-        if (s.cost < res.bestCost) {
+        bool improved = s.cost < res.bestCost;
+        if (improved) {
             res.bestCost = s.cost;
             res.best = s.genome;
         }
         res.trace.push_back({res.samples, res.bestCost});
+        mon.recordSample(res.trace.back(), improved);
         if (opts_.recordPoints) {
             BufferConfig buf = s.genome.buffer(space_);
             GraphCost gc = model_.partitionCost(s.genome.part, buf);
@@ -94,26 +88,33 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
     };
 
     // --- Initialization (optionally seeded with external results):
-    //     one batch through the engine. ---
+    //     one batch through the engine. A batch cut short by a hard
+    //     stop is discarded whole: which elements ran depends on
+    //     timing, so recording any of them would break determinism. ---
+    bool complete;
     {
         size_t n = static_cast<size_t>(opts_.population);
         size_t n_seed = std::min(seeds.size(), n);
         std::vector<Scored> init(n);
         for (size_t i = 0; i < n_seed; ++i)
             init[i].genome = seeds[i];
-        engine_.forEachStream(n, [&](size_t i, Rng &r) {
+        complete = engine_.forEachStream(n, [&](size_t i, Rng &r) {
             if (i >= n_seed)
                 init[i].genome = randomGenome(model_.graph(), space_, r);
             init[i].cost = engine_.evaluate(init[i].genome);
         });
-        for (Scored &s : init) {
-            record(s);
-            pop.push_back(std::move(s));
+        if (complete) {
+            for (Scored &s : init) {
+                record(s);
+                pop.push_back(std::move(s));
+            }
+            mon.batchDone(res.samples, res.bestCost);
         }
     }
 
     // --- Generations. ---
-    while (res.samples < opts_.sampleBudget) {
+    while (complete && !mon.shouldStop() &&
+           res.samples < opts_.sampleBudget) {
         size_t want = static_cast<size_t>(
             std::min<int64_t>(opts_.population,
                               opts_.sampleBudget - res.samples));
@@ -126,7 +127,7 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
         // embarrassingly parallel yet deterministic.
         std::vector<Scored> offspring(want);
         const std::vector<Scored> &parents = pop;
-        engine_.forEachStream(want, [&](size_t i, Rng &r) {
+        complete = engine_.forEachStream(want, [&](size_t i, Rng &r) {
             Genome child;
             GeneDelta delta;
             if (r.bernoulli(opts_.crossoverRate)) {
@@ -156,8 +157,11 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
             offspring[i].cost =
                 engine_.evaluate(offspring[i].genome, &delta);
         });
+        if (!complete)
+            break; // partial batch: discard and end the run
         for (const Scored &sc : offspring)
             record(sc);
+        mon.batchDone(res.samples, res.bestCost);
 
         // --- Tournament selection over the merged pool, keeping the
         //     elite unconditionally. ---
@@ -176,8 +180,12 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
             pop.push_back(tournament_pick(pool, rng));
     }
 
-    res.bestBuffer = res.best.buffer(space_);
-    res.bestGraphCost = model_.partitionCost(res.best.part, res.bestBuffer);
+    res.stop = mon.stopReason();
+    if (res.samples > 0) {
+        res.bestBuffer = res.best.buffer(space_);
+        res.bestGraphCost =
+            model_.partitionCost(res.best.part, res.bestBuffer);
+    }
     if (engine_.cache())
         res.cacheStats = engine_.cache()->stats() - cache_start;
     res.deltaStats = engine_.deltaStats();

@@ -19,21 +19,6 @@
 
 namespace cocco {
 
-/** Best-so-far cost after a given number of samples. */
-struct TracePoint
-{
-    int64_t sample = 0;
-    double bestCost = 0.0;
-};
-
-/** One evaluated genome (for the Figure 13 distribution study). */
-struct SamplePoint
-{
-    int64_t sample = 0;
-    double metric = 0.0;       ///< energy (pJ) or EMA (bytes)
-    int64_t bufferBytes = 0;
-};
-
 /** Result of any search driver (GA, SA, two-step). */
 struct SearchResult
 {
@@ -45,6 +30,9 @@ struct SearchResult
     std::vector<TracePoint> trace;
     std::vector<SamplePoint> points; ///< filled when recordPoints
 
+    /** Why the run ended (budget unless an early stop tripped). */
+    StopReason stop = StopReason::BudgetExhausted;
+
     /** Evaluation-cache activity attributable to this run (a delta
      *  when the cache is shared across runs; zeros when disabled). */
     EvalCacheStats cacheStats;
@@ -53,41 +41,25 @@ struct SearchResult
     DeltaStats deltaStats;
 };
 
-/** GA hyper-parameters. */
-struct GaOptions
+/**
+ * GA-specific parameters. The evaluation-environment knobs (budget,
+ * seed, objective, threads, cache, observer/early-stop) live in the
+ * shared EvalOptions core; GaOptions composes the two.
+ */
+struct GaParams
 {
     int population = 100;
-    int64_t sampleBudget = 50000;
     double crossoverRate = 0.6;  ///< fraction of offspring from crossover
     double mutPartitionRate = 0.5; ///< per-offspring partition mutation
     double mutDseRate = 0.3;     ///< per-offspring DSE mutation
     int tournament = 3;
     int elite = 2;
-    uint64_t seed = 1;
-    double alpha = 0.002;        ///< Formula 2 weight
-    Metric metric = Metric::Energy;
-    bool coExplore = true;       ///< false = Formula 1 (metric only)
     bool recordPoints = false;   ///< keep every sample (Figure 13)
-    bool inSituSplit = true;     ///< capacity repair at evaluation
+};
 
-    /**
-     * Evaluation parallelism: total threads used to produce and
-     * evaluate each population batch (<= 0 = one per hardware
-     * thread). Results are bit-identical for any value — offspring
-     * are built from per-index RNG streams and written back by index
-     * (see EvalEngine).
-     */
-    int threads = 1;
-
-    /** Memoize evaluations (bit-identical either way; see EvalCache). */
-    bool cacheEnabled = true;
-
-    /** Genome-entry capacity of an engine-owned cache. */
-    size_t cacheCapacity = EvalCache::kDefaultCapacity;
-
-    /** Optional shared cache (warm-start / cross-run accumulation);
-     *  null = the engine owns one per cacheCapacity. */
-    std::shared_ptr<EvalCache> cache;
+/** GA hyper-parameters: the shared evaluation core + the GA block. */
+struct GaOptions : EvalOptions, GaParams
+{
 };
 
 /** The genetic optimizer. */

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * The search progress/control surface shared by every driver.
+ *
+ * A SearchObserver receives the same trace the drivers record
+ * (onTrace per evaluated sample, onImprove when the incumbent drops,
+ * onBatchDone after each evaluation batch) and can request
+ * cooperative cancellation via cancelled(). Callbacks fire on the
+ * driver's thread, strictly after the parallel batch completed, in
+ * sample order; cancelled() is also polled from the evaluation
+ * engine's worker threads mid-batch, so an implementation must be
+ * thread-safe there (an std::atomic<bool> flag is the typical shape).
+ *
+ * SearchMonitor is the per-run bookkeeping every driver threads
+ * through its loop: it multiplexes the observer with the declarative
+ * early-stop limits (wall-clock and stall) and names the reason a
+ * run ended. With no observer and no limits every check collapses to
+ * a couple of compares, so legacy runs are bit-identical and pay
+ * nothing.
+ */
+
+#ifndef COCCO_SEARCH_OBSERVER_H
+#define COCCO_SEARCH_OBSERVER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace cocco {
+
+/** Best-so-far cost after a given number of samples. */
+struct TracePoint
+{
+    int64_t sample = 0;
+    double bestCost = 0.0;
+};
+
+/** One evaluated genome (for the Figure 13 distribution study). */
+struct SamplePoint
+{
+    int64_t sample = 0;
+    double metric = 0.0;       ///< energy (pJ) or EMA (bytes)
+    int64_t bufferBytes = 0;
+};
+
+/** Why a search run ended. */
+enum class StopReason
+{
+    BudgetExhausted, ///< the sample budget ran out (the normal end)
+    Cancelled,       ///< the observer requested cancellation
+    TimeLimit,       ///< EvalOptions::timeLimitSec elapsed
+    Stalled,         ///< EvalOptions::stallLimit samples w/o improvement
+};
+
+/** Stable lowercase label ("budget", "cancelled", ...). */
+const char *stopReasonName(StopReason reason);
+
+/** Callback interface onto a running search (see file comment). */
+class SearchObserver
+{
+  public:
+    virtual ~SearchObserver() = default;
+
+    /** Every recorded sample, in order (same data as the trace). */
+    virtual void
+    onTrace(const TracePoint &tp)
+    {
+        (void)tp;
+    }
+
+    /** The incumbent improved (fires after onTrace for the sample). */
+    virtual void
+    onImprove(const TracePoint &tp)
+    {
+        (void)tp;
+    }
+
+    /** One evaluation batch (GA generation, SA round, two-step
+     *  candidate) finished and its samples were recorded. */
+    virtual void
+    onBatchDone(int64_t samples, double bestCost)
+    {
+        (void)samples;
+        (void)bestCost;
+    }
+
+    /** Poll for cooperative cancellation. May be called concurrently
+     *  from evaluation workers — must be thread-safe. */
+    virtual bool
+    cancelled()
+    {
+        return false;
+    }
+};
+
+/** Per-run observer + early-stop bookkeeping (see file comment). */
+class SearchMonitor
+{
+  public:
+    SearchMonitor() = default;
+
+    SearchMonitor(SearchObserver *observer, double timeLimitSec,
+                  int64_t stallLimit)
+        : observer_(observer), timeLimitSec_(timeLimitSec),
+          stallLimit_(stallLimit)
+    {
+    }
+
+    /** Seconds since this monitor (i.e. the run) started. */
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    /** Wall-clock budget left; <= 0 means the limit already passed
+     *  (0 when no limit is set — callers treat 0 as "unlimited"). */
+    double
+    remainingSec() const
+    {
+        if (timeLimitSec_ <= 0.0)
+            return 0.0;
+        return timeLimitSec_ - elapsedSec();
+    }
+
+    /** Hard stop conditions, safe to poll mid-batch from any thread:
+     *  observer cancellation and the wall-clock limit. */
+    bool
+    cancelRequested() const
+    {
+        if (observer_ && observer_->cancelled())
+            return true;
+        return timeLimitSec_ > 0.0 && elapsedSec() > timeLimitSec_;
+    }
+
+    /** Record one sample (driver thread, after the batch). */
+    void
+    recordSample(const TracePoint &tp, bool improved)
+    {
+        if (improved)
+            sinceImprove_ = 0;
+        else
+            ++sinceImprove_;
+        if (observer_) {
+            observer_->onTrace(tp);
+            if (improved)
+                observer_->onImprove(tp);
+        }
+    }
+
+    /** Announce a finished batch (driver thread). */
+    void
+    batchDone(int64_t samples, double bestCost)
+    {
+        if (observer_)
+            observer_->onBatchDone(samples, bestCost);
+    }
+
+    /** Samples recorded since the incumbent last improved. */
+    int64_t samplesSinceImprove() const { return sinceImprove_; }
+
+    /** The stall limit tripped. */
+    bool
+    stalled() const
+    {
+        return stallLimit_ > 0 && sinceImprove_ >= stallLimit_;
+    }
+
+    /** Between-batches check: any reason to end the run early. */
+    bool shouldStop() const { return stalled() || cancelRequested(); }
+
+    /** Name the run's end state (budget when nothing else tripped). */
+    StopReason
+    stopReason() const
+    {
+        if (observer_ && observer_->cancelled())
+            return StopReason::Cancelled;
+        if (timeLimitSec_ > 0.0 && elapsedSec() > timeLimitSec_)
+            return StopReason::TimeLimit;
+        if (stalled())
+            return StopReason::Stalled;
+        return StopReason::BudgetExhausted;
+    }
+
+  private:
+    SearchObserver *observer_ = nullptr;
+    double timeLimitSec_ = 0.0; ///< 0 = no wall-clock limit
+    int64_t stallLimit_ = 0;    ///< 0 = no stall limit
+    std::chrono::steady_clock::time_point start_ =
+        std::chrono::steady_clock::now();
+    int64_t sinceImprove_ = 0;
+};
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_OBSERVER_H

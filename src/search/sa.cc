@@ -15,16 +15,10 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
     Rng rng(opts.seed);
 
     // Same evaluation environment as the GA (in-situ capacity tuning
-    // included), shared through the parallel engine.
-    EvalOptions eo;
-    eo.alpha = opts.alpha;
-    eo.metric = opts.metric;
-    eo.coExplore = opts.coExplore;
-    eo.threads = opts.threads;
-    eo.seed = opts.seed;
-    eo.cacheEnabled = opts.cacheEnabled;
-    eo.cacheCapacity = opts.cacheCapacity;
-    EvalEngine engine(model, space, eo, nullptr, opts.cache);
+    // included), shared through the parallel engine. SaOptions slices
+    // to the shared EvalOptions core.
+    EvalEngine engine(model, space, opts);
+    SearchMonitor &mon = engine.monitor();
     EvalCacheStats cache_start;
     if (engine.cache())
         cache_start = engine.cache()->stats();
@@ -37,28 +31,32 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
 
     auto record = [&](const Genome &genome, double cost) {
         ++res.samples;
-        if (cost < res.bestCost) {
+        bool improved = cost < res.bestCost;
+        if (improved) {
             res.bestCost = cost;
             res.best = genome;
         }
         res.trace.push_back({res.samples, res.bestCost});
+        mon.recordSample(res.trace.back(), improved);
     };
     record(cur, cur_cost);
+    mon.batchDone(res.samples, res.bestCost);
 
     double t0 = std::max(cur_cost * opts.tempStartFrac, 1.0);
     double t_end = t0 * opts.tempEndFrac;
 
-    while (res.samples < opts.sampleBudget) {
+    while (!mon.shouldStop() && res.samples < opts.sampleBudget) {
         size_t want = static_cast<size_t>(std::min<int64_t>(
             batch, opts.sampleBudget - res.samples));
 
         // Speculatively mutate `want` neighbors of the current state
         // and evaluate them as one batch; per-neighbor RNG streams
-        // keep the batch deterministic for any thread count.
+        // keep the batch deterministic for any thread count. A batch
+        // cut short by a hard stop is discarded whole (see GA).
         const Genome snapshot = cur;
         std::vector<Genome> cands(want);
         std::vector<double> costs(want, kInfeasiblePenalty);
-        engine.forEachStream(want, [&](size_t i, Rng &r) {
+        bool complete = engine.forEachStream(want, [&](size_t i, Rng &r) {
             Genome cand = snapshot;
             GeneDelta delta;
             switch (r.index(3)) {
@@ -77,6 +75,9 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
             costs[i] = engine.evaluate(cands[i], &delta);
         });
 
+        if (!complete)
+            break;
+
         // Sequential Metropolis sweep in index order.
         for (size_t i = 0; i < want; ++i) {
             double progress =
@@ -89,8 +90,10 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
                 cur_cost = costs[i];
             }
         }
+        mon.batchDone(res.samples, res.bestCost);
     }
 
+    res.stop = mon.stopReason();
     res.bestBuffer = res.best.buffer(space);
     res.bestGraphCost = model.partitionCost(res.best.part, res.bestBuffer);
     if (engine.cache())

@@ -21,28 +21,22 @@
 
 namespace cocco {
 
-/** SA hyper-parameters (shares the GA's evaluation options). */
-struct SaOptions
+/** SA-specific parameters (the shared knobs live in EvalOptions). */
+struct SaParams
 {
-    int64_t sampleBudget = 50000;
     double tempStartFrac = 0.1;  ///< T0 as a fraction of the initial cost
     double tempEndFrac = 1e-5;   ///< final T as a fraction of T0
-    uint64_t seed = 1;
-    double alpha = 0.002;
-    Metric metric = Metric::Energy;
-    bool coExplore = true;
     double dseMutationRate = 0.3;
 
-    int threads = 1;       ///< evaluation parallelism; <= 0 = all cores
     /** Speculative neighbors per round. The default 1 is the classic
      *  serial chain (threads then gain nothing); raise it to occupy
      *  the pool. Results depend on this value, not on threads. */
     int neighborBatch = 1;
+};
 
-    /** Evaluation-cache knobs (see GaOptions). */
-    bool cacheEnabled = true;
-    size_t cacheCapacity = EvalCache::kDefaultCapacity;
-    std::shared_ptr<EvalCache> cache;
+/** SA hyper-parameters: the shared evaluation core + the SA block. */
+struct SaOptions : EvalOptions, SaParams
+{
 };
 
 /** Run simulated annealing over the same genome space as the GA. */

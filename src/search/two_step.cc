@@ -20,6 +20,8 @@ struct HwPoint
 BufferConfig
 decode(const DseSpace &space, const HwPoint &pt)
 {
+    if (!space.searchHw)
+        return space.fixed;
     BufferConfig c;
     c.style = space.style;
     if (space.style == BufferStyle::Shared) {
@@ -31,6 +33,27 @@ decode(const DseSpace &space, const HwPoint &pt)
     return c;
 }
 
+/**
+ * Forwards only cancellation into the inner GAs: the outer sweep owns
+ * the observer's trace (folded global samples), so inner callbacks
+ * stay silent, but a cancel must still interrupt an inner run
+ * mid-batch rather than wait for the candidate to finish.
+ */
+class InnerCancel : public SearchObserver
+{
+  public:
+    explicit InnerCancel(SearchObserver *outer) : outer_(outer) {}
+
+    bool
+    cancelled() override
+    {
+        return outer_ && outer_->cancelled();
+    }
+
+  private:
+    SearchObserver *outer_;
+};
+
 SearchResult
 runCandidates(CostModel &model, const DseSpace &space,
               const std::vector<HwPoint> &candidates,
@@ -38,6 +61,8 @@ runCandidates(CostModel &model, const DseSpace &space,
 {
     SearchResult global;
     uint64_t sub_seed = opts.seed;
+    SearchMonitor mon(opts.observer, opts.timeLimitSec, opts.stallLimit);
+    InnerCancel inner_cancel(opts.observer);
 
     // One worker pool shared by every inner GA: the candidate loop
     // must not pay thread spawn/join per hardware point.
@@ -54,7 +79,7 @@ runCandidates(CostModel &model, const DseSpace &space,
         cache_start = cache->stats();
 
     for (const HwPoint &pt : candidates) {
-        if (global.samples >= opts.sampleBudget)
+        if (mon.shouldStop() || global.samples >= opts.sampleBudget)
             break;
         BufferConfig buf = decode(space, pt);
 
@@ -66,32 +91,45 @@ runCandidates(CostModel &model, const DseSpace &space,
         ga.alpha = opts.alpha;
         ga.metric = opts.metric;
         ga.coExplore = false; // partition-only under this capacity
+        ga.inSituSplit = opts.inSituSplit;
         ga.threads = opts.threads; // batch populations through the engine
         ga.cacheEnabled = opts.cacheEnabled;
         ga.cacheCapacity = opts.cacheCapacity;
         ga.cache = cache;
+        // Early stop propagates as cancellation + remaining wall
+        // clock; the stall limit stays an outer concern (it counts
+        // folded global samples, not inner ones).
+        if (opts.observer)
+            ga.observer = &inner_cancel;
+        if (opts.timeLimitSec > 0.0)
+            ga.timeLimitSec = std::max(mon.remainingSec(), 1e-9);
 
         DseSpace fixed = DseSpace::fixedSpace(buf);
         GeneticSearch search(model, fixed, ga, pool);
         SearchResult inner = search.run();
         global.deltaStats += inner.deltaStats;
 
-        // Fold the inner (metric-only) trace into the global co-opt
-        // objective trace.
+        // Fold the inner (metric-only) trace into the global trace:
+        // Formula 2 per candidate capacity when co-exploring (the
+        // paper's setup), the raw metric when partition-only.
         for (const TracePoint &tp : inner.trace) {
-            double cost = tp.bestCost >= kInfeasiblePenalty
-                              ? tp.bestCost
-                              : buf.totalBytes() + opts.alpha * tp.bestCost;
+            double cost = tp.bestCost;
+            if (opts.coExplore && cost < kInfeasiblePenalty)
+                cost = buf.totalBytes() + opts.alpha * cost;
             ++global.samples;
-            if (cost < global.bestCost) {
+            bool improved = cost < global.bestCost;
+            if (improved) {
                 global.bestCost = cost;
                 global.best = inner.best;
                 global.bestBuffer = buf;
             }
             global.trace.push_back({global.samples, global.bestCost});
+            mon.recordSample(global.trace.back(), improved);
         }
+        mon.batchDone(global.samples, global.bestCost);
     }
 
+    global.stop = mon.stopReason();
     if (global.bestCost < kInfeasiblePenalty) {
         global.bestGraphCost =
             model.partitionCost(global.best.part, global.bestBuffer);
@@ -101,12 +139,32 @@ runCandidates(CostModel &model, const DseSpace &space,
     return global;
 }
 
+/**
+ * Frozen space (partition-only): capacity sampling is degenerate —
+ * the sweep collapses to the one fixed buffer, which gets the whole
+ * sample budget instead of a per-candidate slice.
+ */
+bool
+frozenSweep(CostModel &model, const DseSpace &space,
+            const TwoStepOptions &opts, SearchResult *out)
+{
+    if (space.searchHw)
+        return false;
+    TwoStepOptions single = opts;
+    single.samplesPerCandidate = opts.sampleBudget;
+    *out = runCandidates(model, space, {HwPoint{}}, single);
+    return true;
+}
+
 } // namespace
 
 SearchResult
 twoStepRandom(CostModel &model, const DseSpace &space,
               const TwoStepOptions &opts)
 {
+    SearchResult frozen;
+    if (frozenSweep(model, space, opts, &frozen))
+        return frozen;
     Rng rng(opts.seed * 31 + 7);
     int64_t n = std::max<int64_t>(
         1, opts.sampleBudget / std::max<int64_t>(1,
@@ -129,6 +187,9 @@ SearchResult
 twoStepGrid(CostModel &model, const DseSpace &space,
             const TwoStepOptions &opts)
 {
+    SearchResult frozen;
+    if (frozenSweep(model, space, opts, &frozen))
+        return frozen;
     int64_t n = std::max<int64_t>(
         1, opts.sampleBudget / std::max<int64_t>(1,
                                                  opts.samplesPerCandidate));

@@ -15,26 +15,25 @@
 
 namespace cocco {
 
-/** Two-step driver options. */
-struct TwoStepOptions
+/** Two-step-specific parameters (shared knobs live in EvalOptions). */
+struct TwoStepParams
 {
-    int64_t sampleBudget = 50000;
     int64_t samplesPerCandidate = 5000; ///< paper: 5,000 per capacity
-    uint64_t seed = 1;
-    double alpha = 0.002;
-    Metric metric = Metric::Energy;
-    int population = 100;
-    /** Evaluation parallelism for the per-candidate inner GAs
-     *  (<= 0 = one per hardware thread). */
-    int threads = 1;
+    int population = 100;               ///< inner-GA population
+};
 
-    /** Evaluation-cache knobs (see GaOptions). One cache is shared
-     *  across all inner GAs: genome entries are fenced per candidate
-     *  buffer (the salt covers the frozen space), while the profile
-     *  memo and the accounting accumulate across the sweep. */
-    bool cacheEnabled = true;
-    size_t cacheCapacity = EvalCache::kDefaultCapacity;
-    std::shared_ptr<EvalCache> cache;
+/**
+ * Two-step driver options: the shared evaluation core + the two-step
+ * block. The cache knobs behave as in GaOptions, with one cache
+ * shared across all inner GAs: genome entries are fenced per
+ * candidate buffer (the salt covers the frozen space), while the
+ * profile memo and the accounting accumulate across the sweep.
+ * coExplore selects the outer fold: true scores each candidate with
+ * Formula 2 (capacity + alpha * metric, the paper's setup), false
+ * folds the raw metric (Formula 1) — useful when the space is frozen.
+ */
+struct TwoStepOptions : EvalOptions, TwoStepParams
+{
 };
 
 /** Random-search capacity sampling + GA partition (RS+GA). */

@@ -1,6 +1,9 @@
 #include "util/json.h"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -165,6 +168,493 @@ JsonWriter::str() const
     if (!stack_.empty() || pending_key_)
         panic("JsonWriter: document not closed");
     return out_;
+}
+
+// --- JsonValue ---------------------------------------------------------------
+
+const char *
+JsonValue::typeName() const
+{
+    switch (type_) {
+      case Type::Null:
+        return "null";
+      case Type::Bool:
+        return "bool";
+      case Type::Number:
+        return "number";
+      case Type::String:
+        return "string";
+      case Type::Array:
+        return "array";
+      case Type::Object:
+        return "object";
+    }
+    return "?";
+}
+
+bool
+JsonValue::boolean() const
+{
+    if (type_ != Type::Bool)
+        panic("JsonValue: boolean() on a %s", typeName());
+    return bool_;
+}
+
+double
+JsonValue::number() const
+{
+    if (type_ != Type::Number)
+        panic("JsonValue: number() on a %s", typeName());
+    return num_;
+}
+
+int64_t
+JsonValue::integer() const
+{
+    double v = number();
+    if (v != std::floor(v) || std::abs(v) > 9007199254740992.0) // 2^53
+        panic("JsonValue: %g is not an exact integer", v);
+    return static_cast<int64_t>(v);
+}
+
+const std::string &
+JsonValue::str() const
+{
+    if (type_ != Type::String)
+        panic("JsonValue: str() on a %s", typeName());
+    return str_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::array() const
+{
+    if (type_ != Type::Array)
+        panic("JsonValue: array() on a %s", typeName());
+    return arr_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const
+{
+    if (type_ != Type::Object)
+        panic("JsonValue: members() on a %s", typeName());
+    return obj_;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : members())
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+JsonValue
+JsonValue::makeNull()
+{
+    return JsonValue();
+}
+
+JsonValue
+JsonValue::makeBool(bool v)
+{
+    JsonValue j;
+    j.type_ = Type::Bool;
+    j.bool_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeNumber(double v)
+{
+    JsonValue j;
+    j.type_ = Type::Number;
+    j.num_ = v;
+    return j;
+}
+
+JsonValue
+JsonValue::makeString(std::string v)
+{
+    JsonValue j;
+    j.type_ = Type::String;
+    j.str_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeArray(std::vector<JsonValue> v)
+{
+    JsonValue j;
+    j.type_ = Type::Array;
+    j.arr_ = std::move(v);
+    return j;
+}
+
+JsonValue
+JsonValue::makeObject(std::vector<std::pair<std::string, JsonValue>> v)
+{
+    JsonValue j;
+    j.type_ = Type::Object;
+    j.obj_ = std::move(v);
+    return j;
+}
+
+// --- parseJson ---------------------------------------------------------------
+
+namespace {
+
+/** Strict recursive-descent JSON parser over a string. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *err)
+        : text_(text), err_(err)
+    {
+    }
+
+    bool
+    parse(JsonValue *out)
+    {
+        skipWs();
+        if (!parseValue(out))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after the document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const std::string &what)
+    {
+        if (err_ && err_->empty()) {
+            int line = 1;
+            for (size_t i = 0; i < pos_ && i < text_.size(); ++i)
+                if (text_[i] == '\n')
+                    ++line;
+            *err_ = strprintf("line %d: %s", line, what.c_str());
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue *out)
+    {
+        if (++depth_ > kMaxDepth)
+            return fail("nesting too deep");
+        bool ok = parseValueInner(out);
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseValueInner(JsonValue *out)
+    {
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        if (c == '{')
+            return parseObject(out);
+        if (c == '[')
+            return parseArray(out);
+        if (c == '"') {
+            std::string s;
+            if (!parseString(&s))
+                return false;
+            *out = JsonValue::makeString(std::move(s));
+            return true;
+        }
+        if (literal("true")) {
+            *out = JsonValue::makeBool(true);
+            return true;
+        }
+        if (literal("false")) {
+            *out = JsonValue::makeBool(false);
+            return true;
+        }
+        if (literal("null")) {
+            *out = JsonValue::makeNull();
+            return true;
+        }
+        if (c == '-' || (c >= '0' && c <= '9'))
+            return parseNumber(out);
+        return fail(strprintf("unexpected character '%c'", c));
+    }
+
+    bool
+    parseObject(JsonValue *out)
+    {
+        ++pos_; // '{'
+        std::vector<std::pair<std::string, JsonValue>> members;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            *out = JsonValue::makeObject(std::move(members));
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!parseString(&key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':' after object key");
+            ++pos_;
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                *out = JsonValue::makeObject(std::move(members));
+                return true;
+            }
+            return fail("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue *out)
+    {
+        ++pos_; // '['
+        std::vector<JsonValue> items;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            *out = JsonValue::makeArray(std::move(items));
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue v;
+            if (!parseValue(&v))
+                return false;
+            items.push_back(std::move(v));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                *out = JsonValue::makeArray(std::move(items));
+                return true;
+            }
+            return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseString(std::string *out)
+    {
+        if (pos_ >= text_.size() || text_[pos_] != '"')
+            return fail("expected a string");
+        ++pos_;
+        std::string s;
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"') {
+                *out = std::move(s);
+                return true;
+            }
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"':
+                s += '"';
+                break;
+              case '\\':
+                s += '\\';
+                break;
+              case '/':
+                s += '/';
+                break;
+              case 'b':
+                s += '\b';
+                break;
+              case 'f':
+                s += '\f';
+                break;
+              case 'n':
+                s += '\n';
+                break;
+              case 'r':
+                s += '\r';
+                break;
+              case 't':
+                s += '\t';
+                break;
+              case 'u': {
+                unsigned cp = 0;
+                if (!parseHex4(&cp))
+                    return false;
+                appendUtf8(s, cp);
+                break;
+              }
+              default:
+                return fail(strprintf("bad escape '\\%c'", e));
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseHex4(unsigned *out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        unsigned cp = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_++];
+            cp <<= 4;
+            if (c >= '0' && c <= '9')
+                cp |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                cp |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                cp |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        *out = cp;
+        return true;
+    }
+
+    /** BMP code point to UTF-8 (surrogates pass through as-is; the
+     *  specs we parse are ASCII in practice). */
+    static void
+    appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s += static_cast<char>(cp);
+        } else if (cp < 0x800) {
+            s += static_cast<char>(0xc0 | (cp >> 6));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        } else {
+            s += static_cast<char>(0xe0 | (cp >> 12));
+            s += static_cast<char>(0x80 | ((cp >> 6) & 0x3f));
+            s += static_cast<char>(0x80 | (cp & 0x3f));
+        }
+    }
+
+    /** The RFC 8259 number grammar:
+     *  -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)? */
+    static bool
+    validNumberToken(const std::string &t)
+    {
+        auto digit = [&](size_t i) {
+            return i < t.size() &&
+                   std::isdigit(static_cast<unsigned char>(t[i]));
+        };
+        size_t i = 0;
+        if (i < t.size() && t[i] == '-')
+            ++i;
+        if (!digit(i))
+            return false;
+        if (t[i] == '0')
+            ++i; // no leading zeros
+        else
+            while (digit(i))
+                ++i;
+        if (i < t.size() && t[i] == '.') {
+            ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+            ++i;
+            if (i < t.size() && (t[i] == '+' || t[i] == '-'))
+                ++i;
+            if (!digit(i))
+                return false;
+            while (digit(i))
+                ++i;
+        }
+        return i == t.size();
+    }
+
+    bool
+    parseNumber(JsonValue *out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        std::string tok = text_.substr(start, pos_ - start);
+        if (!validNumberToken(tok))
+            return fail(strprintf("bad number '%s'", tok.c_str()));
+        *out = JsonValue::makeNumber(std::strtod(tok.c_str(), nullptr));
+        return true;
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    const std::string &text_;
+    std::string *err_;
+    size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string &text, JsonValue *out, std::string *err)
+{
+    if (err)
+        err->clear();
+    JsonParser p(text, err);
+    JsonValue v;
+    if (!p.parse(&v))
+        return false;
+    *out = std::move(v);
+    return true;
 }
 
 } // namespace cocco

@@ -1,9 +1,11 @@
 /**
  * @file
- * A minimal JSON writer (no parsing) used to export search results
- * and execution schemes to downstream tooling. Values are emitted
- * with correct escaping; objects and arrays nest via RAII-free
- * explicit begin/end calls, validated at runtime.
+ * Minimal JSON support: a streaming writer used to export search
+ * results and execution schemes to downstream tooling, and a strict
+ * recursive-descent parser (JsonValue / parseJson) used to ingest
+ * declarative run specs (`cocco run --spec`) and to validate emitted
+ * metrics documents. No third-party dependency; both directions are
+ * plain standard-library code.
  */
 
 #ifndef COCCO_UTIL_JSON_H
@@ -11,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace cocco {
@@ -61,6 +64,68 @@ class JsonWriter
     std::vector<bool> has_item_; // per nesting level
     bool pending_key_ = false;
 };
+
+/**
+ * One parsed JSON value. Type accessors panic on mismatch (callers
+ * check the type, or use the checked find()/lookup patterns), so a
+ * malformed document can never be silently misread. Object member
+ * order is preserved. Numbers are stored as double: integers are
+ * exact up to 2^53, which covers every knob in our schemas.
+ */
+class JsonValue
+{
+  public:
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default; ///< null
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isBool() const { return type_ == Type::Bool; }
+    bool isNumber() const { return type_ == Type::Number; }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    /** Human-readable type name ("object", "number", ...). */
+    const char *typeName() const;
+
+    /** Checked accessors (panic on type mismatch). */
+    bool boolean() const;
+    double number() const;
+    /** number() rounded to int64 (panics when out of exact range). */
+    int64_t integer() const;
+    const std::string &str() const;
+    const std::vector<JsonValue> &array() const;
+    const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+    /** Object member lookup; null when absent (panics: not object). */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Construction (used by the parser and tests). */
+    static JsonValue makeNull();
+    static JsonValue makeBool(bool v);
+    static JsonValue makeNumber(double v);
+    static JsonValue makeString(std::string v);
+    static JsonValue makeArray(std::vector<JsonValue> v);
+    static JsonValue
+    makeObject(std::vector<std::pair<std::string, JsonValue>> v);
+
+  private:
+    Type type_ = Type::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/**
+ * Parse a complete JSON document (strict: no comments, no trailing
+ * commas, nothing after the root value). @return false with *err set
+ * to "line L: problem" on malformed input.
+ */
+bool parseJson(const std::string &text, JsonValue *out, std::string *err);
 
 } // namespace cocco
 

@@ -13,6 +13,7 @@
 #include <set>
 
 #include "util/csv.h"
+#include "util/json.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/random.h"
@@ -393,4 +394,101 @@ TEST(CsvDeath, RowArityMismatch)
 {
     CsvWriter w({"a", "b"});
     EXPECT_DEATH(w.addRow({"only-one"}), "expected 2");
+}
+
+// --- JSON parser ---------------------------------------------------------
+
+TEST(JsonParse, Scalars)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson("42", &v, &err));
+    EXPECT_EQ(v.integer(), 42);
+    ASSERT_TRUE(parseJson("-3.5e2", &v, &err));
+    EXPECT_DOUBLE_EQ(v.number(), -350.0);
+    ASSERT_TRUE(parseJson("true", &v, &err));
+    EXPECT_TRUE(v.boolean());
+    ASSERT_TRUE(parseJson("null", &v, &err));
+    EXPECT_TRUE(v.isNull());
+    ASSERT_TRUE(parseJson("\"hi\\n\\\"there\\\"\"", &v, &err));
+    EXPECT_EQ(v.str(), "hi\n\"there\"");
+    ASSERT_TRUE(parseJson("\"\\u0041\\u00e9\"", &v, &err));
+    EXPECT_EQ(v.str(), "A\xc3\xa9");
+}
+
+TEST(JsonParse, NestedStructure)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(
+        R"({"a": [1, 2, {"b": false}], "c": {"d": "e"}, "f": []})", &v,
+        &err))
+        << err;
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.members().size(), 3u);
+    const JsonValue *a = v.find("a");
+    ASSERT_TRUE(a && a->isArray());
+    EXPECT_EQ(a->array().size(), 3u);
+    EXPECT_EQ(a->array()[1].integer(), 2);
+    EXPECT_FALSE(a->array()[2].find("b")->boolean());
+    EXPECT_EQ(v.find("c")->find("d")->str(), "e");
+    EXPECT_TRUE(v.find("f")->array().empty());
+    EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, RoundTripsWriterOutput)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("name", "run \"1\"")
+        .field("count", static_cast<int64_t>(7))
+        .field("ratio", 0.25)
+        .field("on", true)
+        .key("items")
+        .beginArray()
+        .value(static_cast<int64_t>(1))
+        .value("two")
+        .endArray()
+        .endObject();
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(w.str(), &v, &err)) << err;
+    EXPECT_EQ(v.find("name")->str(), "run \"1\"");
+    EXPECT_EQ(v.find("count")->integer(), 7);
+    EXPECT_DOUBLE_EQ(v.find("ratio")->number(), 0.25);
+    EXPECT_TRUE(v.find("on")->boolean());
+    EXPECT_EQ(v.find("items")->array()[1].str(), "two");
+}
+
+TEST(JsonParse, RejectsMalformedDocuments)
+{
+    JsonValue v;
+    std::string err;
+    for (const char *bad :
+         {"", "{", "[1, 2", "{\"a\" 1}", "{\"a\": 1,}", "[1, 2,]",
+          "tru", "\"unterminated", "{\"a\": 1} extra", "01x",
+          "{\"a\": \"\\q\"}", "nan",
+          // strict RFC 8259 numbers: no leading zeros, no bare dots,
+          // no empty exponents
+          "01", "-01", "1.", ".5", "1e", "1e+", "+1", "--1"}) {
+        EXPECT_FALSE(parseJson(bad, &v, &err)) << bad;
+        EXPECT_FALSE(err.empty()) << bad;
+    }
+}
+
+TEST(JsonParse, ErrorsCarryLineNumbers)
+{
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parseJson("{\n  \"a\": 1,\n  oops\n}", &v, &err));
+    EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+}
+
+TEST(JsonParseDeath, TypeMismatchPanics)
+{
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson("[1]", &v, &err));
+    EXPECT_DEATH(v.str(), "str\\(\\) on a");
+    EXPECT_DEATH(v.find("k"), "members\\(\\) on a");
 }

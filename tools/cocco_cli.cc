@@ -7,22 +7,34 @@
  *   describe  <model>               print the graph summary
  *   dot       <model> [--runs L]    DOT export (optionally partitioned)
  *   partition <model> --algo A      run one partitioner and report costs
- *             (A = greedy | dp | enum | ga | sa)
+ *             (A = greedy | dp | enum | any registered search driver)
  *   coexplore <model> [--style s]   hardware-mapping co-exploration
- *             (s = shared | separate)
+ *             (s = shared | separate; --algo picks the driver)
+ *   run       --spec FILE           declarative JSON run spec (schema
+ *                                   in the README)
+ *   validate-metrics FILE           check a --metrics-out document
+ * Listing: --list-algos (search drivers), --list-models.
  * Common flags: --samples N, --alpha F, --metric ema|energy, --seed N,
  *               --threads N (parallel evaluation; 0 = all cores),
+ *               --neighbor-batch N (SA speculative neighbors),
+ *               --time-limit SEC, --stall-limit N (early stop),
  *               --json (machine-readable output),
  *               --cache-size N (evaluation-cache entries; 0 disables),
  *               --cache-file F (persist/warm-start the cache),
  *               --metrics-out F (write a JSON run-metrics report)
+ *
+ * The search subcommands all dispatch through the SearcherRegistry,
+ * so the two-step baselines (ts-random, ts-grid) and any strategy
+ * registered at startup are first-class citizens of every mode.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include "core/cocco.h"
@@ -34,6 +46,8 @@
 #include "partition/enumeration.h"
 #include "partition/greedy.h"
 #include "sim/timeline.h"
+#include "util/json.h"
+#include "util/logging.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -53,10 +67,14 @@ struct CliArgs
     bool json = false;
     int runs = 0;
     int threads = 1;
+    int neighborBatch = 1;  ///< SA speculative neighbors per round
+    double timeLimitSec = 0.0;
+    int64_t stallLimit = 0;
     int64_t cacheSize =
         static_cast<int64_t>(EvalCache::kDefaultCapacity); ///< 0 = off
     std::string cacheFile;  ///< warm-start / persist path ("" = none)
     std::string metricsOut; ///< JSON metrics path ("" = none)
+    std::string specFile;   ///< declarative run spec ("" = none)
 };
 
 [[noreturn]] void
@@ -65,14 +83,18 @@ usage()
     std::fprintf(
         stderr,
         "usage: cocco <command> [args]\n"
-        "  models\n"
+        "  models | --list-models\n"
+        "  --list-algos\n"
         "  describe  <model>\n"
         "  timeline  <model>\n"
         "  dot       <model> [--runs L]\n"
-        "  partition <model> --algo greedy|dp|enum|ga|sa\n"
-        "  coexplore <model> [--style shared|separate]\n"
+        "  partition <model> --algo greedy|dp|enum|<search driver>\n"
+        "  coexplore <model> [--style shared|separate] [--algo DRIVER]\n"
+        "  run       --spec FILE\n"
+        "  validate-metrics FILE\n"
         "flags: --samples N --alpha F --metric ema|energy --seed N "
         "--threads N --json\n"
+        "       --neighbor-batch N --time-limit SEC --stall-limit N\n"
         "       --cache-size N --cache-file F --metrics-out F\n");
     std::exit(2);
 }
@@ -85,7 +107,8 @@ parse(int argc, char **argv)
     CliArgs a;
     a.command = argv[1];
     int i = 2;
-    if (a.command != "models") {
+    if (a.command != "models" && a.command != "run" &&
+        a.command[0] != '-') {
         if (i >= argc)
             usage();
         a.model = argv[i++];
@@ -111,12 +134,20 @@ parse(int argc, char **argv)
             a.runs = std::atoi(next());
         else if (f == "--threads")
             a.threads = std::atoi(next());
+        else if (f == "--neighbor-batch")
+            a.neighborBatch = std::atoi(next());
+        else if (f == "--time-limit")
+            a.timeLimitSec = std::atof(next());
+        else if (f == "--stall-limit")
+            a.stallLimit = std::atoll(next());
         else if (f == "--cache-size")
             a.cacheSize = std::atoll(next());
         else if (f == "--cache-file")
             a.cacheFile = next();
         else if (f == "--metrics-out")
             a.metricsOut = next();
+        else if (f == "--spec")
+            a.specFile = next();
         else if (f == "--metric")
             a.metric = std::string(next()) == "ema" ? Metric::EMA
                                                     : Metric::Energy;
@@ -126,6 +157,23 @@ parse(int argc, char **argv)
             usage();
     }
     return a;
+}
+
+/** Spec assembled from plain CLI flags (partition/coexplore modes). */
+SearchSpec
+specFromArgs(const CliArgs &a)
+{
+    SearchSpec spec;
+    spec.algo = a.algo;
+    spec.eval.sampleBudget = a.samples;
+    spec.eval.alpha = a.alpha;
+    spec.eval.metric = a.metric;
+    spec.eval.seed = a.seed;
+    spec.eval.threads = a.threads;
+    spec.eval.timeLimitSec = a.timeLimitSec;
+    spec.eval.stallLimit = a.stallLimit;
+    spec.sa.neighborBatch = a.neighborBatch;
+    return spec;
 }
 
 /** Build the run's evaluation cache per the CLI knobs; warm-start
@@ -223,6 +271,14 @@ printCost(const Graph &g, const GraphCost &c, const BufferConfig &buf,
     (void)g;
 }
 
+/** Early-stop note for human-mode output. */
+void
+printStopLine(StopReason stop)
+{
+    if (stop != StopReason::BudgetExhausted)
+        std::fprintf(stderr, "stopped early: %s\n", stopReasonName(stop));
+}
+
 int
 runPartition(const CliArgs &a)
 {
@@ -236,7 +292,7 @@ runPartition(const CliArgs &a)
 
     // Only the sampling searches evaluate genomes; greedy/dp/enum
     // never touch the cache, so don't open (or rewrite) it for them.
-    bool sampling = a.algo == "ga" || a.algo == "sa";
+    bool sampling = SearcherRegistry::instance().contains(a.algo);
     std::shared_ptr<EvalCache> cache = sampling ? openCache(a) : nullptr;
     EvalCacheStats run_stats;
     int64_t samples = 0;
@@ -256,35 +312,19 @@ runPartition(const CliArgs &a)
             return 1;
         }
         p = r.best;
-    } else if (a.algo == "ga" || a.algo == "sa") {
+    } else if (sampling) {
+        // Any registered driver, partition-only under the fixed buffer.
         CoccoFramework cocco(g, accel);
-        GaOptions o;
-        o.sampleBudget = a.samples;
-        o.metric = a.metric;
-        o.seed = a.seed;
-        o.threads = a.threads;
-        o.cacheEnabled = cache != nullptr;
-        o.cache = cache;
-        if (a.algo == "sa") {
-            DseSpace space = DseSpace::fixedSpace(buf);
-            SaOptions so;
-            so.sampleBudget = a.samples;
-            so.metric = a.metric;
-            so.seed = a.seed;
-            so.coExplore = false;
-            so.threads = a.threads;
-            so.cacheEnabled = cache != nullptr;
-            so.cache = cache;
-            SearchResult r = simulatedAnnealing(cocco.model(), space, so);
-            p = r.best.part;
-            run_stats = r.cacheStats;
-            samples = r.samples;
-        } else {
-            CoccoResult r = cocco.partitionOnly(buf, o);
-            p = r.partition;
-            run_stats = r.cacheStats;
-            samples = r.samples;
-        }
+        SearchSpec spec = specFromArgs(a);
+        spec.eval.coExplore = false;
+        spec.fixedBuffer = buf;
+        spec.eval.cacheEnabled = cache != nullptr;
+        spec.eval.cache = cache;
+        CoccoResult r = cocco.explore(spec);
+        p = r.partition;
+        run_stats = r.cacheStats;
+        samples = r.samples;
+        printStopLine(r.stop);
     } else {
         usage();
     }
@@ -312,33 +352,155 @@ runCoExplore(const CliArgs &a)
     Graph g = buildModel(a.model);
     AcceleratorConfig accel;
     CoccoFramework cocco(g, accel);
-    GaOptions o;
-    o.sampleBudget = a.samples;
-    o.alpha = a.alpha;
-    o.metric = a.metric;
-    o.seed = a.seed;
-    o.threads = a.threads;
+    SearchSpec spec = specFromArgs(a);
+    spec.eval.coExplore = true;
+    spec.style = a.style == "separate" ? BufferStyle::Separate
+                                       : BufferStyle::Shared;
     std::shared_ptr<EvalCache> cache = openCache(a);
-    o.cacheEnabled = cache != nullptr;
-    o.cache = cache;
-    BufferStyle style = a.style == "separate" ? BufferStyle::Separate
-                                              : BufferStyle::Shared;
+    spec.eval.cacheEnabled = cache != nullptr;
+    spec.eval.cache = cache;
     auto t0 = std::chrono::steady_clock::now();
-    CoccoResult r = cocco.coExplore(style, o);
+    CoccoResult r = cocco.explore(spec);
     double wall = secondsSince(t0);
     closeCache(a, cache);
     if (a.json) {
         std::printf("%s\n", resultToJson(g, r).c_str());
     } else {
-        std::printf("%s: recommended buffer %s after %lld samples\n",
-                    a.model.c_str(), r.buffer.str().c_str(),
+        std::printf("%s: %s recommends buffer %s after %lld samples\n",
+                    a.model.c_str(), spec.algo.c_str(),
+                    r.buffer.str().c_str(),
                     static_cast<long long>(r.samples));
         printCost(g, r.cost, r.buffer, a.alpha, a.metric);
+        printStopLine(r.stop);
         if (cache)
             printCacheLine(r.cacheStats);
     }
-    emitMetrics(a, "coexplore", wall, r.samples, r.objective,
+    emitMetrics(a, "coexplore-" + spec.algo, wall, r.samples, r.objective,
                 cache != nullptr, r.cacheStats);
+    return 0;
+}
+
+/** `cocco run --spec FILE`: the declarative path. The document is
+ *  authoritative for the search configuration; the command line only
+ *  contributes output/persistence knobs (--json, --metrics-out,
+ *  --cache-file). */
+int
+runSpec(CliArgs a)
+{
+    if (a.specFile.empty())
+        fatal("run needs --spec FILE");
+    std::ifstream in(a.specFile);
+    if (!in)
+        fatal("cannot read spec file '%s'", a.specFile.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(ss.str(), &doc, &err))
+        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+
+    SearchSpec spec;
+    // Partition-only specs may omit "buffer": default to the standard
+    // fixed buffer of the partition studies (1MB GLB + 1.125MB WBUF).
+    spec.fixedBuffer.style = BufferStyle::Separate;
+    spec.fixedBuffer.actBytes = 1024 * 1024;
+    spec.fixedBuffer.weightBytes = 1152 * 1024;
+    if (!searchSpecFromJson(doc, &spec, &err))
+        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+
+    const JsonValue *model_key = doc.find("model");
+    if (!model_key)
+        fatal("%s: run spec needs a \"model\"", a.specFile.c_str());
+    a.model = model_key->str();
+    a.seed = spec.eval.seed;
+    a.threads = spec.eval.threads;
+
+    Graph g = buildModel(a.model);
+    AcceleratorConfig accel;
+    CoccoFramework cocco(g, accel);
+
+    std::shared_ptr<EvalCache> cache;
+    if (spec.eval.cacheEnabled) {
+        a.cacheSize = static_cast<int64_t>(spec.eval.cacheCapacity);
+        cache = openCache(a);
+        spec.eval.cache = cache;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    CoccoResult r = cocco.explore(spec);
+    double wall = secondsSince(t0);
+    closeCache(a, cache);
+
+    if (a.json) {
+        std::printf("%s\n", resultToJson(g, r).c_str());
+    } else {
+        std::printf("%s: %s (%s) -> buffer %s after %lld samples\n",
+                    a.model.c_str(), spec.algo.c_str(),
+                    spec.eval.coExplore ? "co-explore" : "partition-only",
+                    r.buffer.str().c_str(),
+                    static_cast<long long>(r.samples));
+        printCost(g, r.cost, r.buffer, spec.eval.alpha, spec.eval.metric);
+        printStopLine(r.stop);
+        if (cache)
+            printCacheLine(r.cacheStats);
+    }
+    emitMetrics(a, "spec-" + spec.algo, wall, r.samples, r.objective,
+                cache != nullptr, r.cacheStats);
+    return 0;
+}
+
+/** `cocco validate-metrics FILE`: structural check of a metrics
+ *  document (core/metrics schema v1) using the JSON parser — what CI
+ *  runs against every uploaded artifact. */
+int
+validateMetrics(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot read '%s'", path.c_str());
+    std::stringstream ss;
+    ss << in.rdbuf();
+
+    JsonValue doc;
+    std::string err;
+    if (!parseJson(ss.str(), &doc, &err))
+        fatal("%s: %s", path.c_str(), err.c_str());
+    if (!doc.isObject())
+        fatal("%s: document must be an object", path.c_str());
+
+    const JsonValue *version = doc.find("schema_version");
+    if (!version || !version->isNumber() || version->number() != 1.0)
+        fatal("%s: schema_version must be 1", path.c_str());
+    const JsonValue *generator = doc.find("generator");
+    if (!generator || !generator->isString())
+        fatal("%s: missing \"generator\"", path.c_str());
+    const JsonValue *runs = doc.find("runs");
+    if (!runs || !runs->isArray())
+        fatal("%s: missing \"runs\" array", path.c_str());
+
+    static const char *string_fields[] = {"name", "model"};
+    static const char *number_fields[] = {"threads", "seed", "samples",
+                                          "best_cost", "wall_seconds"};
+    int i = 0;
+    for (const JsonValue &run : runs->array()) {
+        if (!run.isObject())
+            fatal("%s: runs[%d] is not an object", path.c_str(), i);
+        for (const char *f : string_fields)
+            if (!run.find(f) || !run.find(f)->isString())
+                fatal("%s: runs[%d] missing string \"%s\"", path.c_str(),
+                      i, f);
+        for (const char *f : number_fields)
+            if (!run.find(f) || !run.find(f)->isNumber())
+                fatal("%s: runs[%d] missing number \"%s\"", path.c_str(),
+                      i, f);
+        const JsonValue *cache = run.find("cache");
+        if (!cache || !cache->isObject())
+            fatal("%s: runs[%d] missing \"cache\" object", path.c_str(), i);
+        ++i;
+    }
+    std::printf("%s: ok (%s, %d run%s)\n", path.c_str(),
+                generator->str().c_str(), i, i == 1 ? "" : "s");
     return 0;
 }
 
@@ -349,10 +511,24 @@ main(int argc, char **argv)
 {
     CliArgs a = parse(argc, argv);
 
-    if (a.command == "models") {
+    if (a.command == "models" || a.command == "--list-models") {
         for (const std::string &name : allModelNames())
             std::printf("%s\n", name.c_str());
         return 0;
+    }
+    if (a.command == "--list-algos") {
+        const SearcherRegistry &reg = SearcherRegistry::instance();
+        for (const std::string &key : reg.keys())
+            std::printf("%-10s %s\n", key.c_str(),
+                        reg.summary(key).c_str());
+        return 0;
+    }
+    if (a.command == "run")
+        return runSpec(a);
+    if (a.command == "validate-metrics") {
+        if (a.model.empty())
+            usage();
+        return validateMetrics(a.model);
     }
     if (a.command == "describe") {
         Graph g = buildModel(a.model);
