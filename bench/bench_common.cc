@@ -48,7 +48,8 @@ searchSpec(const std::string &algo, const BenchArgs &args)
 AcceleratorConfig
 paperAccelerator()
 {
-    return AcceleratorConfig{}; // defaults model the paper platform
+    // The "simba" preset IS the paper platform (Section 5.1.2).
+    return platformPreset("simba");
 }
 
 BufferConfig

@@ -18,6 +18,7 @@
 #include "mem/buffer_config.h"
 #include "search/driver.h"
 #include "sim/accelerator.h"
+#include "sim/platform.h"
 
 namespace cocco::bench {
 
@@ -54,7 +55,7 @@ BenchArgs parseArgs(int argc, char **argv, const char *what);
 cocco::SearchSpec searchSpec(const std::string &algo,
                              const BenchArgs &args);
 
-/** The paper's single-core evaluation platform. */
+/** The paper's single-core evaluation platform (the "simba" preset). */
 AcceleratorConfig paperAccelerator();
 
 /** The fixed buffer of the partition studies: 1MB GLB + 1.125MB WBUF. */

@@ -15,6 +15,7 @@
 
 #include "core/cocco.h"
 #include "search/pareto.h"
+#include "sim/platform.h"
 #include "sim/timeline.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -28,7 +29,7 @@ main(int argc, char **argv)
     int64_t budget = argc > 2 ? std::atoll(argv[2]) : 4000;
 
     Graph g = buildModel(name);
-    AcceleratorConfig accel;
+    AcceleratorConfig accel = platformPreset("simba");
     CoccoFramework cocco(g, accel);
 
     SearchSpec spec;

@@ -15,6 +15,7 @@
 #include "core/cocco.h"
 #include "partition/dp.h"
 #include "partition/greedy.h"
+#include "sim/platform.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -25,12 +26,17 @@ main(int argc, char **argv)
     uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 1;
     int64_t budget = argc > 2 ? std::atoll(argv[2]) : 4000;
 
-    Graph g = buildRandWire('A', seed);
+    // The seed is a first-class model parameter: the same build is
+    // reachable by name via buildModel("RandWire-A", params) or the
+    // CLI's --model-seed.
+    ModelParams params;
+    params.seed = seed;
+    Graph g = buildModel("RandWire-A", params);
     std::printf("Generated %s (seed %llu): %d nodes, %d edges\n\n",
                 g.name().c_str(), static_cast<unsigned long long>(seed),
                 g.size(), g.numEdges());
 
-    AcceleratorConfig accel;
+    AcceleratorConfig accel = platformPreset("simba");
     CostModel model(g, accel);
 
     // --- Fixed-buffer partition comparison (EMA metric). ---

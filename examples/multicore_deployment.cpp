@@ -12,6 +12,7 @@
 #include <cstdlib>
 
 #include "core/cocco.h"
+#include "sim/platform.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -28,7 +29,7 @@ main(int argc, char **argv)
              "buffer/core"});
     for (int cores : {1, 2, 4}) {
         for (int batch : {1, 2, 8}) {
-            AcceleratorConfig accel;
+            AcceleratorConfig accel = platformPreset("simba");
             accel.cores = cores;
             accel.batch = batch;
 

@@ -14,6 +14,7 @@
 #include <cstdlib>
 
 #include "core/cocco.h"
+#include "sim/platform.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -31,7 +32,9 @@ main(int argc, char **argv)
                 g.totalMacs() / 1e9,
                 g.totalWeightBytes() / (1024.0 * 1024.0));
 
-    AcceleratorConfig accel; // Simba-like: 2.048 TOPS, 16 GB/s DRAM
+    // The paper's Simba-like platform, by preset name — swap for
+    // "edge"/"cloud"/"simba-x4" or a platform JSON file to retarget.
+    AcceleratorConfig accel = platformPreset("simba");
     std::printf("Platform: %.3f TOPS, %.0f GB/s DRAM per core\n\n",
                 accel.peakTops(), accel.dramGBpsPerCore);
 

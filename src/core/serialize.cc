@@ -2,8 +2,11 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <fstream>
 
+#include "graph/graph_json.h"
 #include "util/json.h"
+#include "util/logging.h"
 
 namespace cocco {
 
@@ -164,6 +167,90 @@ loadEvalCache(EvalCache &cache, const std::string &path)
     }
     std::fclose(f);
     return loaded;
+}
+
+// --- Workload & platform resolution -------------------------------------
+
+bool
+resolveWorkload(const WorkloadSpec &spec, Graph *out, std::string *err)
+{
+    if (!spec.model.empty() && !spec.file.empty())
+        return jsonFail(err, "workload: give a model name or a graph "
+                                "file, not both");
+    if (!spec.file.empty()) {
+        // A file fixes the graph's shape; accepting shape params here
+        // would silently run a different experiment than requested.
+        const ModelParams def;
+        const ModelParams &p = spec.params;
+        if (p.resolution != def.resolution || p.seqLen != def.seqLen ||
+            p.depth != def.depth || p.widthMult != def.widthMult ||
+            p.seed != def.seed)
+            return jsonFail(err,
+                            "workload: model-shaping params (resolution, "
+                            "seqLen, depth, widthMult, seed) do not apply "
+                            "to a \"file\" workload — only \"batch\" "
+                            "does");
+        return loadGraphJson(spec.file, out, err);
+    }
+    if (spec.model.empty())
+        return jsonFail(err, "workload: a model name or a graph file "
+                                "is required");
+    if (!ModelRegistry::instance().contains(spec.model))
+        return jsonFail(
+            err, strprintf("unknown model \"%s\" (known: %s)",
+                           spec.model.c_str(),
+                           joinComma(allModelNames()).c_str()));
+    *out = buildModel(spec.model, spec.params);
+    return true;
+}
+
+bool
+resolvePlatform(const PlatformSpec &spec, AcceleratorConfig *out,
+                std::string *err)
+{
+    int sources = (!spec.preset.empty() ? 1 : 0) +
+                  (!spec.file.empty() ? 1 : 0) +
+                  (spec.inlineConfig ? 1 : 0);
+    if (sources > 1)
+        return jsonFail(err, "platform: give a preset, a file, or an "
+                                "inline configuration, not several");
+    if (!spec.file.empty())
+        return loadPlatformJson(spec.file, out, err);
+    if (spec.inlineConfig) {
+        *out = spec.config;
+        return true;
+    }
+    std::string name = spec.preset.empty() ? "simba" : spec.preset;
+    if (!PlatformRegistry::instance().find(name, out))
+        return jsonFail(
+            err, strprintf(
+                     "unknown platform \"%s\" (known: %s)", name.c_str(),
+                     joinComma(PlatformRegistry::instance().keys())
+                         .c_str()));
+    return true;
+}
+
+bool
+savePlatformJson(const AcceleratorConfig &accel, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << acceleratorToJson(accel) << '\n';
+    return static_cast<bool>(out);
+}
+
+bool
+loadPlatformJson(const std::string &path, AcceleratorConfig *out,
+                 std::string *err)
+{
+    JsonValue doc;
+    if (!loadJsonFile(path, &doc, err))
+        return false;
+    std::string sub;
+    if (!acceleratorFromJson(doc, out, &sub))
+        return jsonFail(err, path + ": " + sub);
+    return true;
 }
 
 } // namespace cocco

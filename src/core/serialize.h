@@ -2,8 +2,10 @@
  * @file
  * Serialization of the framework's artifacts: JSON for downstream
  * compilers/visualizers (recommended configuration, partition,
- * per-subgraph execution schemes), and the on-disk evaluation-cache
- * format that lets repeated CLI/bench runs warm-start.
+ * per-subgraph execution schemes), platform documents, the workload /
+ * platform spec resolvers behind `cocco run --spec`, and the on-disk
+ * evaluation-cache format that lets repeated CLI/bench runs
+ * warm-start.
  */
 
 #ifndef COCCO_CORE_SERIALIZE_H
@@ -13,6 +15,7 @@
 
 #include "core/cocco.h"
 #include "search/eval_cache.h"
+#include "sim/platform.h"
 #include "tileflow/scheme.h"
 
 namespace cocco {
@@ -47,6 +50,42 @@ bool saveEvalCache(const EvalCache &cache, const std::string &path);
  *         corrupt tail stops the load but keeps earlier entries.
  */
 int loadEvalCache(EvalCache &cache, const std::string &path);
+
+// --- Workload & platform resolution -------------------------------------
+// The file-and-name layer that makes a run spec self-contained: a
+// WorkloadSpec / PlatformSpec (as parsed from a spec document or
+// assembled from CLI flags) becomes a concrete Graph /
+// AcceleratorConfig here. Both report problems as errors, never
+// crashes — an unknown model, preset or file is always a clean user
+// error at this level.
+
+/**
+ * Resolve a workload address into a graph: build the named registry
+ * model with its parameters, or import the Graph JSON file. Exactly
+ * one of model/file must be set.
+ * @return false with *err set on any problem.
+ */
+bool resolveWorkload(const WorkloadSpec &spec, Graph *out,
+                     std::string *err);
+
+/**
+ * Resolve a platform address into a configuration: a named preset
+ * (default "simba"), a platform JSON file, or the inline config. At
+ * most one source may be given.
+ * @return false with *err set on any problem.
+ */
+bool resolvePlatform(const PlatformSpec &spec, AcceleratorConfig *out,
+                     std::string *err);
+
+/** Write acceleratorToJson(accel) to @p path. @return false on I/O
+ *  failure. */
+bool savePlatformJson(const AcceleratorConfig &accel,
+                      const std::string &path);
+
+/** Read + parse + validate the platform document at @p path.
+ *  @return false with *err set. */
+bool loadPlatformJson(const std::string &path, AcceleratorConfig *out,
+                      std::string *err);
 
 } // namespace cocco
 

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Graph JSON import/export: the file form of a workload.
+ *
+ * Any DAG a user can describe — not just the built-in model zoo —
+ * becomes an explorable workload through this module: export a
+ * registry model with graphToJson()/`cocco export-model`, edit or
+ * generate a document from another tool, and feed it back via
+ * `--model-file` or a run spec's workload.file.
+ *
+ * Schema (cocco-graph v1; strict — unknown keys, type mismatches and
+ * non-topological edges are hard errors):
+ *
+ *   {
+ *     "schema_version": 1,
+ *     "name": "ResNet50",
+ *     "nodes": [
+ *       {"name": "input", "kind": "input",
+ *        "outH": 224, "outW": 224, "outC": 3,
+ *        "kernel": 1, "stride": 1, "preds": []},
+ *       ...
+ *     ]
+ *   }
+ *
+ * "kernel", "stride" (default 1) and "preds" (default []) are
+ * optional on input; export always writes every field. "preds" holds
+ * indices into "nodes" and must reference earlier entries only, so a
+ * valid document is a topologically-ordered DAG by construction —
+ * cycles cannot be expressed and forward references are rejected.
+ *
+ * Round-trip contract: import(export(g)) reproduces g's content hash
+ * (util/hash's hashGraph) bit-identically, so a file-based workload
+ * is indistinguishable from the compiled-in graph to the evaluation
+ * cache and every search driver.
+ */
+
+#ifndef COCCO_GRAPH_GRAPH_JSON_H
+#define COCCO_GRAPH_GRAPH_JSON_H
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace cocco {
+
+class JsonValue;
+
+/** Serialize @p g as a cocco-graph v1 document. */
+std::string graphToJson(const Graph &g);
+
+/**
+ * Rebuild a graph from a parsed cocco-graph document. Strict: any
+ * unknown key, type mismatch, missing required field, duplicate node
+ * name, shape/kernel/stride < 1, or edge that is not
+ * earlier-to-later (i.e. would form a cycle or a dangling reference)
+ * is an error. @return false with *err set on any problem.
+ */
+bool graphFromJson(const JsonValue &doc, Graph *out, std::string *err);
+
+/** Read + parse + import @p path. @return false with *err set. */
+bool loadGraphJson(const std::string &path, Graph *out, std::string *err);
+
+/** Write graphToJson(g) to @p path. @return false on I/O failure. */
+bool saveGraphJson(const Graph &g, const std::string &path);
+
+} // namespace cocco
+
+#endif // COCCO_GRAPH_GRAPH_JSON_H

@@ -9,6 +9,7 @@
 #ifndef COCCO_MODELS_BUILDER_UTIL_H
 #define COCCO_MODELS_BUILDER_UTIL_H
 
+#include <cmath>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,36 @@
 #include "util/math_util.h"
 
 namespace cocco {
+
+/** Channel count @p c scaled by a width multiplier (never below 1;
+ *  exact identity at mult == 1.0, so defaults reproduce the paper
+ *  graphs bit-identically). */
+inline int
+scaleChannels(int c, double mult)
+{
+    if (mult <= 0.0)
+        fatal("widthMult must be > 0 (got %g)", mult);
+    // Bound before casting: an out-of-range lround result would wrap
+    // into a silently wrong channel count.
+    constexpr double kMaxChannels = 1 << 26;
+    double scaled = c * mult;
+    if (scaled > kMaxChannels)
+        fatal("widthMult %g scales %d channels beyond the supported "
+              "range",
+              mult, c);
+    int s = static_cast<int>(std::lround(scaled));
+    return s < 1 ? 1 : s;
+}
+
+/** @p value when non-zero, else the model's @p fallback default
+ *  (the ModelParams "0 = paper default" convention). */
+inline int
+paramOr(int value, int fallback)
+{
+    if (value < 0)
+        fatal("model parameters must be >= 0 (got %d)", value);
+    return value == 0 ? fallback : value;
+}
 
 /** Fluent helper for assembling model graphs. */
 class ModelBuilder

@@ -1,8 +1,9 @@
 /**
  * @file
- * GoogleNet / Inception-v1 (Szegedy et al., CVPR'15) at 224x224x3.
- * Nine inception modules with the original channel plan; auxiliary
- * classifiers omitted (inference graph).
+ * GoogleNet / Inception-v1 (Szegedy et al., CVPR'15), default input
+ * 224x224x3. Nine inception modules with the original channel plan;
+ * auxiliary classifiers omitted (inference graph).
+ * Knobs: resolution, widthMult (scales every branch width).
  */
 
 #include "models/builder_util.h"
@@ -24,49 +25,63 @@ struct InceptionSpec
 };
 
 NodeId
-inception(ModelBuilder &b, NodeId in, const InceptionSpec &s,
+inception(ModelBuilder &b, NodeId in, const InceptionSpec &s, double w,
           const std::string &prefix)
 {
-    NodeId b1 = b.conv(in, s.c1, 1, 1, prefix + "_1x1");
-    NodeId b3 = b.conv(in, s.c3r, 1, 1, prefix + "_3x3r");
-    b3 = b.conv(b3, s.c3, 3, 1, prefix + "_3x3");
-    NodeId b5 = b.conv(in, s.c5r, 1, 1, prefix + "_5x5r");
-    b5 = b.conv(b5, s.c5, 5, 1, prefix + "_5x5");
+    NodeId b1 = b.conv(in, scaleChannels(s.c1, w), 1, 1, prefix + "_1x1");
+    NodeId b3 = b.conv(in, scaleChannels(s.c3r, w), 1, 1, prefix + "_3x3r");
+    b3 = b.conv(b3, scaleChannels(s.c3, w), 3, 1, prefix + "_3x3");
+    NodeId b5 = b.conv(in, scaleChannels(s.c5r, w), 1, 1, prefix + "_5x5r");
+    b5 = b.conv(b5, scaleChannels(s.c5, w), 5, 1, prefix + "_5x5");
     NodeId bp = b.pool(in, 3, 1, prefix + "_pool");
-    bp = b.conv(bp, s.cp, 1, 1, prefix + "_poolproj");
+    bp = b.conv(bp, scaleChannels(s.cp, w), 1, 1, prefix + "_poolproj");
     return b.concat({b1, b3, b5, bp}, prefix + "_concat");
 }
 
 } // namespace
 
 Graph
-buildGoogleNet()
+buildGoogleNet(const ModelParams &params)
 {
+    const int res = paramOr(params.resolution, 224);
+    const double w = params.widthMult;
+
     ModelBuilder b("GoogleNet");
-    NodeId x = b.input(224, 224, 3);
-    x = b.conv(x, 64, 7, 2, "conv1");
+    NodeId x = b.input(res, res, 3);
+    x = b.conv(x, scaleChannels(64, w), 7, 2, "conv1");
     x = b.pool(x, 3, 2, "pool1");
-    x = b.conv(x, 64, 1, 1, "conv2r");
-    x = b.conv(x, 192, 3, 1, "conv2");
+    x = b.conv(x, scaleChannels(64, w), 1, 1, "conv2r");
+    x = b.conv(x, scaleChannels(192, w), 3, 1, "conv2");
     x = b.pool(x, 3, 2, "pool2");
 
-    x = inception(b, x, {64, 96, 128, 16, 32, 32}, "in3a");
-    x = inception(b, x, {128, 128, 192, 32, 96, 64}, "in3b");
+    x = inception(b, x, {64, 96, 128, 16, 32, 32}, w, "in3a");
+    x = inception(b, x, {128, 128, 192, 32, 96, 64}, w, "in3b");
     x = b.pool(x, 3, 2, "pool3");
 
-    x = inception(b, x, {192, 96, 208, 16, 48, 64}, "in4a");
-    x = inception(b, x, {160, 112, 224, 24, 64, 64}, "in4b");
-    x = inception(b, x, {128, 128, 256, 24, 64, 64}, "in4c");
-    x = inception(b, x, {112, 144, 288, 32, 64, 64}, "in4d");
-    x = inception(b, x, {256, 160, 320, 32, 128, 128}, "in4e");
+    x = inception(b, x, {192, 96, 208, 16, 48, 64}, w, "in4a");
+    x = inception(b, x, {160, 112, 224, 24, 64, 64}, w, "in4b");
+    x = inception(b, x, {128, 128, 256, 24, 64, 64}, w, "in4c");
+    x = inception(b, x, {112, 144, 288, 32, 64, 64}, w, "in4d");
+    x = inception(b, x, {256, 160, 320, 32, 128, 128}, w, "in4e");
     x = b.pool(x, 3, 2, "pool4");
 
-    x = inception(b, x, {256, 160, 320, 32, 128, 128}, "in5a");
-    x = inception(b, x, {384, 192, 384, 48, 128, 128}, "in5b");
+    x = inception(b, x, {256, 160, 320, 32, 128, 128}, w, "in5a");
+    x = inception(b, x, {384, 192, 384, 48, 128, 128}, w, "in5b");
 
     x = b.globalPool(x, "avgpool");
     x = b.fc(x, 1000, "fc1000");
     return b.take();
+}
+
+void
+registerGoogleNetModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.name = "GoogleNet";
+    info.summary = "Inception-v1, nine multi-branch modules";
+    info.knobs = kKnobResolution | kKnobWidthMult;
+    info.defaults.resolution = 224;
+    r.add(info, &buildGoogleNet);
 }
 
 } // namespace cocco

@@ -24,14 +24,16 @@ NodeId
 invertedResidual(ModelBuilder &b, NodeId in, int expand, int out_c,
                  int stride, const std::string &p)
 {
-    const Layer &li = b.graph().layer(in);
-    int mid = li.outC * expand;
+    // Copy, don't reference: adding nodes may reallocate the layer
+    // storage a `const Layer &` would point into.
+    const int in_c = b.graph().layer(in).outC;
+    int mid = in_c * expand;
     NodeId y = in;
     if (expand != 1)
         y = b.conv(y, mid, 1, 1, p + "_expand");
     y = b.dwconv(y, 3, stride, p + "_dw");
     y = b.conv(y, out_c, 1, 1, p + "_project");
-    if (stride == 1 && li.outC == out_c)
+    if (stride == 1 && in_c == out_c)
         y = b.add({in, y}, p + "_add");
     return y;
 }
@@ -39,11 +41,14 @@ invertedResidual(ModelBuilder &b, NodeId in, int expand, int out_c,
 } // namespace
 
 Graph
-buildMobileNetV2()
+buildMobileNetV2(const ModelParams &params)
 {
+    const int res = paramOr(params.resolution, 224);
+    const double w = params.widthMult;
+
     ModelBuilder b("MobileNetV2");
-    NodeId x = b.input(224, 224, 3);
-    x = b.conv(x, 32, 3, 2, "stem");
+    NodeId x = b.input(res, res, 3);
+    x = b.conv(x, scaleChannels(32, w), 3, 2, "stem");
 
     // (expansion t, channels c, repeats n, stride s) per the paper.
     struct Stage { int t, c, n, s; };
@@ -54,31 +59,63 @@ buildMobileNetV2()
     for (const Stage &st : stages) {
         for (int i = 0; i < st.n; ++i) {
             int stride = i == 0 ? st.s : 1;
-            x = invertedResidual(b, x, st.t, st.c, stride,
-                                 strprintf("ir%d", ++blk));
+            x = invertedResidual(b, x, st.t, scaleChannels(st.c, w),
+                                 stride, strprintf("ir%d", ++blk));
         }
     }
-    x = b.conv(x, 1280, 1, 1, "head");
+    x = b.conv(x, scaleChannels(1280, w), 1, 1, "head");
     x = b.globalPool(x, "avgpool");
     x = b.fc(x, 1000, "fc1000");
     return b.take();
 }
 
 Graph
-buildSRCNN()
+buildSRCNN(const ModelParams &params)
 {
     // FSRCNN-style: feature extraction, shrink, mapping stack,
-    // expand, reconstruction — all on a 1280x720 frame. Activations
-    // dwarf the weights, so inter-layer fusion is the whole game.
+    // expand, reconstruction — default on a 1280x720 (16:9) frame.
+    // Activations dwarf the weights, so inter-layer fusion is the
+    // whole game.
+    const int h = paramOr(params.resolution, 720);
+    // 64-bit and bounded before the cast: a schema-valid but absurd
+    // resolution must fail loudly, not overflow into garbage.
+    const int64_t w64 = static_cast<int64_t>(h) * 16 / 9;
+    if (w64 > (1 << 26))
+        fatal("resolution %d is beyond the supported range", h);
+    const int w16 = static_cast<int>(w64);
+    const int maps = paramOr(params.depth, 6);
+    const double w = params.widthMult;
+
     ModelBuilder b("SRCNN");
-    NodeId x = b.input(720, 1280, 3);
-    x = b.conv(x, 56, 5, 1, "feature");
-    x = b.conv(x, 12, 1, 1, "shrink");
-    for (int i = 0; i < 6; ++i)
-        x = b.conv(x, 12, 3, 1, strprintf("map%d", i + 1));
-    x = b.conv(x, 56, 1, 1, "expand");
+    NodeId x = b.input(h, w16, 3);
+    x = b.conv(x, scaleChannels(56, w), 5, 1, "feature");
+    x = b.conv(x, scaleChannels(12, w), 1, 1, "shrink");
+    for (int i = 0; i < maps; ++i)
+        x = b.conv(x, scaleChannels(12, w), 3, 1,
+                   strprintf("map%d", i + 1));
+    x = b.conv(x, scaleChannels(56, w), 1, 1, "expand");
     x = b.conv(x, 12, 9, 1, "reconstruct"); // 12 = 3 x (2x2 upscale)
     return b.take();
+}
+
+void
+registerMobileNetModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.name = "MobileNetV2";
+    info.summary = "inverted-residual mobile CNN";
+    info.knobs = kKnobResolution | kKnobWidthMult;
+    info.defaults.resolution = 224;
+    r.add(info, &buildMobileNetV2);
+
+    ModelInfo srcnn;
+    srcnn.name = "SRCNN";
+    srcnn.summary = "FSRCNN-style super-resolution (huge activations, "
+                    "tiny weights)";
+    srcnn.knobs = kKnobResolution | kKnobDepth | kKnobWidthMult;
+    srcnn.defaults.resolution = 720;
+    srcnn.defaults.depth = 6;
+    r.add(srcnn, &buildSRCNN);
 }
 
 } // namespace cocco

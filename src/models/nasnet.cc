@@ -9,10 +9,11 @@
  * cells, then three stages of N normal cells separated by reduction
  * cells, with the filter count doubling per stage.
  *
- * We use N=4 and base filters F=168 — a faithful topology at a size
- * that keeps search benches laptop-runnable; the graph is the largest
- * and most memory-intensive of the evaluated models, matching its
- * role in the paper's experiments.
+ * We default to N=4 and base filters F=168 — a faithful topology at a
+ * size that keeps search benches laptop-runnable; the graph is the
+ * largest and most memory-intensive of the evaluated models, matching
+ * its role in the paper's experiments.
+ * Knobs: resolution, depth (cells per stage), widthMult (base F).
  */
 
 #include "models/builder_util.h"
@@ -99,13 +100,14 @@ reductionCell(ModelBuilder &b, NodeId h_prev, NodeId h_cur, int f,
 } // namespace
 
 Graph
-buildNasNet()
+buildNasNet(const ModelParams &params)
 {
-    const int n_cells = 4;   // normal cells per stage
-    const int f0 = 168;      // base filter count
+    const int n_cells = paramOr(params.depth, 4); // normal cells per stage
+    const int f0 = scaleChannels(168, params.widthMult); // base filters
+    const int res = paramOr(params.resolution, 331);
 
     ModelBuilder b("NasNet");
-    NodeId stem = b.input(331, 331, 3);
+    NodeId stem = b.input(res, res, 3);
     stem = b.conv(stem, 96, 3, 2, "stem");
 
     // Two stem reduction cells bring 166x166 down to 42x42.
@@ -135,6 +137,18 @@ buildNasNet()
     cur = b.globalPool(cur, "avgpool");
     cur = b.fc(cur, 1000, "fc1000");
     return b.take();
+}
+
+void
+registerNasNetModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.name = "NasNet";
+    info.summary = "NasNet-A cell stack (4 normal cells/stage, F=168)";
+    info.knobs = kKnobResolution | kKnobDepth | kKnobWidthMult;
+    info.defaults.resolution = 331;
+    info.defaults.depth = 4;
+    r.add(info, &buildNasNet);
 }
 
 } // namespace cocco

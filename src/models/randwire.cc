@@ -124,20 +124,22 @@ randomStage(ModelBuilder &b, NodeId stage_in, int n, int k, double p, int c,
 } // namespace
 
 Graph
-buildRandWire(char variant, uint64_t seed)
+buildRandWire(char variant, const ModelParams &params)
 {
     if (variant != 'A' && variant != 'B')
         fatal("RandWire variant must be 'A' or 'B', got '%c'", variant);
 
     const bool small = (variant == 'A');
-    const int c = small ? 78 : 109;
+    const int res = paramOr(params.resolution, 224);
+    const int c = scaleChannels(small ? 78 : 109, params.widthMult);
+    const int head = scaleChannels(1280, params.widthMult);
     const int k = small ? 4 : 8;
     const double p = 0.75;
 
-    Rng rng(seed * 7919 + (small ? 1 : 2));
+    Rng rng(params.seed * 7919 + (small ? 1 : 2));
     ModelBuilder b(strprintf("RandWire-%c", variant));
 
-    NodeId x = b.input(224, 224, 3);
+    NodeId x = b.input(res, res, 3);
     x = b.conv(x, c / 2, 3, 2, "stem");
 
     if (small) {
@@ -146,19 +148,61 @@ buildRandWire(char variant, uint64_t seed)
         x = randomStage(b, x, 32, k, p, c, rng, "s3");
         x = randomStage(b, x, 32, k, p, 2 * c, rng, "s4");
         x = randomStage(b, x, 32, k, p, 4 * c, rng, "s5");
-        x = b.conv(x, 1280, 1, 1, "head");
+        x = b.conv(x, head, 1, 1, "head");
     } else {
         // Regular regime: conv2-5 all random, conv2 halved node count.
         x = randomStage(b, x, 16, k, p, c, rng, "s2");
         x = randomStage(b, x, 32, k, p, 2 * c, rng, "s3");
         x = randomStage(b, x, 32, k, p, 4 * c, rng, "s4");
         x = randomStage(b, x, 32, k, p, 8 * c, rng, "s5");
-        x = b.conv(x, 1280, 1, 1, "head");
+        x = b.conv(x, head, 1, 1, "head");
     }
 
     x = b.globalPool(x, "avgpool");
     x = b.fc(x, 1000, "fc1000");
     return b.take();
+}
+
+Graph
+buildRandWire(char variant, uint64_t seed)
+{
+    ModelParams params;
+    params.seed = seed;
+    return buildRandWire(variant, params);
+}
+
+namespace {
+
+Graph
+buildRandWireA(const ModelParams &params)
+{
+    return buildRandWire('A', params);
+}
+
+Graph
+buildRandWireB(const ModelParams &params)
+{
+    return buildRandWire('B', params);
+}
+
+} // namespace
+
+void
+registerRandWireModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.knobs = kKnobResolution | kKnobWidthMult | kKnobSeed;
+    info.defaults.resolution = 224;
+
+    info.name = "RandWire-A";
+    info.summary = "Watts-Strogatz random CNN, small regime "
+                   "(WS(32,4,0.75), C=78; deterministic per seed)";
+    r.add(info, &buildRandWireA, {"RandWire"});
+
+    info.name = "RandWire-B";
+    info.summary = "Watts-Strogatz random CNN, regular regime "
+                   "(WS(32,8,0.75), C=109; deterministic per seed)";
+    r.add(info, &buildRandWireB);
 }
 
 } // namespace cocco

@@ -1,43 +1,177 @@
+/**
+ * @file
+ * The ModelRegistry: the one place that knows which models exist.
+ * Every user-facing list (allModelNames, `--list-models`,
+ * `describe-model`) is generated from it, and buildModel() dispatches
+ * through it, so model names and parameter documentation cannot drift
+ * from the builders.
+ */
+
 #include "models/models.h"
 
+#include "util/json.h"
 #include "util/logging.h"
 
 namespace cocco {
 
+ModelRegistry::ModelRegistry()
+{
+    // Paper presentation order (Section 5.1.1), then the extras.
+    registerVggModels(*this);
+    registerResNetModels(*this);
+    registerGoogleNetModels(*this);
+    registerTransformerModels(*this);
+    registerRandWireModels(*this);
+    registerNasNetModels(*this);
+    registerMobileNetModels(*this);
+}
+
+ModelRegistry &
+ModelRegistry::instance()
+{
+    static ModelRegistry registry;
+    return registry;
+}
+
+void
+ModelRegistry::add(ModelInfo info, ModelBuilderFn builder,
+                   const std::vector<std::string> &aliases)
+{
+    if (find(info.name))
+        fatal("model '%s' is already registered", info.name.c_str());
+    for (const std::string &alias : aliases)
+        if (find(alias))
+            fatal("model alias '%s' is already registered",
+                  alias.c_str());
+    entries_.push_back({std::move(info), builder, aliases});
+}
+
+const ModelRegistry::Entry *
+ModelRegistry::find(const std::string &name) const
+{
+    for (const Entry &e : entries_) {
+        if (e.info.name == name)
+            return &e;
+        for (const std::string &alias : e.aliases)
+            if (alias == name)
+                return &e;
+    }
+    return nullptr;
+}
+
+bool
+ModelRegistry::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+Graph
+ModelRegistry::build(const std::string &name,
+                     const ModelParams &params) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        fatal("unknown model '%s' (known: %s)", name.c_str(),
+              joinComma(keys()).c_str());
+    return e->builder(params);
+}
+
+const ModelInfo &
+ModelRegistry::info(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        fatal("unknown model '%s'", name.c_str());
+    return e->info;
+}
+
+std::vector<std::string>
+ModelRegistry::keys() const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_)
+        out.push_back(e.info.name);
+    return out;
+}
+
+std::string
+modelKnobsStr(const ModelInfo &info)
+{
+    std::string s;
+    auto knob = [&](unsigned bit, const std::string &text) {
+        if (info.knobs & bit)
+            s += (s.empty() ? "" : " ") + text;
+    };
+    knob(kKnobResolution,
+         strprintf("resolution=%d", info.defaults.resolution));
+    knob(kKnobSeqLen, strprintf("seqLen=%d", info.defaults.seqLen));
+    knob(kKnobDepth, strprintf("depth=%d", info.defaults.depth));
+    knob(kKnobWidthMult,
+         strprintf("widthMult=%g", info.defaults.widthMult));
+    knob(kKnobSeed, strprintf("seed=%llu",
+                              static_cast<unsigned long long>(
+                                  info.defaults.seed)));
+    return s;
+}
+
 Graph
 buildModel(const std::string &name)
 {
-    if (name == "VGG16")
-        return buildVGG16();
-    if (name == "ResNet50")
-        return buildResNet50();
-    if (name == "ResNet152")
-        return buildResNet152();
-    if (name == "GoogleNet")
-        return buildGoogleNet();
-    if (name == "Transformer")
-        return buildTransformer();
-    if (name == "GPT")
-        return buildGPT();
-    if (name == "RandWire-A" || name == "RandWire")
-        return buildRandWire('A');
-    if (name == "RandWire-B")
-        return buildRandWire('B');
-    if (name == "NasNet")
-        return buildNasNet();
-    if (name == "MobileNetV2")
-        return buildMobileNetV2();
-    if (name == "SRCNN")
-        return buildSRCNN();
-    fatal("unknown model '%s'", name.c_str());
+    return ModelRegistry::instance().build(name);
+}
+
+Graph
+buildModel(const std::string &name, const ModelParams &params)
+{
+    return ModelRegistry::instance().build(name, params);
 }
 
 std::vector<std::string>
 allModelNames()
 {
-    return {"VGG16",       "ResNet50", "ResNet152",  "GoogleNet",
-            "Transformer", "GPT",      "RandWire-A", "RandWire-B",
-            "NasNet",      "MobileNetV2", "SRCNN"};
+    return ModelRegistry::instance().keys();
+}
+
+bool
+modelParamsFromJson(const JsonValue &doc, ModelParams *params,
+                    std::string *err)
+{
+    auto bad = [&](const std::string &what) {
+        return jsonFail(err, what);
+    };
+    if (!doc.isObject())
+        return bad("\"params\" must be an object");
+    // Each knob: type/exactness check, then its domain bound.
+    auto knob = [&](const JsonValue &v, const char *key, int *out,
+                    int min) {
+        return jsonReadIntAs(v, key, out, err) &&
+               (*out >= min ||
+                bad(strprintf("\"%s\" must be >= %d", key, min)));
+    };
+    for (const auto &[k, v] : doc.members()) {
+        bool ok;
+        if (k == "batch")
+            ok = knob(v, "params.batch", &params->batch, 1);
+        else if (k == "resolution")
+            ok = knob(v, "params.resolution", &params->resolution, 0);
+        else if (k == "seqLen")
+            ok = knob(v, "params.seqLen", &params->seqLen, 0);
+        else if (k == "depth")
+            ok = knob(v, "params.depth", &params->depth, 0);
+        else if (k == "widthMult")
+            ok = jsonReadNumber(v, "params.widthMult",
+                                &params->widthMult, err) &&
+                 (params->widthMult > 0.0 ||
+                  bad("\"params.widthMult\" must be > 0"));
+        else if (k == "seed")
+            ok = jsonReadIntAs(v, "params.seed", &params->seed, err);
+        else
+            ok = bad(strprintf("unknown \"params\" key \"%s\"",
+                               k.c_str()));
+        if (!ok)
+            return false;
+    }
+    return true;
 }
 
 } // namespace cocco

@@ -1,9 +1,11 @@
 /**
  * @file
- * ResNet50 / ResNet152 (He et al., CVPR'16) bottleneck variants at
- * 224x224x3. Stage plan: conv1 7x7/2, maxpool 3x3/2, then bottleneck
- * stages [3,4,6,3] (ResNet50) or [3,8,36,3] (ResNet152), global pool,
- * FC-1000.
+ * ResNet50 / ResNet152 (He et al., CVPR'16) bottleneck variants,
+ * default input 224x224x3. Stage plan: conv1 7x7/2, maxpool 3x3/2,
+ * then bottleneck stages [3,4,6,3] (ResNet50) or [3,8,36,3]
+ * (ResNet152), global pool, FC-1000.
+ * Knobs: resolution, widthMult (scales the stage widths; the block
+ * plan and the 1000-way classifier are structural).
  */
 
 #include "models/builder_util.h"
@@ -32,20 +34,24 @@ bottleneck(ModelBuilder &b, NodeId in, int mid_c, int out_c, int stride,
 }
 
 Graph
-buildResNet(const char *name, const int blocks[4])
+buildResNet(const char *name, const int blocks[4], const ModelParams &p)
 {
+    const int res = paramOr(p.resolution, 224);
+    const double w = p.widthMult;
+
     ModelBuilder b(name);
-    NodeId x = b.input(224, 224, 3);
-    x = b.conv(x, 64, 7, 2, "conv1");
+    NodeId x = b.input(res, res, 3);
+    x = b.conv(x, scaleChannels(64, w), 7, 2, "conv1");
     x = b.pool(x, 3, 2, "pool1");
 
     const int mid_c[4] = {64, 128, 256, 512};
     for (int stage = 0; stage < 4; ++stage) {
-        int out_c = mid_c[stage] * 4;
+        int mid = scaleChannels(mid_c[stage], w);
+        int out_c = mid * 4;
         for (int blk = 0; blk < blocks[stage]; ++blk) {
             int stride = (stage > 0 && blk == 0) ? 2 : 1;
             bool project = (blk == 0);
-            x = bottleneck(b, x, mid_c[stage], out_c, stride, project,
+            x = bottleneck(b, x, mid, out_c, stride, project,
                            strprintf("res%d_%d", stage + 2, blk + 1));
         }
     }
@@ -58,17 +64,33 @@ buildResNet(const char *name, const int blocks[4])
 } // namespace
 
 Graph
-buildResNet50()
+buildResNet50(const ModelParams &params)
 {
     const int blocks[4] = {3, 4, 6, 3};
-    return buildResNet("ResNet50", blocks);
+    return buildResNet("ResNet50", blocks, params);
 }
 
 Graph
-buildResNet152()
+buildResNet152(const ModelParams &params)
 {
     const int blocks[4] = {3, 8, 36, 3};
-    return buildResNet("ResNet152", blocks);
+    return buildResNet("ResNet152", blocks, params);
+}
+
+void
+registerResNetModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.knobs = kKnobResolution | kKnobWidthMult;
+    info.defaults.resolution = 224;
+
+    info.name = "ResNet50";
+    info.summary = "bottleneck residual CNN, stages [3,4,6,3]";
+    r.add(info, &buildResNet50);
+
+    info.name = "ResNet152";
+    info.summary = "bottleneck residual CNN, stages [3,8,36,3]";
+    r.add(info, &buildResNet152);
 }
 
 } // namespace cocco

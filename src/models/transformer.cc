@@ -8,6 +8,9 @@
  * score/context products are activation-activation Matmul nodes, and
  * residual connections are element-wise adds. LayerNorm and softmax
  * are scalar pipeline ops and not represented (paper Section 5.1.1).
+ *
+ * Knobs: seqLen (sequence length), depth (encoder/decoder layers),
+ * widthMult (scales d_model and d_ffn together).
  */
 
 #include "models/builder_util.h"
@@ -39,8 +42,14 @@ transformerBlock(ModelBuilder &b, NodeId x, int seq, int d_model, int d_ffn,
 }
 
 Graph
-buildStack(const char *name, int layers, int seq, int d_model, int d_ffn)
+buildStack(const char *name, const ModelParams &p, int def_layers,
+           int def_d_model, int def_d_ffn)
 {
+    const int layers = paramOr(p.depth, def_layers);
+    const int seq = paramOr(p.seqLen, 512);
+    const int d_model = scaleChannels(def_d_model, p.widthMult);
+    const int d_ffn = scaleChannels(def_d_ffn, p.widthMult);
+
     ModelBuilder b(name);
     NodeId x = b.input(seq, 1, d_model);
     for (int i = 0; i < layers; ++i)
@@ -52,15 +61,33 @@ buildStack(const char *name, int layers, int seq, int d_model, int d_ffn)
 } // namespace
 
 Graph
-buildTransformer()
+buildTransformer(const ModelParams &params)
 {
-    return buildStack("Transformer", 6, 512, 512, 2048);
+    return buildStack("Transformer", params, 6, 512, 2048);
 }
 
 Graph
-buildGPT()
+buildGPT(const ModelParams &params)
 {
-    return buildStack("GPT", 12, 512, 768, 3072);
+    return buildStack("GPT", params, 12, 768, 3072);
+}
+
+void
+registerTransformerModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.knobs = kKnobSeqLen | kKnobDepth | kKnobWidthMult;
+    info.defaults.seqLen = 512;
+
+    info.name = "Transformer";
+    info.summary = "encoder stack (base: 6 layers, d=512, ffn=2048)";
+    info.defaults.depth = 6;
+    r.add(info, &buildTransformer);
+
+    info.name = "GPT";
+    info.summary = "GPT-1 decoder stack (12 layers, d=768, ffn=3072)";
+    info.defaults.depth = 12;
+    r.add(info, &buildGPT);
 }
 
 } // namespace cocco

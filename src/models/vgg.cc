@@ -1,7 +1,8 @@
 /**
  * @file
  * VGG16 (Simonyan & Zisserman, ICLR'15), configuration D: 13 conv
- * layers + 5 max-pools + 3 FC layers, input 224x224x3.
+ * layers + 5 max-pools + 3 FC layers, default input 224x224x3.
+ * Knobs: resolution, widthMult (classifier width 1000 is fixed).
  */
 
 #include "models/builder_util.h"
@@ -10,33 +11,45 @@
 namespace cocco {
 
 Graph
-buildVGG16()
+buildVGG16(const ModelParams &params)
 {
+    const int res = paramOr(params.resolution, 224);
+    const double w = params.widthMult;
+
     ModelBuilder b("VGG16");
-    NodeId x = b.input(224, 224, 3);
+    NodeId x = b.input(res, res, 3);
 
     struct Stage { int convs; int channels; };
     const Stage stages[] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
 
-    int idx = 0;
     for (int s = 0; s < 5; ++s) {
-        for (int c = 0; c < stages[s].convs; ++c) {
-            x = b.conv(x, stages[s].channels, 3, 1,
+        for (int c = 0; c < stages[s].convs; ++c)
+            x = b.conv(x, scaleChannels(stages[s].channels, w), 3, 1,
                        strprintf("conv%d_%d", s + 1, c + 1));
-            ++idx;
-        }
         x = b.pool(x, 2, 2, strprintf("pool%d", s + 1));
     }
-    (void)idx;
 
     // FC layers as 1x1 convolutions over a 1x1 spatial map. The first
-    // FC consumes the flattened 7x7x512 tensor; model it as a global
-    // 7x7 convolution to 4096 channels (identical weights and MACs).
-    x = b.conv(x, 4096, 7, 7, "fc6");
-    x = b.fc(x, 4096, "fc7");
+    // FC consumes the flattened final feature map; model it as a
+    // global convolution to 4096 channels (identical weights and
+    // MACs). The kernel is the remaining spatial size (7 at 224).
+    int spatial = b.graph().layer(x).outH;
+    x = b.conv(x, scaleChannels(4096, w), spatial, spatial, "fc6");
+    x = b.fc(x, scaleChannels(4096, w), "fc7");
     x = b.fc(x, 1000, "fc8");
 
     return b.take();
+}
+
+void
+registerVggModels(ModelRegistry &r)
+{
+    ModelInfo info;
+    info.name = "VGG16";
+    info.summary = "plain 16-weight-layer CNN (VGG-D)";
+    info.knobs = kKnobResolution | kKnobWidthMult;
+    info.defaults.resolution = 224;
+    r.add(info, &buildVGG16);
 }
 
 } // namespace cocco

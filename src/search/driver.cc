@@ -225,13 +225,9 @@ SearcherRegistry::make(const std::string &key, CostModel &model,
                        const DseSpace &space, const SearchSpec &spec) const
 {
     const Entry *e = find(key);
-    if (!e) {
-        std::string known;
-        for (const Entry &k : entries_)
-            known += (known.empty() ? "" : ", ") + k.key;
+    if (!e)
         fatal("unknown search algorithm '%s' (registered: %s)",
-              key.c_str(), known.c_str());
-    }
+              key.c_str(), joinComma(keys()).c_str());
     return e->factory(model, space, spec);
 }
 
@@ -257,7 +253,8 @@ SearcherRegistry::summary(const std::string &key) const
 
 namespace {
 
-/** Collects type errors while walking the spec document. */
+/** Collects type errors while walking the spec document (sticky-err
+ *  wrappers over the util/json checked readers). */
 struct SpecReader
 {
     std::string err;
@@ -273,60 +270,79 @@ struct SpecReader
     bool
     readString(const JsonValue &v, const char *key, std::string *out)
     {
-        if (!v.isString())
-            return bad(strprintf("\"%s\" must be a string (got %s)", key,
-                                 v.typeName()));
-        *out = v.str();
-        return true;
+        return jsonReadString(v, key, out, &err);
     }
 
     bool
     readNumber(const JsonValue &v, const char *key, double *out)
     {
-        if (!v.isNumber())
-            return bad(strprintf("\"%s\" must be a number (got %s)", key,
-                                 v.typeName()));
-        *out = v.number();
-        return true;
+        return jsonReadNumber(v, key, out, &err);
     }
 
     bool
     readInt(const JsonValue &v, const char *key, int64_t *out)
     {
-        double d = 0.0;
-        if (!readNumber(v, key, &d))
-            return false;
-        // Exactness first (2^53 bound), then cast: casting an
-        // out-of-range double to int64 is undefined behavior.
-        if (std::floor(d) != d || std::abs(d) > 9007199254740992.0)
-            return bad(strprintf("\"%s\" must be an integer", key));
-        *out = static_cast<int64_t>(d);
-        return true;
+        return jsonReadInt(v, key, out, &err);
     }
 
     template <typename T>
     bool
     readIntAs(const JsonValue &v, const char *key, T *out)
     {
-        int64_t i = 0;
-        if (!readInt(v, key, &i))
-            return false;
-        if (std::is_unsigned<T>::value
-                ? i < 0
-                : (i < static_cast<int64_t>(std::numeric_limits<T>::min()) ||
-                   i > static_cast<int64_t>(std::numeric_limits<T>::max())))
-            return bad(strprintf("\"%s\" is out of range", key));
-        *out = static_cast<T>(i);
-        return true;
+        return jsonReadIntAs(v, key, out, &err);
     }
 
     bool
     readBool(const JsonValue &v, const char *key, bool *out)
     {
-        if (!v.isBool())
-            return bad(strprintf("\"%s\" must be a boolean (got %s)", key,
-                                 v.typeName()));
-        *out = v.boolean();
+        return jsonReadBool(v, key, out, &err);
+    }
+
+    bool
+    readWorkload(const JsonValue &v, WorkloadSpec *out)
+    {
+        if (!v.isObject())
+            return bad("\"workload\" must be an object");
+        for (const auto &[k, val] : v.members()) {
+            bool ok;
+            if (k == "model")
+                ok = readString(val, "workload.model", &out->model);
+            else if (k == "file")
+                ok = readString(val, "workload.file", &out->file);
+            else if (k == "params")
+                ok = modelParamsFromJson(val, &out->params, &err);
+            else
+                ok = bad(strprintf("unknown \"workload\" key \"%s\"",
+                                   k.c_str()));
+            if (!ok)
+                return false;
+        }
+        if (!out->model.empty() && !out->file.empty())
+            return bad("\"workload\" must give \"model\" or \"file\", "
+                       "not both");
+        return true;
+    }
+
+    bool
+    readPlatform(const JsonValue &v, PlatformSpec *out)
+    {
+        if (v.isString()) {
+            out->preset = v.str();
+            return true;
+        }
+        if (!v.isObject())
+            return bad("\"platform\" must be a preset name or an object");
+        if (const JsonValue *file = v.find("file")) {
+            if (v.members().size() != 1)
+                return bad("a \"platform\" file reference must not "
+                           "carry other keys");
+            return readString(*file, "platform.file", &out->file);
+        }
+        // Anything else is an inline configuration (optionally based
+        // on a preset via "base"); its own parser is strict.
+        if (!acceleratorFromJson(v, &out->config, &err))
+            return false;
+        out->inlineConfig = true;
         return true;
     }
 
@@ -482,12 +498,18 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             *err = "run spec must be a JSON object";
         return false;
     }
+    bool model_key = false, workload_key = false;
     for (const auto &[k, v] : doc.members()) {
         bool ok = true;
         if (k == "model") {
-            // The workload address; resolved by the caller.
-            std::string ignored;
-            ok = r.readString(v, "model", &ignored);
+            // Shorthand for workload.model.
+            ok = r.readString(v, "model", &spec->workload.model);
+            model_key = true;
+        } else if (k == "workload") {
+            ok = r.readWorkload(v, &spec->workload);
+            workload_key = true;
+        } else if (k == "platform") {
+            ok = r.readPlatform(v, &spec->platform);
         } else if (k == "algo") {
             ok = r.readString(v, "algo", &spec->algo);
         } else if (k == "mode") {
@@ -541,6 +563,12 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
                 *err = r.err;
             return false;
         }
+    }
+    if (model_key && workload_key) {
+        if (err)
+            *err = "give \"model\" (shorthand) or a \"workload\" "
+                   "section, not both";
+        return false;
     }
     return true;
 }

@@ -28,9 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "models/models.h"
 #include "search/ga.h"
 #include "search/sa.h"
 #include "search/two_step.h"
+#include "sim/platform.h"
 
 namespace cocco {
 
@@ -46,10 +48,22 @@ class JsonValue;
  * Mode: eval.coExplore == true (default) searches the paper's
  * capacity grid for `style` (Formula 2); false freezes `fixedBuffer`
  * and optimizes the partition alone (Formula 1).
+ *
+ * Workload & platform: `workload` addresses what to run (a registry
+ * model with parameters, or a Graph JSON file) and `platform` where
+ * to run it (a named preset, a platform JSON file, or an inline
+ * configuration), so one JSON document fully describes a run. Both
+ * are addresses, not resolved objects — the frontend resolves them
+ * via resolveWorkload()/resolvePlatform() (core/serialize.h) before
+ * constructing the evaluation environment; an explicit workload
+ * batch (>= 1, including 1) overrides the platform's at that point.
  */
 struct SearchSpec
 {
     std::string algo = "ga";     ///< SearcherRegistry key
+
+    WorkloadSpec workload;       ///< what to run (model/file + params)
+    PlatformSpec platform;       ///< where to run it (default "simba")
 
     BufferStyle style = BufferStyle::Shared; ///< co-explore grid
     BufferConfig fixedBuffer;    ///< partition-only target buffer
@@ -137,8 +151,12 @@ class SearcherRegistry
  * Populate a SearchSpec from a parsed JSON run spec (the CLI's
  * --spec document; schema in the README). Unknown keys and type
  * mismatches are reported as errors so typos cannot silently fall
- * back to defaults; a "model" key is tolerated (it addresses the
- * workload, which the caller resolves separately).
+ * back to defaults. The workload is addressed by either a top-level
+ * "model" string (shorthand) or a "workload" section (model/file +
+ * params); the platform by a "platform" preset string, {"file": ...}
+ * object, or inline configuration object (optionally based on a
+ * preset via "base"). Resolution to Graph/AcceleratorConfig is the
+ * caller's job (resolveWorkload/resolvePlatform in core/serialize.h).
  * @return false with *err set on any problem.
  */
 bool searchSpecFromJson(const JsonValue &doc, SearchSpec *spec,

@@ -1,0 +1,267 @@
+#include "sim/platform.h"
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+PlatformRegistry::PlatformRegistry()
+{
+    AcceleratorConfig simba; // the defaults ARE the paper platform
+    add("simba",
+        "Simba-like single core (4x4 PEs x 64 MACs, 2.048 TOPS, "
+        "16 GB/s; paper Section 5.1.2)",
+        simba);
+
+    AcceleratorConfig multicore = simba;
+    multicore.cores = 4;
+    add("simba-x4",
+        "four simba cores, weights sharded over the crossbar "
+        "(the Table 3 scale-out)",
+        multicore);
+
+    AcceleratorConfig edge = simba;
+    edge.peRows = 2;
+    edge.peCols = 2;
+    edge.clockGhz = 0.8;
+    edge.dramGBpsPerCore = 8.0;
+    add("edge",
+        "budget device: 2x2 PEs at 0.8 GHz, 8 GB/s DRAM",
+        edge);
+
+    AcceleratorConfig cloud = simba;
+    cloud.peRows = 8;
+    cloud.peCols = 8;
+    cloud.dramGBpsPerCore = 64.0;
+    cloud.batch = 8;
+    add("cloud",
+        "server part: 8x8 PEs (8.192 TOPS), 64 GB/s DRAM, batch 8",
+        cloud);
+}
+
+PlatformRegistry &
+PlatformRegistry::instance()
+{
+    static PlatformRegistry registry;
+    return registry;
+}
+
+void
+PlatformRegistry::add(const std::string &name, const std::string &summary,
+                      const AcceleratorConfig &config)
+{
+    if (find(name))
+        fatal("platform '%s' is already registered", name.c_str());
+    entries_.push_back({name, summary, config});
+}
+
+const PlatformRegistry::Entry *
+PlatformRegistry::find(const std::string &name) const
+{
+    for (const Entry &e : entries_)
+        if (e.name == name)
+            return &e;
+    return nullptr;
+}
+
+bool
+PlatformRegistry::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+bool
+PlatformRegistry::find(const std::string &name,
+                       AcceleratorConfig *out) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        return false;
+    *out = e->config;
+    return true;
+}
+
+std::vector<std::string>
+PlatformRegistry::keys() const
+{
+    std::vector<std::string> out;
+    for (const Entry &e : entries_)
+        out.push_back(e.name);
+    return out;
+}
+
+const std::string &
+PlatformRegistry::summary(const std::string &name) const
+{
+    const Entry *e = find(name);
+    if (!e)
+        fatal("unknown platform '%s'", name.c_str());
+    return e->summary;
+}
+
+namespace {
+
+std::string
+knownPlatforms()
+{
+    return joinComma(PlatformRegistry::instance().keys());
+}
+
+} // namespace
+
+AcceleratorConfig
+platformPreset(const std::string &name)
+{
+    AcceleratorConfig out;
+    if (!PlatformRegistry::instance().find(name, &out))
+        fatal("unknown platform '%s' (known: %s)", name.c_str(),
+              knownPlatforms().c_str());
+    return out;
+}
+
+std::string
+acceleratorToJson(const AcceleratorConfig &accel)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("peRows", accel.peRows);
+    w.field("peCols", accel.peCols);
+    w.field("macsPerPe", accel.macsPerPe);
+    w.field("clockGhz", accel.clockGhz);
+    w.field("dramGBpsPerCore", accel.dramGBpsPerCore);
+    w.field("maxRegions", accel.maxRegions);
+    w.field("channelAlign", accel.channelAlign);
+    w.field("doubleBufferWeights", accel.doubleBufferWeights);
+    w.field("cores", accel.cores);
+    w.field("batch", accel.batch);
+    w.field("crossbarBytesPerCycle", accel.crossbarBytesPerCycle);
+    w.key("energy").beginObject();
+    w.field("dramPjPerByte", accel.energy.dramPjPerByte);
+    w.field("sramBasePjPerByte", accel.energy.sramBasePjPerByte);
+    w.field("sramSlopePjPerByte", accel.energy.sramSlopePjPerByte);
+    w.field("macPj", accel.energy.macPj);
+    w.field("crossbarPjPerByte", accel.energy.crossbarPjPerByte);
+    w.field("sramAreaMm2PerMB", accel.energy.sramAreaMm2PerMB);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+namespace {
+
+bool
+energyFromJson(const JsonValue &doc, EnergyModel *out, std::string *err)
+{
+    auto bad = [&](const std::string &what) {
+        return jsonFail(err, what);
+    };
+    if (!doc.isObject())
+        return bad("\"energy\" must be an object");
+    // Every energy term: a number >= 0 (zeroing a term is a valid
+    // what-if; a negative energy is not).
+    auto term = [&](const JsonValue &v, const char *key, double *field) {
+        std::string full = std::string("energy.") + key;
+        return jsonReadNumber(v, full.c_str(), field, err) &&
+               (*field >= 0.0 ||
+                bad(strprintf("\"%s\" must be >= 0", full.c_str())));
+    };
+    for (const auto &[k, v] : doc.members()) {
+        bool ok;
+        if (k == "dramPjPerByte")
+            ok = term(v, "dramPjPerByte", &out->dramPjPerByte);
+        else if (k == "sramBasePjPerByte")
+            ok = term(v, "sramBasePjPerByte", &out->sramBasePjPerByte);
+        else if (k == "sramSlopePjPerByte")
+            ok = term(v, "sramSlopePjPerByte", &out->sramSlopePjPerByte);
+        else if (k == "macPj")
+            ok = term(v, "macPj", &out->macPj);
+        else if (k == "crossbarPjPerByte")
+            ok = term(v, "crossbarPjPerByte", &out->crossbarPjPerByte);
+        else if (k == "sramAreaMm2PerMB")
+            ok = term(v, "sramAreaMm2PerMB", &out->sramAreaMm2PerMB);
+        else
+            ok = bad(strprintf("unknown \"energy\" key \"%s\"",
+                               k.c_str()));
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+acceleratorFromJson(const JsonValue &doc, AcceleratorConfig *out,
+                    std::string *err)
+{
+    auto bad = [&](const std::string &what) {
+        return jsonFail(err, what);
+    };
+    if (!doc.isObject())
+        return bad("platform document must be a JSON object");
+
+    // "base" selects the starting configuration, so read it first
+    // regardless of member order.
+    AcceleratorConfig accel;
+    if (const JsonValue *base = doc.find("base")) {
+        std::string name;
+        if (!jsonReadString(*base, "base", &name, err))
+            return false;
+        if (!PlatformRegistry::instance().find(name, &accel))
+            return bad(strprintf("unknown platform \"%s\" (known: %s)",
+                                 name.c_str(), knownPlatforms().c_str()));
+    }
+
+    // Positive integer dimensions and positive physical rates.
+    auto dim = [&](const JsonValue &v, const char *key, int *field) {
+        return jsonReadIntAs(v, key, field, err) &&
+               (*field >= 1 ||
+                bad(strprintf("\"%s\" must be >= 1", key)));
+    };
+    auto rate = [&](const JsonValue &v, const char *key, double *field) {
+        return jsonReadNumber(v, key, field, err) &&
+               (*field > 0.0 ||
+                bad(strprintf("\"%s\" must be > 0", key)));
+    };
+    for (const auto &[k, v] : doc.members()) {
+        bool ok;
+        if (k == "base")
+            ok = true; // consumed above
+        else if (k == "peRows")
+            ok = dim(v, "peRows", &accel.peRows);
+        else if (k == "peCols")
+            ok = dim(v, "peCols", &accel.peCols);
+        else if (k == "macsPerPe")
+            ok = dim(v, "macsPerPe", &accel.macsPerPe);
+        else if (k == "clockGhz")
+            ok = rate(v, "clockGhz", &accel.clockGhz);
+        else if (k == "dramGBpsPerCore")
+            ok = rate(v, "dramGBpsPerCore", &accel.dramGBpsPerCore);
+        else if (k == "maxRegions")
+            ok = dim(v, "maxRegions", &accel.maxRegions);
+        else if (k == "channelAlign")
+            ok = dim(v, "channelAlign", &accel.channelAlign);
+        else if (k == "doubleBufferWeights")
+            ok = jsonReadBool(v, "doubleBufferWeights",
+                              &accel.doubleBufferWeights, err);
+        else if (k == "cores")
+            ok = dim(v, "cores", &accel.cores);
+        else if (k == "batch")
+            ok = dim(v, "batch", &accel.batch);
+        else if (k == "crossbarBytesPerCycle")
+            ok = rate(v, "crossbarBytesPerCycle",
+                      &accel.crossbarBytesPerCycle);
+        else if (k == "energy")
+            ok = energyFromJson(v, &accel.energy, err);
+        else
+            ok = bad(strprintf("unknown platform key \"%s\"",
+                               k.c_str()));
+        if (!ok)
+            return false;
+    }
+
+    *out = accel;
+    return true;
+}
+
+} // namespace cocco

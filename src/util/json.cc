@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 
 #include "util/logging.h"
 
@@ -654,6 +656,81 @@ parseJson(const std::string &text, JsonValue *out, std::string *err)
     if (!p.parse(&v))
         return false;
     *out = std::move(v);
+    return true;
+}
+
+bool
+loadJsonFile(const std::string &path, JsonValue *out, std::string *err)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (err)
+            *err = path + ": cannot read file";
+        return false;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::string sub;
+    if (!parseJson(ss.str(), out, &sub)) {
+        if (err)
+            *err = path + ": " + sub;
+        return false;
+    }
+    return true;
+}
+
+bool
+jsonFail(std::string *err, const std::string &what)
+{
+    if (err && err->empty())
+        *err = what;
+    return false;
+}
+
+bool
+jsonReadString(const JsonValue &v, const char *key, std::string *out,
+               std::string *err)
+{
+    if (!v.isString())
+        return jsonFail(err, strprintf("\"%s\" must be a string (got %s)",
+                                         key, v.typeName()));
+    *out = v.str();
+    return true;
+}
+
+bool
+jsonReadNumber(const JsonValue &v, const char *key, double *out,
+               std::string *err)
+{
+    if (!v.isNumber())
+        return jsonFail(err, strprintf("\"%s\" must be a number (got %s)",
+                                         key, v.typeName()));
+    *out = v.number();
+    return true;
+}
+
+bool
+jsonReadInt(const JsonValue &v, const char *key, int64_t *out,
+            std::string *err)
+{
+    double d = 0.0;
+    if (!jsonReadNumber(v, key, &d, err))
+        return false;
+    if (std::floor(d) != d || std::abs(d) > 9007199254740992.0)
+        return jsonFail(err,
+                          strprintf("\"%s\" must be an integer", key));
+    *out = static_cast<int64_t>(d);
+    return true;
+}
+
+bool
+jsonReadBool(const JsonValue &v, const char *key, bool *out,
+             std::string *err)
+{
+    if (!v.isBool())
+        return jsonFail(err, strprintf("\"%s\" must be a boolean (got %s)",
+                                         key, v.typeName()));
+    *out = v.boolean();
     return true;
 }
 

@@ -12,7 +12,9 @@
 #define COCCO_UTIL_JSON_H
 
 #include <cstdint>
+#include <limits>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -126,6 +128,59 @@ class JsonValue
  * to "line L: problem" on malformed input.
  */
 bool parseJson(const std::string &text, JsonValue *out, std::string *err);
+
+/**
+ * Read the file at @p path and parse it as one JSON document.
+ * @return false with *err set to "path: problem" when the file cannot
+ * be read or does not parse.
+ */
+bool loadJsonFile(const std::string &path, JsonValue *out,
+                  std::string *err);
+
+// --- Checked member readers for strict schema parsers -------------------
+// Each returns false on a type mismatch and sets *err (when non-null
+// and still empty) to a '"key" must be ...' message, so schemas built
+// on top reject malformed documents instead of misreading them.
+// jsonReadInt additionally requires exactness (2^53 bound): casting an
+// out-of-range double to an integer is undefined behavior.
+
+/** The shared failure path of the strict parsers: record @p what in
+ *  *err (when non-null and still empty — the first error wins) and
+ *  return false. */
+bool jsonFail(std::string *err, const std::string &what);
+
+bool jsonReadString(const JsonValue &v, const char *key, std::string *out,
+                    std::string *err);
+bool jsonReadNumber(const JsonValue &v, const char *key, double *out,
+                    std::string *err);
+bool jsonReadInt(const JsonValue &v, const char *key, int64_t *out,
+                 std::string *err);
+bool jsonReadBool(const JsonValue &v, const char *key, bool *out,
+                  std::string *err);
+
+/** jsonReadInt + a range check against T ('"key" is out of range'). */
+template <typename T>
+bool
+jsonReadIntAs(const JsonValue &v, const char *key, T *out, std::string *err)
+{
+    int64_t i = 0;
+    if (!jsonReadInt(v, key, &i, err))
+        return false;
+    bool in_range =
+        std::is_unsigned<T>::value
+            ? i >= 0 &&
+                  static_cast<uint64_t>(i) <=
+                      static_cast<uint64_t>(std::numeric_limits<T>::max())
+            : i >= static_cast<int64_t>(std::numeric_limits<T>::min()) &&
+                  i <= static_cast<int64_t>(std::numeric_limits<T>::max());
+    if (!in_range) {
+        if (err && err->empty())
+            *err = std::string("\"") + key + "\" is out of range";
+        return false;
+    }
+    *out = static_cast<T>(i);
+    return true;
+}
 
 } // namespace cocco
 

@@ -92,4 +92,13 @@ strprintf(const char *fmt, ...)
     return msg;
 }
 
+std::string
+joinComma(const std::vector<std::string> &items)
+{
+    std::string out;
+    for (const std::string &item : items)
+        out += (out.empty() ? "" : ", ") + item;
+    return out;
+}
+
 } // namespace cocco

@@ -14,6 +14,7 @@
 
 #include <cstdarg>
 #include <string>
+#include <vector>
 
 namespace cocco {
 
@@ -37,6 +38,10 @@ bool isQuiet();
 
 /** printf-style formatting into a std::string. */
 std::string strprintf(const char *fmt, ...);
+
+/** "a, b, c" join — the standard rendering of a registry's known
+ *  keys in error messages and listings. */
+std::string joinComma(const std::vector<std::string> &items);
 
 } // namespace cocco
 

@@ -13,6 +13,8 @@
 #include <atomic>
 
 #include "core/cocco.h"
+#include "core/serialize.h"
+#include "graph/graph_json.h"
 #include "util/json.h"
 
 using namespace cocco;
@@ -501,6 +503,7 @@ TEST(SpecJson, FullDocumentRoundTrip)
 
     SearchSpec spec;
     ASSERT_TRUE(searchSpecFromJson(v, &spec, &err)) << err;
+    EXPECT_EQ(spec.workload.model, "GoogleNet"); // "model" shorthand
     EXPECT_EQ(spec.algo, "sa");
     EXPECT_FALSE(spec.eval.coExplore);
     EXPECT_EQ(spec.style, BufferStyle::Separate);
@@ -586,6 +589,159 @@ TEST(SpecJson, TypeMismatchesAreErrors)
     ASSERT_TRUE(parseJson(R"({"metric": "joules"})", &v, &err));
     EXPECT_FALSE(searchSpecFromJson(v, &spec, &err));
     EXPECT_NE(err.find("metric"), std::string::npos);
+}
+
+TEST(SpecJson, WorkloadAndPlatformSections)
+{
+    const char *doc = R"({
+        "workload": {"model": "RandWire-A",
+                     "params": {"seed": 5, "batch": 2}},
+        "platform": "edge",
+        "algo": "ga", "samples": 100
+    })";
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(doc, &v, &err)) << err;
+    SearchSpec spec;
+    ASSERT_TRUE(searchSpecFromJson(v, &spec, &err)) << err;
+    EXPECT_EQ(spec.workload.model, "RandWire-A");
+    EXPECT_EQ(spec.workload.params.seed, 5u);
+    EXPECT_EQ(spec.workload.params.batch, 2);
+    EXPECT_EQ(spec.platform.preset, "edge");
+
+    // File workload + inline platform with a preset base.
+    const char *doc2 = R"({
+        "workload": {"file": "net.json"},
+        "platform": {"base": "simba", "cores": 4},
+        "samples": 100
+    })";
+    ASSERT_TRUE(parseJson(doc2, &v, &err)) << err;
+    SearchSpec spec2;
+    ASSERT_TRUE(searchSpecFromJson(v, &spec2, &err)) << err;
+    EXPECT_EQ(spec2.workload.file, "net.json");
+    EXPECT_TRUE(spec2.platform.inlineConfig);
+    EXPECT_EQ(spec2.platform.config.cores, 4);
+    EXPECT_EQ(spec2.platform.config.peRows, 4);
+
+    // Platform file reference.
+    const char *doc3 = R"({"platform": {"file": "p.json"}})";
+    ASSERT_TRUE(parseJson(doc3, &v, &err)) << err;
+    SearchSpec spec3;
+    ASSERT_TRUE(searchSpecFromJson(v, &spec3, &err)) << err;
+    EXPECT_EQ(spec3.platform.file, "p.json");
+    EXPECT_FALSE(spec3.platform.inlineConfig);
+}
+
+TEST(SpecJson, WorkloadAndPlatformRejections)
+{
+    auto reject = [](const char *text, const char *needle) {
+        JsonValue v;
+        std::string err;
+        ASSERT_TRUE(parseJson(text, &v, &err)) << err;
+        SearchSpec spec;
+        EXPECT_FALSE(searchSpecFromJson(v, &spec, &err)) << text;
+        EXPECT_NE(err.find(needle), std::string::npos) << err;
+    };
+    // Two workload addresses at once.
+    reject(R"({"model": "VGG16", "workload": {"model": "GPT"}})",
+           "not both");
+    reject(R"({"workload": {"model": "VGG16", "file": "g.json"}})",
+           "not both");
+    // Malformed sections.
+    reject(R"({"workload": {"modle": "VGG16"}})", "modle");
+    reject(R"({"workload": {"params": {"widthMult": -1}}})",
+           "widthMult");
+    reject(R"({"platform": 7})", "platform");
+    reject(R"({"platform": {"file": "p.json", "cores": 2}})",
+           "other keys");
+    reject(R"({"platform": {"coores": 2}})", "coores");
+}
+
+// --- The self-contained run contract ----------------------------------------
+
+TEST(SelfContainedSpec, JsonSpecMatchesCompiledInConfiguration)
+{
+    // Acceptance criterion: one JSON document naming a registered
+    // model with non-default ModelParams and a named platform preset
+    // reproduces the equivalent compiled-in run bit-identically.
+    const char *doc = R"({
+        "workload": {"model": "Transformer",
+                     "params": {"seqLen": 128, "depth": 2}},
+        "platform": "edge",
+        "algo": "ga", "samples": 300, "seed": 7,
+        "ga": {"population": 30}
+    })";
+    JsonValue v;
+    std::string err;
+    ASSERT_TRUE(parseJson(doc, &v, &err)) << err;
+    SearchSpec spec;
+    ASSERT_TRUE(searchSpecFromJson(v, &spec, &err)) << err;
+
+    Graph spec_graph;
+    ASSERT_TRUE(resolveWorkload(spec.workload, &spec_graph, &err)) << err;
+    AcceleratorConfig spec_accel;
+    ASSERT_TRUE(resolvePlatform(spec.platform, &spec_accel, &err)) << err;
+
+    // The compiled-in equivalent, assembled by hand.
+    ModelParams params;
+    params.seqLen = 128;
+    params.depth = 2;
+    Graph cpp_graph = buildModel("Transformer", params);
+    AcceleratorConfig cpp_accel = platformPreset("edge");
+    SearchSpec cpp_spec = fastSpec("ga", 300);
+
+    CoccoFramework via_spec(spec_graph, spec_accel);
+    CoccoFramework via_cpp(cpp_graph, cpp_accel);
+    CoccoResult a = via_spec.explore(spec);
+    CoccoResult b = via_cpp.explore(cpp_spec);
+
+    EXPECT_EQ(a.objective, b.objective);
+    EXPECT_EQ(a.samples, b.samples);
+    EXPECT_EQ(a.partition.block, b.partition.block);
+    EXPECT_EQ(a.buffer.totalBytes(), b.buffer.totalBytes());
+    ASSERT_EQ(a.trace.size(), b.trace.size());
+    for (size_t i = 0; i < a.trace.size(); ++i)
+        EXPECT_EQ(a.trace[i].bestCost, b.trace[i].bestCost);
+
+    // A JSON-imported copy of the workload gives the same result.
+    JsonValue graph_doc;
+    ASSERT_TRUE(parseJson(graphToJson(spec_graph), &graph_doc, &err))
+        << err;
+    Graph imported;
+    ASSERT_TRUE(graphFromJson(graph_doc, &imported, &err)) << err;
+    CoccoFramework via_import(imported, spec_accel);
+    CoccoResult c = via_import.explore(spec);
+    EXPECT_EQ(c.objective, a.objective);
+    EXPECT_EQ(c.samples, a.samples);
+    EXPECT_EQ(c.partition.block, a.partition.block);
+}
+
+TEST(SelfContainedSpec, WorkloadResolutionErrors)
+{
+    WorkloadSpec w;
+    Graph g;
+    std::string err;
+    EXPECT_FALSE(resolveWorkload(w, &g, &err));
+    EXPECT_NE(err.find("required"), std::string::npos);
+
+    w.model = "NotANet";
+    err.clear();
+    EXPECT_FALSE(resolveWorkload(w, &g, &err));
+    EXPECT_NE(err.find("unknown model"), std::string::npos);
+    EXPECT_NE(err.find("VGG16"), std::string::npos); // names the options
+
+    w.model.clear();
+    w.file = "/nonexistent/net.json";
+    err.clear();
+    EXPECT_FALSE(resolveWorkload(w, &g, &err));
+    EXPECT_NE(err.find("cannot read"), std::string::npos);
+
+    // Shape params cannot silently be dropped on a file workload
+    // (batch is the one param that still applies).
+    w.params.widthMult = 2.0;
+    err.clear();
+    EXPECT_FALSE(resolveWorkload(w, &g, &err));
+    EXPECT_NE(err.find("do not apply"), std::string::npos);
 }
 
 TEST(SpecJson, ParsedSpecRunsIdenticallyToTheSameSpecInCpp)

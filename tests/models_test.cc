@@ -13,6 +13,8 @@
 
 #include "graph/algorithms.h"
 #include "models/models.h"
+#include "util/hash.h"
+#include "util/json.h"
 
 using namespace cocco;
 
@@ -22,6 +24,12 @@ double
 mb(int64_t bytes)
 {
     return bytes / (1024.0 * 1024.0);
+}
+
+uint64_t
+graphHash(const Graph &g)
+{
+    return hashFinalize(hashGraph(kHashSeed, g));
 }
 
 } // namespace
@@ -359,4 +367,191 @@ TEST(SRCNN, PlainChainStructure)
     for (NodeId v = 0; v < g.size(); ++v)
         EXPECT_LE(g.preds(v).size(), 1u);
     EXPECT_EQ(g.numEdges(), g.size() - 1);
+}
+
+// --- ModelRegistry ---------------------------------------------------------
+
+TEST(ModelRegistry, KeysMatchAllModelNamesAndCarryMetadata)
+{
+    const ModelRegistry &reg = ModelRegistry::instance();
+    EXPECT_EQ(reg.keys(), allModelNames());
+    for (const std::string &name : reg.keys()) {
+        EXPECT_TRUE(reg.contains(name));
+        const ModelInfo &info = reg.info(name);
+        EXPECT_EQ(info.name, name);
+        EXPECT_FALSE(info.summary.empty()) << name;
+        EXPECT_NE(info.knobs, 0u) << name;
+        EXPECT_FALSE(modelKnobsStr(info).empty()) << name;
+    }
+    EXPECT_FALSE(reg.contains("AlexNet"));
+}
+
+TEST(ModelRegistry, AliasResolvesButIsNotListed)
+{
+    const ModelRegistry &reg = ModelRegistry::instance();
+    EXPECT_TRUE(reg.contains("RandWire"));
+    for (const std::string &name : reg.keys())
+        EXPECT_NE(name, "RandWire");
+}
+
+TEST(ModelRegistry, DefaultParamsReproducePaperGraphs)
+{
+    // The whole parity contract: buildModel(name, {}) must be
+    // bit-identical (by content hash) to the paper-default build.
+    for (const std::string &name : allModelNames())
+        EXPECT_EQ(graphHash(buildModel(name, ModelParams{})),
+                  graphHash(buildModel(name)))
+            << name;
+}
+
+// --- ModelParams knobs -----------------------------------------------------
+
+TEST(ModelParams, WidthMultScalesWeights)
+{
+    ModelParams half;
+    half.widthMult = 0.5;
+    Graph full = buildModel("ResNet50");
+    Graph thin = buildModel("ResNet50", half);
+    EXPECT_EQ(thin.size(), full.size()); // topology unchanged
+    EXPECT_LT(thin.totalWeightBytes(), full.totalWeightBytes() / 2);
+    EXPECT_LT(thin.totalMacs(), full.totalMacs());
+}
+
+TEST(ModelParams, ResolutionScalesMacsNotWeights)
+{
+    ModelParams small;
+    small.resolution = 112;
+    Graph full = buildModel("VGG16");
+    Graph low = buildModel("VGG16", small);
+    // Conv MACs scale with spatial area (~4x); conv weights are
+    // resolution-independent (only fc6's global kernel shrinks).
+    EXPECT_LT(low.totalMacs(), full.totalMacs() / 2);
+    EXPECT_LT(low.totalWeightBytes(), full.totalWeightBytes());
+    EXPECT_GT(low.totalWeightBytes(), full.totalWeightBytes() / 4);
+}
+
+TEST(ModelParams, TokenModelKnobs)
+{
+    ModelParams p;
+    p.seqLen = 128;
+    p.depth = 2;
+    Graph base = buildModel("Transformer");
+    Graph small = buildModel("Transformer", p);
+    // 2 layers instead of 6: a third of the stack.
+    EXPECT_EQ(small.size() - 1, (base.size() - 1) / 3);
+    EXPECT_EQ(small.layer(0).outH, 128); // tokens on the H axis
+    EXPECT_LT(small.totalMacs(), base.totalMacs());
+}
+
+TEST(ModelParams, NasNetDepthAddsCells)
+{
+    ModelParams shallow;
+    shallow.depth = 2;
+    Graph base = buildModel("NasNet");
+    Graph small = buildModel("NasNet", shallow);
+    EXPECT_LT(small.size(), base.size());
+}
+
+TEST(ModelParams, RandWireSeedReachableByName)
+{
+    // The registry path must expose the generator seed: same seed,
+    // same wiring as the direct builder; different seed, different
+    // wiring (determinism per seed).
+    ModelParams p;
+    p.seed = 7;
+    EXPECT_EQ(graphHash(buildModel("RandWire-A", p)),
+              graphHash(buildRandWire('A', 7)));
+    EXPECT_EQ(graphHash(buildModel("RandWire-A", p)),
+              graphHash(buildModel("RandWire-A", p)));
+    ModelParams q;
+    q.seed = 8;
+    EXPECT_NE(graphHash(buildModel("RandWire-A", p)),
+              graphHash(buildModel("RandWire-A", q)));
+}
+
+TEST(ModelParams, IrrelevantKnobsAreIgnored)
+{
+    // A knob the builder does not read (seqLen on a CNN) must not
+    // change the graph.
+    ModelParams p;
+    p.seqLen = 64;
+    p.seed = 99;
+    EXPECT_EQ(graphHash(buildModel("GoogleNet", p)),
+              graphHash(buildModel("GoogleNet")));
+}
+
+TEST(ModelParamsDeath, BadValuesAreFatal)
+{
+    ModelParams bad_width;
+    bad_width.widthMult = 0.0;
+    EXPECT_EXIT(buildModel("ResNet50", bad_width),
+                ::testing::ExitedWithCode(1), "widthMult");
+
+    ModelParams bad_res;
+    bad_res.resolution = -1;
+    EXPECT_EXIT(buildModel("ResNet50", bad_res),
+                ::testing::ExitedWithCode(1), ">= 0");
+
+    // An absurd multiplier is rejected, not wrapped into a bogus
+    // channel count.
+    ModelParams huge;
+    huge.widthMult = 1e7;
+    EXPECT_EXIT(buildModel("ResNet50", huge),
+                ::testing::ExitedWithCode(1), "beyond the supported");
+}
+
+// --- ModelParams JSON ------------------------------------------------------
+
+namespace {
+
+/** Parse @p text and read it as a params block. */
+bool
+paramsFrom(const char *text, ModelParams *out, std::string *err)
+{
+    JsonValue doc;
+    EXPECT_TRUE(parseJson(text, &doc, err)) << *err;
+    return modelParamsFromJson(doc, out, err);
+}
+
+} // namespace
+
+TEST(ModelParamsJson, FullDocument)
+{
+    ModelParams p;
+    std::string err;
+    ASSERT_TRUE(paramsFrom(R"({"batch": 4, "resolution": 112,
+                               "seqLen": 256, "depth": 3,
+                               "widthMult": 0.75, "seed": 9})",
+                           &p, &err))
+        << err;
+    EXPECT_EQ(p.batch, 4);
+    EXPECT_EQ(p.resolution, 112);
+    EXPECT_EQ(p.seqLen, 256);
+    EXPECT_EQ(p.depth, 3);
+    EXPECT_DOUBLE_EQ(p.widthMult, 0.75);
+    EXPECT_EQ(p.seed, 9u);
+}
+
+TEST(ModelParamsJson, RejectsUnknownKeysAndBadValues)
+{
+    ModelParams p;
+    std::string err;
+    EXPECT_FALSE(paramsFrom(R"({"resolutoin": 112})", &p, &err));
+    EXPECT_NE(err.find("resolutoin"), std::string::npos);
+
+    err.clear();
+    EXPECT_FALSE(paramsFrom(R"({"widthMult": 0})", &p, &err));
+    EXPECT_NE(err.find("widthMult"), std::string::npos);
+
+    err.clear();
+    EXPECT_FALSE(paramsFrom(R"({"batch": 0})", &p, &err));
+    EXPECT_NE(err.find("batch"), std::string::npos);
+
+    err.clear();
+    EXPECT_FALSE(paramsFrom(R"({"depth": "deep"})", &p, &err));
+    EXPECT_NE(err.find("depth"), std::string::npos);
+
+    err.clear();
+    EXPECT_FALSE(paramsFrom(R"({"seed": -1})", &p, &err));
+    EXPECT_NE(err.find("seed"), std::string::npos);
 }

@@ -9,11 +9,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 
+#include "core/serialize.h"
 #include "models/models.h"
 #include "sim/cost_model.h"
 #include "sim/multicore.h"
+#include "sim/platform.h"
 #include "partition/repair.h"
+#include "util/json.h"
 
 using namespace cocco;
 
@@ -65,6 +69,166 @@ TEST(Accelerator, PaperPlatformNumbers)
     EXPECT_EQ(a.macsPerCycle(), 1024); // 4x4 PEs x 8x8 MACs
     EXPECT_NEAR(a.peakTops(), 2.048, 1e-9);
     EXPECT_NEAR(a.dramBytesPerCycle(), 16.0, 1e-9);
+}
+
+// --- Platform presets ------------------------------------------------------
+
+namespace {
+
+/** Field-wise equality over everything the cost model reads. */
+void
+expectSameAccel(const AcceleratorConfig &a, const AcceleratorConfig &b)
+{
+    EXPECT_EQ(a.peRows, b.peRows);
+    EXPECT_EQ(a.peCols, b.peCols);
+    EXPECT_EQ(a.macsPerPe, b.macsPerPe);
+    EXPECT_DOUBLE_EQ(a.clockGhz, b.clockGhz);
+    EXPECT_DOUBLE_EQ(a.dramGBpsPerCore, b.dramGBpsPerCore);
+    EXPECT_EQ(a.maxRegions, b.maxRegions);
+    EXPECT_EQ(a.channelAlign, b.channelAlign);
+    EXPECT_EQ(a.doubleBufferWeights, b.doubleBufferWeights);
+    EXPECT_EQ(a.cores, b.cores);
+    EXPECT_EQ(a.batch, b.batch);
+    EXPECT_DOUBLE_EQ(a.crossbarBytesPerCycle, b.crossbarBytesPerCycle);
+    EXPECT_DOUBLE_EQ(a.energy.dramPjPerByte, b.energy.dramPjPerByte);
+    EXPECT_DOUBLE_EQ(a.energy.sramBasePjPerByte,
+                     b.energy.sramBasePjPerByte);
+    EXPECT_DOUBLE_EQ(a.energy.sramSlopePjPerByte,
+                     b.energy.sramSlopePjPerByte);
+    EXPECT_DOUBLE_EQ(a.energy.macPj, b.energy.macPj);
+    EXPECT_DOUBLE_EQ(a.energy.crossbarPjPerByte,
+                     b.energy.crossbarPjPerByte);
+    EXPECT_DOUBLE_EQ(a.energy.sramAreaMm2PerMB,
+                     b.energy.sramAreaMm2PerMB);
+}
+
+} // namespace
+
+TEST(Platform, SimbaPresetIsThePaperPlatform)
+{
+    expectSameAccel(platformPreset("simba"), AcceleratorConfig{});
+}
+
+TEST(Platform, BuiltinPresetsRegistered)
+{
+    const PlatformRegistry &reg = PlatformRegistry::instance();
+    std::vector<std::string> keys = reg.keys();
+    ASSERT_GE(keys.size(), 4u);
+    EXPECT_EQ(keys[0], "simba");
+    for (const std::string &k : keys) {
+        EXPECT_TRUE(reg.contains(k));
+        EXPECT_FALSE(reg.summary(k).empty());
+        AcceleratorConfig c;
+        EXPECT_TRUE(reg.find(k, &c));
+        EXPECT_GT(c.peakTops(), 0.0);
+    }
+    EXPECT_TRUE(reg.contains("edge"));
+    EXPECT_TRUE(reg.contains("cloud"));
+    EXPECT_EQ(platformPreset("simba-x4").cores, 4);
+}
+
+TEST(Platform, UnknownPresetIsACleanUserError)
+{
+    // Lookup: a false return, never a crash.
+    const PlatformRegistry &reg = PlatformRegistry::instance();
+    AcceleratorConfig c;
+    EXPECT_FALSE(reg.contains("tpu"));
+    EXPECT_FALSE(reg.find("tpu", &c));
+
+    // Resolution: an error message naming the known presets.
+    PlatformSpec spec;
+    spec.preset = "tpu";
+    std::string err;
+    EXPECT_FALSE(resolvePlatform(spec, &c, &err));
+    EXPECT_NE(err.find("unknown platform"), std::string::npos);
+    EXPECT_NE(err.find("simba"), std::string::npos);
+}
+
+TEST(PlatformDeath, PresetHelperIsFatalWithKnownList)
+{
+    EXPECT_EXIT(platformPreset("tpu"), ::testing::ExitedWithCode(1),
+                "unknown platform");
+}
+
+TEST(Platform, JsonRoundTripEveryPreset)
+{
+    for (const std::string &name : PlatformRegistry::instance().keys()) {
+        AcceleratorConfig preset = platformPreset(name);
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(parseJson(acceleratorToJson(preset), &doc, &err))
+            << name << ": " << err;
+        AcceleratorConfig copy;
+        ASSERT_TRUE(acceleratorFromJson(doc, &copy, &err))
+            << name << ": " << err;
+        expectSameAccel(copy, preset);
+    }
+}
+
+TEST(Platform, JsonBaseAndOverrides)
+{
+    JsonValue doc;
+    std::string err;
+    ASSERT_TRUE(parseJson(R"({"base": "edge", "cores": 2})", &doc, &err));
+    AcceleratorConfig c;
+    ASSERT_TRUE(acceleratorFromJson(doc, &c, &err)) << err;
+    EXPECT_EQ(c.peRows, 2);                 // from the edge base
+    EXPECT_DOUBLE_EQ(c.dramGBpsPerCore, 8.0);
+    EXPECT_EQ(c.cores, 2);                  // the override
+}
+
+TEST(Platform, JsonRejectsMalformedDocuments)
+{
+    auto reject = [](const char *text, const char *needle) {
+        JsonValue doc;
+        std::string err;
+        ASSERT_TRUE(parseJson(text, &doc, &err)) << err;
+        AcceleratorConfig c;
+        EXPECT_FALSE(acceleratorFromJson(doc, &c, &err)) << text;
+        EXPECT_NE(err.find(needle), std::string::npos) << err;
+    };
+    reject(R"({"peRowz": 4})", "peRowz");            // unknown key
+    reject(R"({"peRows": "four"})", "peRows");       // type mismatch
+    reject(R"({"peRows": 0})", ">= 1");              // domain
+    reject(R"({"clockGhz": -1.0})", "> 0");          // domain
+    reject(R"({"base": "tpu"})", "unknown platform"); // bad base
+    reject(R"({"energy": {"macPj": -0.1}})", ">= 0"); // negative energy
+    reject(R"({"energy": {"watts": 1}})", "watts");  // unknown energy key
+    reject(R"({"batch": 2.5})", "integer");          // non-integer
+}
+
+TEST(Platform, FileRoundTripAndResolution)
+{
+    AcceleratorConfig cloud = platformPreset("cloud");
+    std::string path = ::testing::TempDir() + "cocco_platform_rt.json";
+    ASSERT_TRUE(savePlatformJson(cloud, path));
+
+    AcceleratorConfig loaded;
+    std::string err;
+    ASSERT_TRUE(loadPlatformJson(path, &loaded, &err)) << err;
+    expectSameAccel(loaded, cloud);
+
+    // The same file through the spec resolver.
+    PlatformSpec spec;
+    spec.file = path;
+    AcceleratorConfig resolved;
+    ASSERT_TRUE(resolvePlatform(spec, &resolved, &err)) << err;
+    expectSameAccel(resolved, cloud);
+    std::remove(path.c_str());
+}
+
+TEST(Platform, ResolveDefaultsToSimbaAndRejectsConflicts)
+{
+    PlatformSpec spec;
+    AcceleratorConfig c;
+    std::string err;
+    ASSERT_TRUE(resolvePlatform(spec, &c, &err)) << err;
+    expectSameAccel(c, AcceleratorConfig{});
+
+    spec.preset = "simba";
+    spec.file = "also-a-file.json";
+    EXPECT_FALSE(resolvePlatform(spec, &c, &err));
+    EXPECT_NE(err.find("not several"), std::string::npos);
 }
 
 // --- Subgraph profiles ----------------------------------------------------

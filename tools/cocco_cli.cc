@@ -3,8 +3,10 @@
  * cocco — command-line driver for the library.
  *
  * Subcommands:
- *   models                          list built-in models
+ *   models                          list built-in models (with knobs)
  *   describe  <model>               print the graph summary
+ *   describe-model <model>          registry metadata + parameters
+ *   export-model <model>            Graph JSON to stdout
  *   dot       <model> [--runs L]    DOT export (optionally partitioned)
  *   partition <model> --algo A      run one partitioner and report costs
  *             (A = greedy | dp | enum | any registered search driver)
@@ -13,7 +15,15 @@
  *   run       --spec FILE           declarative JSON run spec (schema
  *                                   in the README)
  *   validate-metrics FILE           check a --metrics-out document
- * Listing: --list-algos (search drivers), --list-models.
+ * Listing: --list-algos (search drivers), --list-models,
+ *          --list-platforms (accelerator presets).
+ * Workload/platform flags (everywhere a <model> is accepted):
+ *   --model-file F   use an imported Graph JSON workload instead of
+ *                    a registry model name
+ *   --model-seed N   RandWire wiring seed (deterministic per seed)
+ *   --platform NAME / --platform-file F
+ *                    accelerator preset or platform JSON (default
+ *                    preset: simba)
  * Common flags: --samples N, --alpha F, --metric ema|energy, --seed N,
  *               --threads N (parallel evaluation; 0 = all cores),
  *               --neighbor-batch N (SA speculative neighbors),
@@ -24,23 +34,24 @@
  *               --metrics-out F (write a JSON run-metrics report)
  *
  * The search subcommands all dispatch through the SearcherRegistry,
- * so the two-step baselines (ts-random, ts-grid) and any strategy
- * registered at startup are first-class citizens of every mode.
+ * workloads through the ModelRegistry (or Graph JSON import), and
+ * platforms through the PlatformRegistry (or platform JSON), so new
+ * strategies, models, and presets registered at startup are
+ * first-class citizens of every mode.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 
 #include "core/cocco.h"
 #include "core/metrics.h"
 #include "core/serialize.h"
 #include "graph/dot.h"
+#include "graph/graph_json.h"
 #include "graph/stats.h"
 #include "partition/dp.h"
 #include "partition/enumeration.h"
@@ -58,6 +69,10 @@ struct CliArgs
 {
     std::string command;
     std::string model;
+    std::string modelFile;    ///< Graph JSON workload ("" = registry)
+    uint64_t modelSeed = 1;   ///< RandWire wiring seed
+    std::string platform;     ///< accelerator preset ("" = simba)
+    std::string platformFile; ///< platform JSON ("" = preset)
     std::string algo = "ga";
     std::string style = "shared";
     int64_t samples = 5000;
@@ -84,14 +99,18 @@ usage()
         stderr,
         "usage: cocco <command> [args]\n"
         "  models | --list-models\n"
-        "  --list-algos\n"
+        "  --list-algos | --list-platforms\n"
         "  describe  <model>\n"
+        "  describe-model <model>\n"
+        "  export-model <model>\n"
         "  timeline  <model>\n"
         "  dot       <model> [--runs L]\n"
         "  partition <model> --algo greedy|dp|enum|<search driver>\n"
         "  coexplore <model> [--style shared|separate] [--algo DRIVER]\n"
         "  run       --spec FILE\n"
         "  validate-metrics FILE\n"
+        "workload/platform: --model-file F --model-seed N\n"
+        "       --platform NAME --platform-file F\n"
         "flags: --samples N --alpha F --metric ema|energy --seed N "
         "--threads N --json\n"
         "       --neighbor-batch N --time-limit SEC --stall-limit N\n"
@@ -107,12 +126,11 @@ parse(int argc, char **argv)
     CliArgs a;
     a.command = argv[1];
     int i = 2;
+    // The positional workload/file argument; optional, since
+    // --model-file can address the workload instead.
     if (a.command != "models" && a.command != "run" &&
-        a.command[0] != '-') {
-        if (i >= argc)
-            usage();
+        a.command[0] != '-' && i < argc && argv[i][0] != '-')
         a.model = argv[i++];
-    }
     for (; i < argc; ++i) {
         std::string f = argv[i];
         auto next = [&]() -> const char * {
@@ -122,6 +140,14 @@ parse(int argc, char **argv)
         };
         if (f == "--algo")
             a.algo = next();
+        else if (f == "--model-file")
+            a.modelFile = next();
+        else if (f == "--model-seed")
+            a.modelSeed = std::strtoull(next(), nullptr, 10);
+        else if (f == "--platform")
+            a.platform = next();
+        else if (f == "--platform-file")
+            a.platformFile = next();
         else if (f == "--style")
             a.style = next();
         else if (f == "--samples")
@@ -157,6 +183,44 @@ parse(int argc, char **argv)
             usage();
     }
     return a;
+}
+
+/** The workload addressed by the CLI flags: a registry model (with
+ *  --model-seed) or an imported Graph JSON (--model-file). Updates
+ *  a.model to the graph's name for reports/metrics. */
+Graph
+cliWorkload(CliArgs &a)
+{
+    if (!a.modelFile.empty()) {
+        if (!a.model.empty())
+            fatal("give a model name or --model-file, not both");
+        Graph g;
+        std::string err;
+        if (!loadGraphJson(a.modelFile, &g, &err))
+            fatal("%s", err.c_str());
+        a.model = g.name();
+        return g;
+    }
+    if (a.model.empty())
+        usage();
+    ModelParams params;
+    params.seed = a.modelSeed;
+    return buildModel(a.model, params);
+}
+
+/** The platform addressed by the CLI flags (--platform /
+ *  --platform-file; default: the "simba" preset). */
+AcceleratorConfig
+cliPlatform(const CliArgs &a)
+{
+    PlatformSpec spec;
+    spec.preset = a.platform;
+    spec.file = a.platformFile;
+    AcceleratorConfig accel;
+    std::string err;
+    if (!resolvePlatform(spec, &accel, &err))
+        fatal("%s", err.c_str());
+    return accel;
 }
 
 /** Spec assembled from plain CLI flags (partition/coexplore modes). */
@@ -280,10 +344,10 @@ printStopLine(StopReason stop)
 }
 
 int
-runPartition(const CliArgs &a)
+runPartition(CliArgs &a)
 {
-    Graph g = buildModel(a.model);
-    AcceleratorConfig accel;
+    Graph g = cliWorkload(a);
+    AcceleratorConfig accel = cliPlatform(a);
     CostModel model(g, accel);
     BufferConfig buf;
     buf.style = BufferStyle::Separate;
@@ -347,10 +411,10 @@ runPartition(const CliArgs &a)
 }
 
 int
-runCoExplore(const CliArgs &a)
+runCoExplore(CliArgs &a)
 {
-    Graph g = buildModel(a.model);
-    AcceleratorConfig accel;
+    Graph g = cliWorkload(a);
+    AcceleratorConfig accel = cliPlatform(a);
     CoccoFramework cocco(g, accel);
     SearchSpec spec = specFromArgs(a);
     spec.eval.coExplore = true;
@@ -389,16 +453,10 @@ runSpec(CliArgs a)
 {
     if (a.specFile.empty())
         fatal("run needs --spec FILE");
-    std::ifstream in(a.specFile);
-    if (!in)
-        fatal("cannot read spec file '%s'", a.specFile.c_str());
-    std::stringstream ss;
-    ss << in.rdbuf();
-
     JsonValue doc;
     std::string err;
-    if (!parseJson(ss.str(), &doc, &err))
-        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+    if (!loadJsonFile(a.specFile, &doc, &err))
+        fatal("%s", err.c_str());
 
     SearchSpec spec;
     // Partition-only specs may omit "buffer": default to the standard
@@ -408,16 +466,26 @@ runSpec(CliArgs a)
     spec.fixedBuffer.weightBytes = 1152 * 1024;
     if (!searchSpecFromJson(doc, &spec, &err))
         fatal("%s: %s", a.specFile.c_str(), err.c_str());
-
-    const JsonValue *model_key = doc.find("model");
-    if (!model_key)
-        fatal("%s: run spec needs a \"model\"", a.specFile.c_str());
-    a.model = model_key->str();
     a.seed = spec.eval.seed;
     a.threads = spec.eval.threads;
 
-    Graph g = buildModel(a.model);
+    // The document is self-contained: it addresses the workload (a
+    // registry model + params, or a graph file) and the platform (a
+    // preset, file, or inline config).
+    Graph g;
+    if (!resolveWorkload(spec.workload, &g, &err))
+        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+    a.model = g.name();
+
     AcceleratorConfig accel;
+    if (!resolvePlatform(spec.platform, &accel, &err))
+        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+    // An explicit workload batch (including 1) overrides the
+    // platform's: batching is a property of the run, accounted on
+    // the platform side. 0 (the default) inherits the platform's.
+    if (spec.workload.params.batch > 0)
+        accel.batch = spec.workload.params.batch;
+
     CoccoFramework cocco(g, accel);
 
     std::shared_ptr<EvalCache> cache;
@@ -456,16 +524,10 @@ runSpec(CliArgs a)
 int
 validateMetrics(const std::string &path)
 {
-    std::ifstream in(path);
-    if (!in)
-        fatal("cannot read '%s'", path.c_str());
-    std::stringstream ss;
-    ss << in.rdbuf();
-
     JsonValue doc;
     std::string err;
-    if (!parseJson(ss.str(), &doc, &err))
-        fatal("%s: %s", path.c_str(), err.c_str());
+    if (!loadJsonFile(path, &doc, &err))
+        fatal("%s", err.c_str());
     if (!doc.isObject())
         fatal("%s: document must be an object", path.c_str());
 
@@ -512,8 +574,13 @@ main(int argc, char **argv)
     CliArgs a = parse(argc, argv);
 
     if (a.command == "models" || a.command == "--list-models") {
-        for (const std::string &name : allModelNames())
-            std::printf("%s\n", name.c_str());
+        const ModelRegistry &reg = ModelRegistry::instance();
+        for (const std::string &name : reg.keys()) {
+            const ModelInfo &info = reg.info(name);
+            std::printf("%-12s %-44s %s\n", name.c_str(),
+                        modelKnobsStr(info).c_str(),
+                        info.summary.c_str());
+        }
         return 0;
     }
     if (a.command == "--list-algos") {
@@ -521,6 +588,13 @@ main(int argc, char **argv)
         for (const std::string &key : reg.keys())
             std::printf("%-10s %s\n", key.c_str(),
                         reg.summary(key).c_str());
+        return 0;
+    }
+    if (a.command == "--list-platforms") {
+        const PlatformRegistry &reg = PlatformRegistry::instance();
+        for (const std::string &name : reg.keys())
+            std::printf("%-10s %s\n", name.c_str(),
+                        reg.summary(name).c_str());
         return 0;
     }
     if (a.command == "run")
@@ -531,14 +605,35 @@ main(int argc, char **argv)
         return validateMetrics(a.model);
     }
     if (a.command == "describe") {
-        Graph g = buildModel(a.model);
+        Graph g = cliWorkload(a);
         std::printf("%s\n%s", g.str().c_str(),
                     computeStats(g).str().c_str());
         return 0;
     }
+    if (a.command == "describe-model") {
+        if (a.model.empty())
+            usage();
+        // info() is fatal on unknown names, with the known list.
+        const ModelInfo &info =
+            ModelRegistry::instance().info(a.model);
+        ModelParams params = info.defaults;
+        params.seed = a.modelSeed;
+        Graph g = buildModel(a.model, params);
+        std::printf("%s: %s\n", info.name.c_str(), info.summary.c_str());
+        std::string knobs = modelKnobsStr(info);
+        std::printf("params: %s\n",
+                    knobs.empty() ? "(none)" : knobs.c_str());
+        std::printf("%s", computeStats(g).str().c_str());
+        return 0;
+    }
+    if (a.command == "export-model") {
+        Graph g = cliWorkload(a);
+        std::printf("%s\n", graphToJson(g).c_str());
+        return 0;
+    }
     if (a.command == "timeline") {
-        Graph g = buildModel(a.model);
-        AcceleratorConfig accel;
+        Graph g = cliWorkload(a);
+        AcceleratorConfig accel = cliPlatform(a);
         CostModel model(g, accel);
         BufferConfig buf;
         buf.style = BufferStyle::Separate;
@@ -551,7 +646,7 @@ main(int argc, char **argv)
         return 0;
     }
     if (a.command == "dot") {
-        Graph g = buildModel(a.model);
+        Graph g = cliWorkload(a);
         if (a.runs > 0) {
             Partition p = Partition::fixedRuns(g, a.runs);
             p.canonicalize(g);
