@@ -3,7 +3,10 @@
  * Multi-core deployment study: scale GoogleNet across 1/2/4 crossbar-
  * connected cores at several batch sizes, co-exploring the shared
  * buffer size per configuration — the paper's Section 5.4.2/5.4.3
- * methodology as a user-facing workflow.
+ * methodology as a user-facing workflow, on the deployment subsystem
+ * (sim/deployment.h): each configuration is a homogeneous deployment
+ * of the "simba" preset, exactly what a run spec's
+ * "deployment": {"cores": N} section resolves to.
  *
  * Usage: multicore_deployment [sample_budget]
  */
@@ -12,6 +15,7 @@
 #include <cstdlib>
 
 #include "core/cocco.h"
+#include "sim/deployment.h"
 #include "sim/platform.h"
 #include "util/table.h"
 
@@ -30,10 +34,11 @@ main(int argc, char **argv)
     for (int cores : {1, 2, 4}) {
         for (int batch : {1, 2, 8}) {
             AcceleratorConfig accel = platformPreset("simba");
-            accel.cores = cores;
             accel.batch = batch;
 
-            CoccoFramework cocco(g, accel);
+            // N cores of the paper platform behind the default
+            // crossbar; a single core is exactly the plain run.
+            CoccoFramework cocco(g, homogeneousDeployment(accel, cores));
             SearchSpec spec;
             spec.style = BufferStyle::Shared;
             spec.eval.sampleBudget = budget;

@@ -7,6 +7,11 @@ CoccoFramework::CoccoFramework(const Graph &g, const AcceleratorConfig &accel)
 {
 }
 
+CoccoFramework::CoccoFramework(const Graph &g, const DeploymentConfig &dep)
+    : g_(g), model_(std::make_unique<DeploymentCostModel>(g, dep))
+{
+}
+
 CoccoResult
 CoccoFramework::package(const SearchResult &r, const DseSpace &space) const
 {
@@ -24,6 +29,9 @@ CoccoFramework::package(const SearchResult &r, const DseSpace &space) const
     out.stop = r.stop;
     out.cacheStats = r.cacheStats;
     out.deltaStats = r.deltaStats;
+    // Per-core / crossbar accounting of the recommendation (pure
+    // bookkeeping over the memoized profiles; no search state).
+    out.deployment = model_->breakdown(out.partition, out.buffer);
     (void)space;
     return out;
 }

@@ -55,6 +55,10 @@ struct CoccoResult
     StopReason stop = StopReason::BudgetExhausted; ///< why the run ended
     EvalCacheStats cacheStats; ///< evaluation-cache activity of the run
     DeltaStats deltaStats;     ///< operator gene-change accounting
+
+    /** Per-core utilization and crossbar share of the recommendation
+     *  (trivial — one core, zero crossbar — for single-core runs). */
+    DeploymentBreakdown deployment;
 };
 
 /** The hardware-mapping co-exploration framework. */
@@ -66,6 +70,14 @@ class CoccoFramework
      * @param accel the accelerator platform
      */
     CoccoFramework(const Graph &g, const AcceleratorConfig &accel);
+
+    /**
+     * Evaluate on a multi-accelerator deployment (sim/deployment.h):
+     * @p dep's cores behind the weight-rotation crossbar. A
+     * single-core deployment is bit-identical to the plain
+     * constructor over that core's platform.
+     */
+    CoccoFramework(const Graph &g, const DeploymentConfig &dep);
 
     /** The shared evaluation environment (memoized simulator). */
     CostModel &model() { return *model_; }

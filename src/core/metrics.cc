@@ -59,6 +59,21 @@ metricsToJson(const std::string &generator,
         w.field("entries", r.cache.entries);
         w.field("block_entries", r.cache.blockEntries);
         w.endObject();
+        if (r.hasDeployment) {
+            w.key("deployment").beginObject();
+            w.field("cores", r.deployment.cores);
+            w.field("crossbar_energy_pj", r.deployment.crossbarEnergyPj);
+            w.field("crossbar_cycles", r.deployment.crossbarCycles);
+            w.field("crossbar_energy_share",
+                    r.deployment.crossbarEnergyShare);
+            w.field("crossbar_latency_share",
+                    r.deployment.crossbarLatencyShare);
+            w.key("core_utilization").beginArray();
+            for (double u : r.deployment.coreUtilization)
+                w.value(u);
+            w.endArray();
+            w.endObject();
+        }
         w.key("extra").beginObject();
         for (const auto &[key, value] : r.extra)
             w.field(key, value);

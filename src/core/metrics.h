@@ -21,10 +21,19 @@
  *                  "insertions": N, "evictions": N, "hit_rate": X,
  *                  "block_hits": N, "block_misses": N,
  *                  "entries": N, "block_entries": N },
+ *       "deployment": { "cores": N,
+ *                       "crossbar_energy_share": X,
+ *                       "crossbar_latency_share": X,
+ *                       "core_utilization": [X, ...] },   // optional
  *       "extra": { "<key>": X, ... }
  *     }, ...
  *   ]
  * }
+ *
+ * The "deployment" object appears when the producing run evaluated a
+ * CoccoResult (the CLI search modes and the deployment-aware bench
+ * harnesses) so the multi-core trajectory — per-core utilization and
+ * the crossbar's energy/latency share — is machine-checkable.
  */
 
 #ifndef COCCO_CORE_METRICS_H
@@ -36,6 +45,7 @@
 #include <vector>
 
 #include "search/eval_cache.h"
+#include "sim/cost_model.h"
 
 namespace cocco {
 
@@ -52,6 +62,12 @@ struct RunMetrics
 
     bool cacheEnabled = false;
     EvalCacheStats cache; ///< per-run counter deltas
+
+    /** Per-core / crossbar accounting of the run's recommendation;
+     *  emitted only when set (so documents from non-search producers
+     *  keep their exact shape). */
+    bool hasDeployment = false;
+    DeploymentBreakdown deployment;
 
     /** Free-form numeric side channel ("speedup", "budget", ...). */
     std::vector<std::pair<std::string, double>> extra;

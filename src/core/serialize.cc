@@ -81,6 +81,17 @@ resultToJson(const Graph &g, const CoccoResult &r)
     w.endObject();
     w.field("objective", r.objective);
     w.field("samples", r.samples);
+    w.key("deployment").beginObject();
+    w.field("cores", r.deployment.cores);
+    w.field("crossbar_energy_pj", r.deployment.crossbarEnergyPj);
+    w.field("crossbar_cycles", r.deployment.crossbarCycles);
+    w.field("crossbar_energy_share", r.deployment.crossbarEnergyShare);
+    w.field("crossbar_latency_share", r.deployment.crossbarLatencyShare);
+    w.key("core_utilization").beginArray();
+    for (double u : r.deployment.coreUtilization)
+        w.value(u);
+    w.endArray();
+    w.endObject();
     w.key("subgraphs").beginArray();
     for (const auto &blk : r.partition.blocks()) {
         w.beginArray();
@@ -227,6 +238,108 @@ resolvePlatform(const PlatformSpec &spec, AcceleratorConfig *out,
                      "unknown platform \"%s\" (known: %s)", name.c_str(),
                      joinComma(PlatformRegistry::instance().keys())
                          .c_str()));
+    return true;
+}
+
+bool
+resolveDeployment(const DeploymentSpec &spec, const AcceleratorConfig &base,
+                  DeploymentConfig *out, std::string *err)
+{
+    if (!spec.enabled) {
+        *out = homogeneousDeployment(base, 1);
+        return true;
+    }
+    int sources = (!spec.preset.empty() ? 1 : 0) +
+                  (!spec.file.empty() ? 1 : 0) + (spec.inlineDesc ? 1 : 0);
+    if (sources > 1)
+        return jsonFail(err, "deployment: give a preset, a file, or an "
+                             "inline description, not several");
+
+    DeploymentDesc desc;
+    if (!spec.preset.empty()) {
+        if (!DeploymentRegistry::instance().find(spec.preset, &desc))
+            return jsonFail(
+                err,
+                strprintf("unknown deployment \"%s\" (known: %s)",
+                          spec.preset.c_str(),
+                          joinComma(DeploymentRegistry::instance().keys())
+                              .c_str()));
+    } else if (!spec.file.empty()) {
+        if (!loadDeploymentJson(spec.file, &desc, err))
+            return false;
+    } else {
+        desc = spec.desc; // inline (or the defaults: one core)
+    }
+
+    if (desc.cores < 1)
+        return jsonFail(err, "deployment: cores must be >= 1");
+    if (!desc.corePlatforms.empty() &&
+        static_cast<int>(desc.corePlatforms.size()) != desc.cores)
+        return jsonFail(
+            err, strprintf("deployment: corePlatforms has %zu entries "
+                           "for %d cores",
+                           desc.corePlatforms.size(), desc.cores));
+
+    DeploymentConfig dep;
+    dep.coreConfigs.reserve(static_cast<size_t>(desc.cores));
+    for (int i = 0; i < desc.cores; ++i) {
+        AcceleratorConfig core;
+        if (desc.corePlatforms.empty()) {
+            core = base;
+        } else {
+            std::string sub;
+            if (!resolvePlatform(desc.corePlatforms[i], &core, &sub))
+                return jsonFail(err,
+                                strprintf("deployment: core %d: %s", i,
+                                          sub.c_str()));
+        }
+        // The deployment owns the scale-out: a core that is itself
+        // multi-core would nest two crossbars the model cannot see.
+        if (core.cores != 1)
+            return jsonFail(
+                err, strprintf("deployment: core %d's platform is "
+                               "already multi-core (cores = %d); "
+                               "deployments are built from single-core "
+                               "platforms",
+                               i, core.cores));
+        dep.coreConfigs.push_back(core);
+    }
+    for (size_t i = 1; i < dep.coreConfigs.size(); ++i)
+        if (dep.coreConfigs[i].batch != dep.coreConfigs[0].batch)
+            return jsonFail(
+                err, strprintf("deployment: core %zu's batch (%d) "
+                               "disagrees with core 0's (%d); a batch "
+                               "is a property of the run",
+                               i, dep.coreConfigs[i].batch,
+                               dep.coreConfigs[0].batch));
+    // Unset interconnect knobs inherit core 0's built-in crossbar
+    // parameters (including a platform file's customized values).
+    dep.interconnect =
+        resolveInterconnect(desc.interconnect, dep.coreConfigs[0]);
+    *out = dep;
+    return true;
+}
+
+bool
+saveDeploymentJson(const DeploymentDesc &desc, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << deploymentToJson(desc) << '\n';
+    return static_cast<bool>(out);
+}
+
+bool
+loadDeploymentJson(const std::string &path, DeploymentDesc *out,
+                   std::string *err)
+{
+    JsonValue doc;
+    if (!loadJsonFile(path, &doc, err))
+        return false;
+    std::string sub;
+    if (!deploymentFromJson(doc, out, &sub))
+        return jsonFail(err, path + ": " + sub);
     return true;
 }
 

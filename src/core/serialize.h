@@ -15,6 +15,7 @@
 
 #include "core/cocco.h"
 #include "search/eval_cache.h"
+#include "sim/deployment.h"
 #include "sim/platform.h"
 #include "tileflow/scheme.h"
 
@@ -76,6 +77,31 @@ bool resolveWorkload(const WorkloadSpec &spec, Graph *out,
  */
 bool resolvePlatform(const PlatformSpec &spec, AcceleratorConfig *out,
                      std::string *err);
+
+/**
+ * Resolve a deployment address into per-core configurations. The
+ * description comes from the spec's preset, file, or inline form (at
+ * most one; none means the inline defaults, i.e. a single core).
+ * Cores without an explicit platform run @p base (the run's resolved
+ * platform). Every core platform must be single-core (the deployment
+ * owns the scale-out) and all cores must agree on the batch size.
+ * When the spec is disabled, *out becomes the trivial one-core
+ * deployment of @p base.
+ * @return false with *err set on any problem.
+ */
+bool resolveDeployment(const DeploymentSpec &spec,
+                       const AcceleratorConfig &base,
+                       DeploymentConfig *out, std::string *err);
+
+/** Write deploymentToJson(desc) to @p path. @return false on I/O
+ *  failure. */
+bool saveDeploymentJson(const DeploymentDesc &desc,
+                        const std::string &path);
+
+/** Read + parse + validate the deployment document at @p path.
+ *  @return false with *err set. */
+bool loadDeploymentJson(const std::string &path, DeploymentDesc *out,
+                        std::string *err);
 
 /** Write acceleratorToJson(accel) to @p path. @return false on I/O
  *  failure. */

@@ -326,24 +326,7 @@ struct SpecReader
     bool
     readPlatform(const JsonValue &v, PlatformSpec *out)
     {
-        if (v.isString()) {
-            out->preset = v.str();
-            return true;
-        }
-        if (!v.isObject())
-            return bad("\"platform\" must be a preset name or an object");
-        if (const JsonValue *file = v.find("file")) {
-            if (v.members().size() != 1)
-                return bad("a \"platform\" file reference must not "
-                           "carry other keys");
-            return readString(*file, "platform.file", &out->file);
-        }
-        // Anything else is an inline configuration (optionally based
-        // on a preset via "base"); its own parser is strict.
-        if (!acceleratorFromJson(v, &out->config, &err))
-            return false;
-        out->inlineConfig = true;
-        return true;
+        return platformSpecFromJson(v, "platform", out, &err);
     }
 
     bool
@@ -510,6 +493,8 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             workload_key = true;
         } else if (k == "platform") {
             ok = r.readPlatform(v, &spec->platform);
+        } else if (k == "deployment") {
+            ok = deploymentSpecFromJson(v, &spec->deployment, &r.err);
         } else if (k == "algo") {
             ok = r.readString(v, "algo", &spec->algo);
         } else if (k == "mode") {

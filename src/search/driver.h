@@ -32,6 +32,7 @@
 #include "search/ga.h"
 #include "search/sa.h"
 #include "search/two_step.h"
+#include "sim/deployment.h"
 #include "sim/platform.h"
 
 namespace cocco {
@@ -57,6 +58,13 @@ class JsonValue;
  * via resolveWorkload()/resolvePlatform() (core/serialize.h) before
  * constructing the evaluation environment; an explicit workload
  * batch (>= 1, including 1) overrides the platform's at that point.
+ *
+ * Deployment: `deployment` optionally scales the run out over
+ * crossbar-connected cores (a preset, a file, or an inline
+ * description; see sim/deployment.h). It too is an address —
+ * resolveDeployment() turns it into per-core configurations against
+ * the resolved platform, and CoccoFramework's deployment constructor
+ * evaluates under the composed DeploymentCostModel.
  */
 struct SearchSpec
 {
@@ -64,6 +72,9 @@ struct SearchSpec
 
     WorkloadSpec workload;       ///< what to run (model/file + params)
     PlatformSpec platform;       ///< where to run it (default "simba")
+    DeploymentSpec deployment;   ///< how many cores / which mix (off by
+                                 ///< default; "cores": 1 is exactly the
+                                 ///< plain single-platform run)
 
     BufferStyle style = BufferStyle::Shared; ///< co-explore grid
     BufferConfig fixedBuffer;    ///< partition-only target buffer

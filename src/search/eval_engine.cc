@@ -22,14 +22,15 @@ mixStream(uint64_t seed, uint64_t stream)
 
 /** Fingerprint of everything the objective value depends on. Seed and
  *  thread count are deliberately absent: results are independent of
- *  both, so caches warm across seeds and machines. */
+ *  both, so caches warm across seeds and machines. The model folds
+ *  its own identity (graph + accelerator, plus every core of a
+ *  deployment) via contextHash, so entries from different deployments
+ *  can never alias. */
 uint64_t
 contextSalt(const CostModel &model, const DseSpace &space,
             const EvalOptions &opts)
 {
-    uint64_t h = kHashSeed;
-    h = hashGraph(h, model.graph());
-    h = hashAccelerator(h, model.accel());
+    uint64_t h = model.contextHash(kHashSeed);
     h = hashDseSpace(h, space);
     h = hashDouble(h, opts.alpha);
     h = hashU64(h, static_cast<uint64_t>(opts.metric));
@@ -65,9 +66,7 @@ EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
     // Block costs depend only on the model, so fencing them by this
     // narrower salt lets engines that differ in alpha/metric/space
     // still share per-subgraph work through one cache.
-    modelSalt_ = hashFinalize(
-        hashAccelerator(hashGraph(kHashSeed, model_.graph()),
-                        model_.accel()));
+    modelSalt_ = hashFinalize(model_.contextHash(kHashSeed));
 }
 
 uint64_t

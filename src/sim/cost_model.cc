@@ -7,6 +7,7 @@
 #include "sim/mapper.h"
 #include "sim/multicore.h"
 #include "tileflow/footprint.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 
@@ -333,6 +334,55 @@ CostModel::partitionCost(const Partition &p, const BufferConfig &buf,
         total.peakBwGBps = std::max(total.peakBwGBps, bw);
     }
     return total;
+}
+
+uint64_t
+CostModel::contextHash(uint64_t h) const
+{
+    h = hashGraph(h, g_);
+    return hashAccelerator(h, accel_);
+}
+
+DeploymentBreakdown
+CostModel::breakdown(const Partition &p, const BufferConfig &buf)
+{
+    DeploymentBreakdown b;
+    b.cores = std::max(1, accel_.cores);
+    GraphCost total = partitionCost(p, buf);
+
+    int64_t macs = 0;
+    for (const auto &blk : p.blocks()) {
+        const SubgraphProfile &prof = profile(blk);
+        b.crossbarEnergyPj += crossbarEnergyPj(prof, accel_);
+        b.crossbarCycles += crossbarCycles(prof, accel_);
+        macs += prof.macs;
+    }
+    if (total.energyPj > 0)
+        b.crossbarEnergyShare = b.crossbarEnergyPj / total.energyPj;
+    if (total.latencyCycles > 0)
+        b.crossbarLatencyShare = b.crossbarCycles / total.latencyCycles;
+
+    // Equal weight shards: every core retires macs / cores useful MACs
+    // per sample over the partition's execution window.
+    double util = 0.0;
+    if (total.latencyCycles > 0) {
+        double core_macs = static_cast<double>(macs) * accel_.batch /
+                           b.cores;
+        util = core_macs /
+               (static_cast<double>(accel_.macsPerCycle()) *
+                total.latencyCycles);
+    }
+    b.coreUtilization.assign(static_cast<size_t>(b.cores), util);
+    return b;
+}
+
+std::vector<double>
+CostModel::coreComputeCycles(const std::vector<NodeId> &nodes)
+{
+    int cores = std::max(1, accel_.cores);
+    double per = static_cast<double>(profile(nodes).mappedCycles) *
+                 accel_.batch / cores;
+    return std::vector<double>(static_cast<size_t>(cores), per);
 }
 
 } // namespace cocco

@@ -132,6 +132,28 @@ class SubgraphCostCache
 };
 
 /**
+ * Per-core / interconnect accounting of an evaluated partition: how
+ * busy each core is over the execution window and what share of the
+ * totals the crossbar contributes. For a single core every crossbar
+ * term is exactly zero.
+ */
+struct DeploymentBreakdown
+{
+    int cores = 1;
+
+    /** Per-core MAC utilization over the whole execution window
+     *  (useful work / peak; equal weight shards, so heterogeneous
+     *  cores differ through their compute throughput). */
+    std::vector<double> coreUtilization;
+
+    double crossbarEnergyPj = 0.0; ///< total crossbar energy
+    double crossbarCycles = 0.0;   ///< total crossbar serialization
+
+    double crossbarEnergyShare = 0.0;  ///< of the partition's energy
+    double crossbarLatencyShare = 0.0; ///< of the partition's latency
+};
+
+/**
  * Memoizing evaluator for one (graph, accelerator) pair.
  *
  * Thread safety: profile(), subgraphCost(), fits() and
@@ -142,13 +164,21 @@ class SubgraphCostCache
  * Entries are keyed on the canonical (sorted) node set and compared
  * by value on lookup, so a 64-bit hash collision can never alias two
  * different subgraphs.
+ *
+ * The evaluation entry points (subgraphCost/fits/partitionCost) and
+ * the deployment hooks (contextHash/breakdown/coreComputeCycles) are
+ * virtual so a scale-out evaluator (DeploymentCostModel,
+ * sim/deployment.h) can compose per-core models behind the same
+ * interface the whole search stack already consumes.
  */
 class CostModel
 {
   public:
     CostModel(const Graph &g, const AcceleratorConfig &accel);
+    virtual ~CostModel() = default;
 
-    /** The platform being modelled. */
+    /** The platform being modelled (for a deployment: the aggregate
+     *  view — core 0's configuration with the deployment folded in). */
     const AcceleratorConfig &accel() const { return accel_; }
 
     /** The workload graph. */
@@ -158,11 +188,12 @@ class CostModel
     const SubgraphProfile &profile(const std::vector<NodeId> &nodes);
 
     /** Cost of one subgraph under @p buf. */
-    SubgraphCost subgraphCost(const std::vector<NodeId> &nodes,
-                              const BufferConfig &buf);
+    virtual SubgraphCost subgraphCost(const std::vector<NodeId> &nodes,
+                                      const BufferConfig &buf);
 
     /** Whether a subgraph fits @p buf (residency + region limit). */
-    bool fits(const std::vector<NodeId> &nodes, const BufferConfig &buf);
+    virtual bool fits(const std::vector<NodeId> &nodes,
+                      const BufferConfig &buf);
 
     /**
      * Aggregate cost of a partition under @p buf. When @p block_cache
@@ -170,8 +201,31 @@ class CostModel
      * and inserted on miss, so re-evaluating a partition that shares
      * blocks with earlier ones only assembles the changed blocks.
      */
-    GraphCost partitionCost(const Partition &p, const BufferConfig &buf,
-                            SubgraphCostCache *block_cache = nullptr);
+    virtual GraphCost partitionCost(const Partition &p,
+                                    const BufferConfig &buf,
+                                    SubgraphCostCache *block_cache =
+                                        nullptr);
+
+    /**
+     * Fold everything that determines this model's cost values into a
+     * running content hash: the graph plus the accelerator here; a
+     * deployment model additionally folds every core's configuration,
+     * so cached evaluations of different deployments can never alias.
+     * The evaluation cache's salts are built from this.
+     */
+    virtual uint64_t contextHash(uint64_t h) const;
+
+    /** Per-core / crossbar accounting of @p p under @p buf. */
+    virtual DeploymentBreakdown breakdown(const Partition &p,
+                                          const BufferConfig &buf);
+
+    /**
+     * Per-core busy compute cycles for one execution of a subgraph
+     * (equal weight shards; index = core). Single-entry for a
+     * single-core platform. Used for the timeline's per-core lanes.
+     */
+    virtual std::vector<double>
+    coreComputeCycles(const std::vector<NodeId> &nodes);
 
     /** Number of distinct subgraphs profiled so far. */
     size_t cacheSize() const;

@@ -123,6 +123,13 @@ std::string
 acceleratorToJson(const AcceleratorConfig &accel)
 {
     JsonWriter w;
+    acceleratorToJson(w, accel);
+    return w.str();
+}
+
+void
+acceleratorToJson(JsonWriter &w, const AcceleratorConfig &accel)
+{
     w.beginObject();
     w.field("peRows", accel.peRows);
     w.field("peCols", accel.peCols);
@@ -144,7 +151,6 @@ acceleratorToJson(const AcceleratorConfig &accel)
     w.field("sramAreaMm2PerMB", accel.energy.sramAreaMm2PerMB);
     w.endObject();
     w.endObject();
-    return w.str();
 }
 
 namespace {
@@ -261,6 +267,37 @@ acceleratorFromJson(const JsonValue &doc, AcceleratorConfig *out,
     }
 
     *out = accel;
+    return true;
+}
+
+bool
+platformSpecFromJson(const JsonValue &v, const char *what,
+                     PlatformSpec *out, std::string *err)
+{
+    if (v.isString()) {
+        out->preset = v.str();
+        return true;
+    }
+    if (!v.isObject())
+        return jsonFail(err,
+                        strprintf("\"%s\" must be a preset name or an "
+                                  "object",
+                                  what));
+    if (const JsonValue *file = v.find("file")) {
+        if (v.members().size() != 1)
+            return jsonFail(err,
+                            strprintf("a \"%s\" file reference must not "
+                                      "carry other keys",
+                                      what));
+        std::string key = std::string(what) + ".file";
+        return jsonReadString(*file, key.c_str(), &out->file, err);
+    }
+    // Anything else is an inline configuration (optionally based on a
+    // preset via "base"); its own parser is strict.
+    std::string sub;
+    if (!acceleratorFromJson(v, &out->config, &sub))
+        return jsonFail(err, strprintf("%s: %s", what, sub.c_str()));
+    out->inlineConfig = true;
     return true;
 }
 

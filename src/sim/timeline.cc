@@ -38,10 +38,28 @@ Timeline::gantt(int width) const
                          e.endCycle - e.startCycle,
                          e.computeBound ? "compute" : "   comm",
                          e.bwGBps);
+        // Per-core lanes: each core's busy compute span within the
+        // window (the remainder is crossbar rotation / DRAM stall).
+        double window = e.endCycle - e.startCycle;
+        for (size_t c = 0; c < e.coreBusyCycles.size(); ++c) {
+            double busy = std::min(e.coreBusyCycles[c], window);
+            int bend = start;
+            if (window > 0)
+                bend = std::max(
+                    busy > 0 ? start + 1 : start,
+                    start + static_cast<int>(busy / totalCycles * width));
+            bend = std::min(bend, end);
+            std::string lane(static_cast<size_t>(start), ' ');
+            lane += std::string(static_cast<size_t>(bend - start), '+');
+            out += strprintf(" c%-4zu|%-*s| %6.0f cyc busy %5.1f%%\n", c,
+                             width, lane.c_str(), e.coreBusyCycles[c],
+                             window > 0 ? 100.0 * busy / window : 0.0);
+        }
     }
     out += strprintf("total %.0f cycles; '#' compute-bound, '=' "
-                     "communication-bound\n",
-                     totalCycles);
+                     "communication-bound%s\n",
+                     totalCycles,
+                     cores > 1 ? "; '+' per-core busy compute" : "");
     return out;
 }
 
@@ -49,6 +67,7 @@ Timeline
 buildTimeline(CostModel &model, const Partition &p, const BufferConfig &buf)
 {
     Timeline tl;
+    tl.cores = std::max(1, model.accel().cores);
     auto blocks = p.blocks();
     double cursor = 0.0;
     for (size_t i = 0; i < blocks.size(); ++i) {
@@ -73,6 +92,8 @@ buildTimeline(CostModel &model, const Partition &p, const BufferConfig &buf)
                 e.bwGBps = static_cast<double>(act_io + e.prefetchBytes) /
                            window * model.accel().clockGhz;
             }
+            if (tl.cores > 1)
+                e.coreBusyCycles = model.coreComputeCycles(blocks[i]);
             cursor += c.latencyCycles;
         }
         e.endCycle = cursor;

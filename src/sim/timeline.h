@@ -6,6 +6,12 @@
  * carries during it (its own activation I/O plus the next subgraph's
  * weight prefetch). Renders a text Gantt chart; the quickstart-level
  * tool for understanding *why* a partition costs what it costs.
+ *
+ * Deployment-aware: on a multi-core model every window additionally
+ * records each core's busy compute cycles (equal weight shards;
+ * heterogeneous cores differ through their throughput), and the Gantt
+ * chart renders one indented lane per core under the window. The
+ * single-core rendering is unchanged.
  */
 
 #ifndef COCCO_SIM_TIMELINE_H
@@ -33,6 +39,10 @@ struct TimelineEntry
     int64_t prefetchBytes = 0;  ///< next subgraph's weights
     double bwGBps = 0.0;        ///< demand during this window
     int nodes = 0;
+
+    /** Per-core busy compute cycles within this window (empty on a
+     *  single-core platform). */
+    std::vector<double> coreBusyCycles;
 };
 
 /** The whole execution timeline of a partition. */
@@ -40,6 +50,7 @@ struct Timeline
 {
     std::vector<TimelineEntry> entries;
     double totalCycles = 0.0;
+    int cores = 1; ///< deployment width (per-core lanes when > 1)
 
     /** Fraction of windows that are compute-bound. */
     double computeBoundFraction() const;

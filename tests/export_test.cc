@@ -160,7 +160,7 @@ TEST(Serialize, SchemeJsonHasPerNodeFields)
 TEST(Serialize, ResultJsonRoundsTrip)
 {
     Graph g = buildGoogleNet();
-    CoccoFramework cocco(g, {});
+    CoccoFramework cocco(g, AcceleratorConfig{});
     GaOptions o;
     o.population = 20;
     o.sampleBudget = 100;

@@ -281,9 +281,9 @@ TEST(ParallelSearch, TwoStepIdenticalForOneAndFourThreads)
 TEST(ParallelSearch, FrameworkThreadsKnobEndToEnd)
 {
     Graph g = buildGoogleNet();
-    CoccoFramework serial_fw(g, {});
+    CoccoFramework serial_fw(g, AcceleratorConfig{});
     CoccoResult a = serial_fw.coExplore(BufferStyle::Shared, fastGa(1));
-    CoccoFramework parallel_fw(g, {});
+    CoccoFramework parallel_fw(g, AcceleratorConfig{});
     CoccoResult b = parallel_fw.coExplore(BufferStyle::Shared, fastGa(4));
 
     EXPECT_EQ(a.objective, b.objective);

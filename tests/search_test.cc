@@ -370,7 +370,7 @@ TEST(TwoStep, GridSearchWalksLargeToSmall)
 TEST(Framework, CoExploreSharedEndToEnd)
 {
     Graph g = buildGoogleNet();
-    CoccoFramework cocco(g, {});
+    CoccoFramework cocco(g, AcceleratorConfig{});
     GaOptions o = fastGa(400);
     CoccoResult r = cocco.coExplore(BufferStyle::Shared, o);
     EXPECT_TRUE(r.cost.feasible);
@@ -382,7 +382,7 @@ TEST(Framework, CoExploreSharedEndToEnd)
 TEST(Framework, PartitionOnlyUsesFixedBuffer)
 {
     Graph g = buildGoogleNet();
-    CoccoFramework cocco(g, {});
+    CoccoFramework cocco(g, AcceleratorConfig{});
     BufferConfig buf = BufferConfig::fixedMedium(BufferStyle::Separate);
     CoccoResult r = cocco.partitionOnly(buf, fastGa(400));
     EXPECT_EQ(r.buffer.actBytes, buf.actBytes);
@@ -395,7 +395,7 @@ TEST(Framework, CoExploreBeatsWorstFixedConfig)
     // The headline claim, in miniature: co-exploration should not be
     // worse than the worst fixed-hardware baseline.
     Graph g = buildGoogleNet();
-    CoccoFramework cocco(g, {});
+    CoccoFramework cocco(g, AcceleratorConfig{});
     GaOptions o = fastGa(800);
     CoccoResult co = cocco.coExplore(BufferStyle::Shared, o);
 

@@ -24,19 +24,30 @@
  *   --platform NAME / --platform-file F
  *                    accelerator preset or platform JSON (default
  *                    preset: simba)
+ * Deployment flags (partition / coexplore; `run` takes the spec's
+ * "deployment" section instead):
+ *   --cores N        scale out over N crossbar-connected cores of the
+ *                    run's platform (N = 1 is exactly the plain run)
+ *   --deployment NAME / --deployment-file F
+ *                    deployment preset or deployment JSON
+ *   --list-deployments / describe-deployment NAME
+ *                    registry listing / one preset's description
  * Common flags: --samples N, --alpha F, --metric ema|energy, --seed N,
  *               --threads N (parallel evaluation; 0 = all cores),
  *               --neighbor-batch N (SA speculative neighbors),
  *               --time-limit SEC, --stall-limit N (early stop),
+ *               --timeline (render the result's Gantt chart, with
+ *               per-core lanes on a deployment),
  *               --json (machine-readable output),
  *               --cache-size N (evaluation-cache entries; 0 disables),
  *               --cache-file F (persist/warm-start the cache),
  *               --metrics-out F (write a JSON run-metrics report)
  *
  * The search subcommands all dispatch through the SearcherRegistry,
- * workloads through the ModelRegistry (or Graph JSON import), and
- * platforms through the PlatformRegistry (or platform JSON), so new
- * strategies, models, and presets registered at startup are
+ * workloads through the ModelRegistry (or Graph JSON import),
+ * platforms through the PlatformRegistry (or platform JSON), and
+ * scale-out through the DeploymentRegistry (or deployment JSON), so
+ * new strategies, models, and presets registered at startup are
  * first-class citizens of every mode.
  */
 
@@ -73,6 +84,10 @@ struct CliArgs
     uint64_t modelSeed = 1;   ///< RandWire wiring seed
     std::string platform;     ///< accelerator preset ("" = simba)
     std::string platformFile; ///< platform JSON ("" = preset)
+    int cores = 0;            ///< scale-out width (0 = no deployment)
+    std::string deployment;     ///< deployment preset ("" = none)
+    std::string deploymentFile; ///< deployment JSON ("" = none)
+    bool timeline = false;      ///< render the result's Gantt chart
     std::string algo = "ga";
     std::string style = "shared";
     int64_t samples = 5000;
@@ -99,9 +114,10 @@ usage()
         stderr,
         "usage: cocco <command> [args]\n"
         "  models | --list-models\n"
-        "  --list-algos | --list-platforms\n"
+        "  --list-algos | --list-platforms | --list-deployments\n"
         "  describe  <model>\n"
         "  describe-model <model>\n"
+        "  describe-deployment <name>\n"
         "  export-model <model>\n"
         "  timeline  <model>\n"
         "  dot       <model> [--runs L]\n"
@@ -111,10 +127,12 @@ usage()
         "  validate-metrics FILE\n"
         "workload/platform: --model-file F --model-seed N\n"
         "       --platform NAME --platform-file F\n"
+        "deployment: --cores N --deployment NAME --deployment-file F\n"
         "flags: --samples N --alpha F --metric ema|energy --seed N "
         "--threads N --json\n"
         "       --neighbor-batch N --time-limit SEC --stall-limit N\n"
-        "       --cache-size N --cache-file F --metrics-out F\n");
+        "       --timeline --cache-size N --cache-file F "
+        "--metrics-out F\n");
     std::exit(2);
 }
 
@@ -148,6 +166,21 @@ parse(int argc, char **argv)
             a.platform = next();
         else if (f == "--platform-file")
             a.platformFile = next();
+        else if (f == "--cores") {
+            // Strict: a zero/negative/garbage count silently meaning
+            // "no deployment" would fake a scale-out experiment.
+            const char *v = next();
+            a.cores = std::atoi(v);
+            if (a.cores < 1)
+                fatal("--cores must be a positive integer (got '%s')",
+                      v);
+        }
+        else if (f == "--deployment")
+            a.deployment = next();
+        else if (f == "--deployment-file")
+            a.deploymentFile = next();
+        else if (f == "--timeline")
+            a.timeline = true;
         else if (f == "--style")
             a.style = next();
         else if (f == "--samples")
@@ -223,6 +256,104 @@ cliPlatform(const CliArgs &a)
     return accel;
 }
 
+/** The deployment addressed by the CLI flags (--cores /
+ *  --deployment / --deployment-file); disabled when none given.
+ *  resolveDeployment rejects combinations ("not several"). */
+DeploymentSpec
+cliDeploymentSpec(const CliArgs &a)
+{
+    DeploymentSpec spec;
+    if (a.cores != 0) {
+        spec.enabled = true;
+        spec.inlineDesc = true;
+        spec.desc.cores = a.cores;
+    }
+    if (!a.deployment.empty()) {
+        spec.enabled = true;
+        spec.preset = a.deployment;
+    }
+    if (!a.deploymentFile.empty()) {
+        spec.enabled = true;
+        spec.file = a.deploymentFile;
+    }
+    return spec;
+}
+
+/** The one resolve-or-die path every CLI mode funnels through:
+ *  resolve @p dspec against the run's platform (fatal with @p ctx
+ *  prefixed on any problem) and apply an optional workload batch
+ *  override to every core (a batch is a property of the run). */
+DeploymentConfig
+cliResolveDeployment(const DeploymentSpec &dspec,
+                     const AcceleratorConfig &accel, const char *ctx,
+                     int batch_override = 0)
+{
+    DeploymentConfig dep;
+    std::string err;
+    if (!resolveDeployment(dspec, accel, &dep, &err))
+        fatal("%s%s", ctx, err.c_str());
+    if (batch_override > 0)
+        for (AcceleratorConfig &core : dep.coreConfigs)
+            core.batch = batch_override;
+    return dep;
+}
+
+/** The evaluation environment for (workload, platform, deployment):
+ *  a plain CostModel, or the composed DeploymentCostModel when a
+ *  deployment is in play. */
+std::unique_ptr<CostModel>
+makeModel(const Graph &g, const AcceleratorConfig &accel,
+          const DeploymentSpec &dspec)
+{
+    if (!dspec.enabled)
+        return std::make_unique<CostModel>(g, accel);
+    return std::make_unique<DeploymentCostModel>(
+        g, cliResolveDeployment(dspec, accel, ""));
+}
+
+/** The framework over the same environment. */
+std::unique_ptr<CoccoFramework>
+makeFramework(const Graph &g, const AcceleratorConfig &accel,
+              const DeploymentSpec &dspec, const char *ctx = "",
+              int batch_override = 0)
+{
+    if (!dspec.enabled)
+        return std::make_unique<CoccoFramework>(g, accel);
+    return std::make_unique<CoccoFramework>(
+        g, cliResolveDeployment(dspec, accel, ctx, batch_override));
+}
+
+/** Human-mode stdout summary of a multi-core run's scale-out (silent
+ *  for a single core, so plain runs print exactly what they always
+ *  did). */
+void
+printDeploymentLine(const DeploymentBreakdown &b)
+{
+    if (b.cores <= 1)
+        return;
+    double util = 0.0;
+    for (double u : b.coreUtilization)
+        util += u;
+    if (!b.coreUtilization.empty())
+        util /= static_cast<double>(b.coreUtilization.size());
+    std::printf("deployment: %d cores, avg utilization %.1f%%, crossbar "
+                "%.1f%% of energy / %.1f%% of latency\n",
+                b.cores, 100.0 * util, 100.0 * b.crossbarEnergyShare,
+                100.0 * b.crossbarLatencyShare);
+}
+
+/** --timeline: render the result's Gantt chart (per-core lanes on a
+ *  deployment). Human mode only — --json output stays pure JSON. */
+void
+printTimeline(const CliArgs &a, CostModel &model, const Partition &p,
+              const BufferConfig &buf)
+{
+    if (!a.timeline || a.json)
+        return;
+    Timeline tl = buildTimeline(model, p, buf);
+    std::printf("timeline:\n%s", tl.gantt().c_str());
+}
+
 /** Spec assembled from plain CLI flags (partition/coexplore modes). */
 SearchSpec
 specFromArgs(const CliArgs &a)
@@ -280,7 +411,8 @@ closeCache(const CliArgs &a, const std::shared_ptr<EvalCache> &cache)
 void
 emitMetrics(const CliArgs &a, const std::string &name, double wall_seconds,
             int64_t samples, double best_cost, bool cache_enabled,
-            const EvalCacheStats &stats)
+            const EvalCacheStats &stats,
+            const DeploymentBreakdown *dep = nullptr)
 {
     if (a.metricsOut.empty())
         return;
@@ -294,6 +426,10 @@ emitMetrics(const CliArgs &a, const std::string &name, double wall_seconds,
     m.wallSeconds = wall_seconds;
     m.cacheEnabled = cache_enabled;
     m.cache = stats;
+    if (dep) {
+        m.hasDeployment = true;
+        m.deployment = *dep;
+    }
     if (!writeMetricsFile(a.metricsOut, "cocco_cli", {m}))
         std::fprintf(stderr, "error: could not write metrics to %s\n",
                      a.metricsOut.c_str());
@@ -348,7 +484,9 @@ runPartition(CliArgs &a)
 {
     Graph g = cliWorkload(a);
     AcceleratorConfig accel = cliPlatform(a);
-    CostModel model(g, accel);
+    DeploymentSpec dspec = cliDeploymentSpec(a);
+    std::unique_ptr<CostModel> model_ptr = makeModel(g, accel, dspec);
+    CostModel &model = *model_ptr;
     BufferConfig buf;
     buf.style = BufferStyle::Separate;
     buf.actBytes = 1024 * 1024;
@@ -378,13 +516,14 @@ runPartition(CliArgs &a)
         p = r.best;
     } else if (sampling) {
         // Any registered driver, partition-only under the fixed buffer.
-        CoccoFramework cocco(g, accel);
+        std::unique_ptr<CoccoFramework> cocco =
+            makeFramework(g, accel, dspec);
         SearchSpec spec = specFromArgs(a);
         spec.eval.coExplore = false;
         spec.fixedBuffer = buf;
         spec.eval.cacheEnabled = cache != nullptr;
         spec.eval.cache = cache;
-        CoccoResult r = cocco.explore(spec);
+        CoccoResult r = cocco->explore(spec);
         p = r.partition;
         run_stats = r.cacheStats;
         samples = r.samples;
@@ -396,17 +535,21 @@ runPartition(CliArgs &a)
     double wall = secondsSince(t0);
     closeCache(a, cache);
     GraphCost c = model.partitionCost(p, buf);
+    DeploymentBreakdown dep = model.breakdown(p, buf);
     if (a.json) {
         std::printf("%s\n", partitionToJson(g, p).c_str());
     } else {
         std::printf("%s: %s partition -> %zu subgraphs\n",
                     a.model.c_str(), a.algo.c_str(), p.blocks().size());
         printCost(g, c, buf, a.alpha, a.metric);
+        printDeploymentLine(dep);
         if (cache && samples > 0)
             printCacheLine(run_stats);
     }
+    printTimeline(a, model, p, buf);
     emitMetrics(a, "partition-" + a.algo, wall, samples,
-                c.metricValue(a.metric), cache != nullptr, run_stats);
+                c.metricValue(a.metric), cache != nullptr, run_stats,
+                &dep);
     return 0;
 }
 
@@ -415,7 +558,8 @@ runCoExplore(CliArgs &a)
 {
     Graph g = cliWorkload(a);
     AcceleratorConfig accel = cliPlatform(a);
-    CoccoFramework cocco(g, accel);
+    std::unique_ptr<CoccoFramework> cocco =
+        makeFramework(g, accel, cliDeploymentSpec(a));
     SearchSpec spec = specFromArgs(a);
     spec.eval.coExplore = true;
     spec.style = a.style == "separate" ? BufferStyle::Separate
@@ -424,7 +568,7 @@ runCoExplore(CliArgs &a)
     spec.eval.cacheEnabled = cache != nullptr;
     spec.eval.cache = cache;
     auto t0 = std::chrono::steady_clock::now();
-    CoccoResult r = cocco.explore(spec);
+    CoccoResult r = cocco->explore(spec);
     double wall = secondsSince(t0);
     closeCache(a, cache);
     if (a.json) {
@@ -435,12 +579,14 @@ runCoExplore(CliArgs &a)
                     r.buffer.str().c_str(),
                     static_cast<long long>(r.samples));
         printCost(g, r.cost, r.buffer, a.alpha, a.metric);
+        printDeploymentLine(r.deployment);
         printStopLine(r.stop);
         if (cache)
             printCacheLine(r.cacheStats);
     }
+    printTimeline(a, cocco->model(), r.partition, r.buffer);
     emitMetrics(a, "coexplore-" + spec.algo, wall, r.samples, r.objective,
-                cache != nullptr, r.cacheStats);
+                cache != nullptr, r.cacheStats, &r.deployment);
     return 0;
 }
 
@@ -486,7 +632,13 @@ runSpec(CliArgs a)
     if (spec.workload.params.batch > 0)
         accel.batch = spec.workload.params.batch;
 
-    CoccoFramework cocco(g, accel);
+    // The spec's "deployment" section scales the run out over
+    // crossbar-connected cores; the workload batch override applies
+    // to every core.
+    std::string ctx = a.specFile + ": ";
+    std::unique_ptr<CoccoFramework> cocco =
+        makeFramework(g, accel, spec.deployment, ctx.c_str(),
+                      spec.workload.params.batch);
 
     std::shared_ptr<EvalCache> cache;
     if (spec.eval.cacheEnabled) {
@@ -496,7 +648,7 @@ runSpec(CliArgs a)
     }
 
     auto t0 = std::chrono::steady_clock::now();
-    CoccoResult r = cocco.explore(spec);
+    CoccoResult r = cocco->explore(spec);
     double wall = secondsSince(t0);
     closeCache(a, cache);
 
@@ -509,12 +661,14 @@ runSpec(CliArgs a)
                     r.buffer.str().c_str(),
                     static_cast<long long>(r.samples));
         printCost(g, r.cost, r.buffer, spec.eval.alpha, spec.eval.metric);
+        printDeploymentLine(r.deployment);
         printStopLine(r.stop);
         if (cache)
             printCacheLine(r.cacheStats);
     }
+    printTimeline(a, cocco->model(), r.partition, r.buffer);
     emitMetrics(a, "spec-" + spec.algo, wall, r.samples, r.objective,
-                cache != nullptr, r.cacheStats);
+                cache != nullptr, r.cacheStats, &r.deployment);
     return 0;
 }
 
@@ -559,6 +713,32 @@ validateMetrics(const std::string &path)
         const JsonValue *cache = run.find("cache");
         if (!cache || !cache->isObject())
             fatal("%s: runs[%d] missing \"cache\" object", path.c_str(), i);
+        // The deployment block is optional; when present it must be
+        // well-formed (cores + shares + the per-core utilization list).
+        if (const JsonValue *dep = run.find("deployment")) {
+            if (!dep->isObject())
+                fatal("%s: runs[%d] \"deployment\" is not an object",
+                      path.c_str(), i);
+            static const char *dep_numbers[] = {"cores",
+                                                "crossbar_energy_share",
+                                                "crossbar_latency_share"};
+            for (const char *f : dep_numbers)
+                if (!dep->find(f) || !dep->find(f)->isNumber())
+                    fatal("%s: runs[%d] deployment missing number "
+                          "\"%s\"",
+                          path.c_str(), i, f);
+            const JsonValue *util = dep->find("core_utilization");
+            if (!util || !util->isArray())
+                fatal("%s: runs[%d] deployment missing "
+                      "\"core_utilization\" array",
+                      path.c_str(), i);
+            if (static_cast<int>(util->array().size()) !=
+                static_cast<int>(dep->find("cores")->number()))
+                fatal("%s: runs[%d] deployment core_utilization has "
+                      "%zu entries for %d cores",
+                      path.c_str(), i, util->array().size(),
+                      static_cast<int>(dep->find("cores")->number()));
+        }
         ++i;
     }
     std::printf("%s: ok (%s, %d run%s)\n", path.c_str(),
@@ -595,6 +775,24 @@ main(int argc, char **argv)
         for (const std::string &name : reg.keys())
             std::printf("%-10s %s\n", name.c_str(),
                         reg.summary(name).c_str());
+        return 0;
+    }
+    if (a.command == "--list-deployments") {
+        const DeploymentRegistry &reg = DeploymentRegistry::instance();
+        for (const std::string &name : reg.keys())
+            std::printf("%-10s %s\n", name.c_str(),
+                        reg.summary(name).c_str());
+        return 0;
+    }
+    if (a.command == "describe-deployment") {
+        if (a.model.empty())
+            usage();
+        // deploymentPreset is fatal on unknown names, with the list.
+        DeploymentDesc desc = deploymentPreset(a.model);
+        std::printf("%s: %s\n", a.model.c_str(),
+                    DeploymentRegistry::instance().summary(a.model)
+                        .c_str());
+        std::printf("%s\n", deploymentToJson(desc).c_str());
         return 0;
     }
     if (a.command == "run")
