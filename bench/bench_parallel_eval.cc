@@ -13,6 +13,12 @@
  * must be bit-identical; the warm repeat must serve at least half of
  * its evaluations from cache.
  *
+ * Section 3 (pruning): the bound-pruning contract. A pruning-off and
+ * a pruning-on GA run must be bit-identical (best, trace, samples),
+ * and incumbent-screened evaluation (EvalEngine::evaluateBounded)
+ * must track the same incumbent as exhaustive evaluation while
+ * clearing a 2x throughput floor.
+ *
  * --metrics-out FILE writes every run as a structured JSON record
  * (the artifact CI uploads). Exits non-zero on any contract
  * violation.
@@ -26,6 +32,7 @@
 
 #include "bench_common.h"
 #include "core/cocco.h"
+#include "search/operators.h"
 #include "util/table.h"
 
 using namespace cocco;
@@ -42,7 +49,7 @@ struct RunStats
 RunStats
 runOnce(const Graph &g, const AcceleratorConfig &accel, int threads,
         int64_t budget, int population, uint64_t seed, bool cache_enabled,
-        const std::shared_ptr<EvalCache> &cache)
+        const std::shared_ptr<EvalCache> &cache, bool pruning = true)
 {
     CostModel model(g, accel); // fresh memo: no cross-run warm-up
     DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
@@ -53,6 +60,7 @@ runOnce(const Graph &g, const AcceleratorConfig &accel, int threads,
     opts.threads = threads;
     opts.cacheEnabled = cache_enabled;
     opts.cache = cache;
+    opts.pruning = pruning;
 
     auto t0 = std::chrono::steady_clock::now();
     RunStats stats;
@@ -218,6 +226,95 @@ main(int argc, char **argv)
             toMetrics("cache-cold", name, 1, args.seed, true, cold));
         metrics.push_back(
             toMetrics("cache-warm", name, 1, args.seed, true, warm));
+
+        // --- Section 3: the bound-pruning contract. ---
+        // End-to-end first: a pruned GA run must reproduce the
+        // unpruned run bit for bit (bounds only skip work that
+        // cannot win). Cache off, so the evaluation-record path is
+        // the one under test.
+        RunStats unpruned = runOnce(g, accel, 1, budget, population,
+                                    args.seed, false, nullptr, false);
+        RunStats pruned = runOnce(g, accel, 1, budget, population,
+                                  args.seed, false, nullptr, true);
+        bool pruning_same = sameResult(unpruned.result, pruned.result);
+        if (!pruning_same) {
+            std::fprintf(stderr,
+                         "error: pruning changed the GA result "
+                         "(best %.17g vs %.17g)\n",
+                         unpruned.result.bestCost,
+                         pruned.result.bestCost);
+            failed = true;
+        }
+        metrics.push_back(toMetrics("pruning-off", name, 1, args.seed,
+                                    false, unpruned));
+        metrics.push_back(toMetrics("pruning-on", name, 1, args.seed,
+                                    false, pruned));
+
+        // Throughput: incumbent-screened evaluation against the same
+        // random genome stream, same incumbent tracking as an
+        // exhaustive pass. Screening may only skip genomes whose
+        // bound proves they cannot beat the incumbent, so both passes
+        // must land on the identical best.
+        DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+        Rng grng(args.seed * 77 + 1);
+        std::vector<Genome> stream;
+        for (int64_t i = 0; i < budget; ++i)
+            stream.push_back(randomGenome(g, space, grng));
+
+        auto screen = [&](bool prune, double *best_out,
+                          uint64_t *rejected) {
+            CostModel model(g, accel);
+            EvalOptions opts;
+            opts.cacheEnabled = false;
+            opts.threads = 1;
+            opts.pruning = prune;
+            EvalEngine eng(model, space, opts);
+            double best = kInfeasiblePenalty;
+            auto t0 = std::chrono::steady_clock::now();
+            for (const Genome &x : stream) {
+                Genome t = x;
+                if (prune) {
+                    bool skipped = false;
+                    double c = eng.evaluateBounded(t, best, &skipped);
+                    if (!skipped)
+                        best = std::min(best, c);
+                } else {
+                    best = std::min(best, eng.evaluate(t));
+                }
+            }
+            double sec = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+            *best_out = best;
+            if (rejected)
+                *rejected = eng.boundRejections();
+            return static_cast<double>(stream.size()) / sec;
+        };
+        double best_exh = 0.0, best_scr = 0.0;
+        uint64_t rejected = 0;
+        double rate_exh = screen(false, &best_exh, nullptr);
+        double rate_scr = screen(true, &best_scr, &rejected);
+        double speedup = rate_scr / rate_exh;
+        std::printf("pruning: GA bit-identical %s; screened %.0f vs "
+                    "exhaustive %.0f evals/s (%.2fx, %llu of %zu "
+                    "rejected)\n",
+                    pruning_same ? "yes" : "NO", rate_scr, rate_exh,
+                    speedup, static_cast<unsigned long long>(rejected),
+                    stream.size());
+        if (best_exh != best_scr) {
+            std::fprintf(stderr,
+                         "error: screening changed the tracked best "
+                         "(%.17g vs %.17g)\n",
+                         best_exh, best_scr);
+            failed = true;
+        }
+        if (speedup < 2.0) {
+            std::fprintf(stderr,
+                         "error: screened evaluation %.2fx below the 2x "
+                         "throughput floor\n",
+                         speedup);
+            failed = true;
+        }
     }
 
     if (!writeMetrics(args, "bench_parallel_eval", metrics))

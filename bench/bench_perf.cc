@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Pinned performance basket (perf_diff gate input).
+ *
+ * Runs a fixed set of timed workloads — cold/warm GA evaluation
+ * throughput, raw partitionCost assembly rate, a co-exploration wall
+ * clock, and incumbent-screened evaluation (pruning) vs. exhaustive
+ * evaluation — and writes one flat JSON snapshot:
+ *
+ *   {"schema_version":1, "generator":"bench_perf", "date":"...",
+ *    "series":{"<name>":{"value":N,"unit":"...",
+ *              "higher_is_better":bool}, ...}}
+ *
+ * CI diffs the snapshot against the committed BENCH_<date>.json
+ * baseline with tools/perf_diff and fails on a >10% regression in any
+ * series. Timed sections run best-of-N to damp scheduler noise.
+ *
+ * The basket also asserts the pruning contract while it measures it:
+ * the screened and exhaustive streams must track the same incumbent
+ * bit-for-bit, a pruned and an unpruned GA run must return the same
+ * result, and the screening speedup must clear a 1.5x floor. Any
+ * violation exits non-zero, so the CI perf job doubles as a
+ * correctness gate.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cocco.h"
+#include "partition/repair.h"
+#include "search/operators.h"
+#include "util/json.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+namespace {
+
+struct Series
+{
+    std::string name;
+    double value = 0.0;
+    const char *unit = "";
+    bool higherIsBetter = true;
+};
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** GA co-exploration run on a fresh CostModel (no cross-run memo). */
+struct GaRun
+{
+    double seconds = 0.0;
+    SearchResult result;
+};
+
+GaRun
+runGa(const Graph &g, const AcceleratorConfig &accel, int64_t budget,
+      int population, uint64_t seed, bool pruning,
+      const std::shared_ptr<EvalCache> &cache)
+{
+    CostModel model(g, accel);
+    DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+    GaOptions opts;
+    opts.population = population;
+    opts.sampleBudget = budget;
+    opts.seed = seed;
+    opts.threads = 1;
+    opts.pruning = pruning;
+    opts.cacheEnabled = cache != nullptr;
+    opts.cache = cache;
+    GaRun r;
+    double t0 = now();
+    r.result = GeneticSearch(model, space, opts).run();
+    r.seconds = now() - t0;
+    return r;
+}
+
+bool
+sameResult(const SearchResult &a, const SearchResult &b)
+{
+    if (a.bestCost != b.bestCost || a.samples != b.samples ||
+        a.trace.size() != b.trace.size())
+        return false;
+    for (size_t i = 0; i < a.trace.size(); ++i)
+        if (a.trace[i].sample != b.trace[i].sample ||
+            a.trace[i].bestCost != b.trace[i].bestCost)
+            return false;
+    return true;
+}
+
+std::string
+today()
+{
+    std::time_t t = std::time(nullptr);
+    char buf[16];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%d", std::localtime(&t));
+    return buf;
+}
+
+bool
+writeSnapshot(const std::string &path, const std::vector<Series> &series)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema_version", 1);
+    w.field("generator", "bench_perf");
+    w.field("date", today());
+    w.key("series").beginObject();
+    for (const Series &s : series) {
+        w.key(s.name).beginObject();
+        w.field("value", s.value);
+        w.field("unit", s.unit);
+        w.field("higher_is_better", s.higherIsBetter);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    std::string doc = w.str();
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        return false;
+    bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size();
+    ok = std::fputc('\n', f) != EOF && ok;
+    return std::fclose(f) == 0 && ok;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "pinned performance basket");
+    std::string out = "BENCH_" + today() + ".json";
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc)
+            out = argv[i + 1];
+    banner("Pinned performance basket (perf_diff gate input)", args);
+
+    const int repeats = 3; // timed sections keep their best repeat
+    AcceleratorConfig accel = paperAccelerator();
+    Graph g = buildModel("GoogleNet");
+    int64_t budget = args.full ? 20000 : 3000;
+    int population = args.full ? 500 : 50;
+    bool failed = false;
+    std::vector<Series> series;
+
+    // --- Cold / warm GA evaluation throughput + cache hit rate. ---
+    {
+        double cold_rate = 0.0, warm_rate = 0.0, hit_rate = 0.0;
+        double cold_s = 0.0, warm_s = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+            auto cache = std::make_shared<EvalCache>();
+            GaRun cold = runGa(g, accel, budget, population, args.seed,
+                               true, cache);
+            GaRun warm = runGa(g, accel, budget, population, args.seed,
+                               true, cache);
+            double cr = cold.result.samples / cold.seconds;
+            double wr = warm.result.samples / warm.seconds;
+            if (cr > cold_rate) {
+                cold_rate = cr;
+                cold_s = cold.seconds;
+            }
+            if (wr > warm_rate) {
+                warm_rate = wr;
+                warm_s = warm.seconds;
+                hit_rate = warm.result.cacheStats.hitRate();
+            }
+        }
+        std::printf("cold: %lld evals in %.2fs, warm: %.2fs "
+                    "(hit rate %.0f%%)\n",
+                    static_cast<long long>(budget), cold_s, warm_s,
+                    100.0 * hit_rate);
+        series.push_back({"eval_throughput_cold", cold_rate, "evals/s",
+                          true});
+        series.push_back({"eval_throughput_warm", warm_rate, "evals/s",
+                          true});
+        series.push_back({"cache_hit_rate_warm", hit_rate, "ratio", true});
+    }
+
+    // --- Raw partitionCost assembly rate on a warmed profile memo. ---
+    {
+        CostModel model(g, accel);
+        DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+        BufferConfig buf = space.fixed;
+        buf.style = BufferStyle::Shared;
+        buf.sharedBytes = 2 * 1024 * 1024;
+        Rng rng(args.seed);
+        std::vector<Partition> parts;
+        for (int i = 0; i < 64; ++i) {
+            Genome x = randomGenome(g, space, rng);
+            parts.push_back(repairToCapacity(g, std::move(x.part), model,
+                                             buf));
+        }
+        for (const Partition &p : parts) // warm the memo
+            model.partitionCost(p, buf);
+        double best = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+            int calls = 0;
+            double t0 = now(), elapsed = 0.0;
+            while (elapsed < 0.2) {
+                for (const Partition &p : parts)
+                    model.partitionCost(p, buf);
+                calls += static_cast<int>(parts.size());
+                elapsed = now() - t0;
+            }
+            best = std::max(best, calls / elapsed);
+        }
+        std::printf("partitionCost: %.0f calls/s (warm memo)\n", best);
+        series.push_back({"partition_cost_per_sec", best, "calls/s", true});
+    }
+
+    // --- Co-exploration wall clock (the CLI's default GA path). ---
+    {
+        double best_s = 0.0;
+        double objective = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+            GaRun run = runGa(g, accel, budget, population, args.seed,
+                              true, std::make_shared<EvalCache>());
+            if (best_s == 0.0 || run.seconds < best_s)
+                best_s = run.seconds;
+            objective = run.result.bestCost;
+        }
+        std::printf("coexplore: %lld samples in %.2fs (objective %.4g)\n",
+                    static_cast<long long>(budget), best_s, objective);
+        series.push_back({"coexplore_wall_seconds", best_s, "s", false});
+    }
+
+    // --- Incumbent-screened vs exhaustive evaluation (pruning). ---
+    {
+        DseSpace space = DseSpace::paperSpace(BufferStyle::Shared);
+        int64_t n = args.full ? 20000 : 3000;
+        Rng rng(args.seed * 77 + 1);
+        std::vector<Genome> stream;
+        for (int64_t i = 0; i < n; ++i)
+            stream.push_back(randomGenome(g, space, rng));
+
+        // Incumbent from a short exhaustive warm-up.
+        double incumbent = kInfeasiblePenalty;
+        {
+            CostModel model(g, accel);
+            EvalOptions opts;
+            opts.cacheEnabled = false;
+            opts.threads = 1;
+            EvalEngine eng(model, space, opts);
+            for (size_t i = 0; i < 100 && i < stream.size(); ++i) {
+                Genome t = stream[i];
+                incumbent = std::min(incumbent, eng.evaluate(t));
+            }
+        }
+
+        double rate_off = 0.0, rate_on = 0.0;
+        double best_off = 0.0, best_on = 0.0;
+        uint64_t pruned = 0, inc_hits = 0;
+        for (int r = 0; r < repeats; ++r) {
+            { // exhaustive
+                CostModel model(g, accel);
+                EvalOptions opts;
+                opts.cacheEnabled = false;
+                opts.threads = 1;
+                opts.pruning = false;
+                EvalEngine eng(model, space, opts);
+                std::vector<Genome> gs = stream;
+                double best = incumbent;
+                double t0 = now();
+                for (Genome &x : gs)
+                    best = std::min(best, eng.evaluate(x));
+                rate_off = std::max(rate_off, n / (now() - t0));
+                best_off = best;
+            }
+            { // screened against the running incumbent
+                CostModel model(g, accel);
+                EvalOptions opts;
+                opts.cacheEnabled = false;
+                opts.threads = 1;
+                opts.pruning = true;
+                EvalEngine eng(model, space, opts);
+                std::vector<Genome> gs = stream;
+                double best = incumbent;
+                double t0 = now();
+                for (Genome &x : gs) {
+                    bool skipped = false;
+                    double c = eng.evaluateBounded(x, best, &skipped);
+                    if (!skipped)
+                        best = std::min(best, c);
+                }
+                rate_on = std::max(rate_on, n / (now() - t0));
+                best_on = best;
+                pruned = eng.boundRejections();
+                inc_hits = eng.recordBlocksReused();
+            }
+        }
+        double speedup = rate_off > 0.0 ? rate_on / rate_off : 0.0;
+        std::printf("pruning off: %.0f evals/s, on: %.0f evals/s "
+                    "(%.2fx; %llu pruned, %llu incremental block hits)\n",
+                    rate_off, rate_on, speedup,
+                    static_cast<unsigned long long>(pruned),
+                    static_cast<unsigned long long>(inc_hits));
+        if (best_off != best_on) {
+            std::fprintf(stderr,
+                         "FAIL: pruning changed the search result "
+                         "(best %.17g vs %.17g)\n",
+                         best_off, best_on);
+            failed = true;
+        }
+        if (speedup < 1.5) {
+            std::fprintf(stderr,
+                         "FAIL: prune_speedup %.2fx below the 1.5x floor\n",
+                         speedup);
+            failed = true;
+        }
+        series.push_back({"eval_rate_unpruned", rate_off, "evals/s", true});
+        series.push_back({"eval_rate_pruned", rate_on, "evals/s", true});
+        series.push_back({"prune_speedup", speedup, "ratio", true});
+    }
+
+    // --- End-to-end identity: a pruned and an unpruned GA run. ---
+    {
+        GaRun off = runGa(g, accel, std::min<int64_t>(budget, 2000),
+                          population, args.seed, false, nullptr);
+        GaRun on = runGa(g, accel, std::min<int64_t>(budget, 2000),
+                         population, args.seed, true, nullptr);
+        if (!sameResult(off.result, on.result)) {
+            std::fprintf(stderr,
+                         "FAIL: pruning changed the search result "
+                         "(best %.17g vs %.17g)\n",
+                         off.result.bestCost, on.result.bestCost);
+            failed = true;
+        }
+    }
+
+    if (!writeSnapshot(out, series)) {
+        std::fprintf(stderr, "error: could not write %s\n", out.c_str());
+        return 1;
+    }
+    std::printf("\nsnapshot: %s (%zu series) — diff against a baseline "
+                "with perf_diff\n",
+                out.c_str(), series.size());
+    return failed ? 1 : 0;
+}

@@ -525,6 +525,8 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             ok = r.readIntAs(v, "threads", &spec->eval.threads);
         } else if (k == "inSituSplit") {
             ok = r.readBool(v, "inSituSplit", &spec->eval.inSituSplit);
+        } else if (k == "pruning") {
+            ok = r.readBool(v, "pruning", &spec->eval.pruning);
         } else if (k == "cacheEnabled") {
             ok = r.readBool(v, "cacheEnabled", &spec->eval.cacheEnabled);
         } else if (k == "cacheCapacity") {

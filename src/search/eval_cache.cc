@@ -43,6 +43,10 @@ EvalCacheStats::operator-(const EvalCacheStats &o) const
     d.blockMisses -= o.blockMisses;
     d.blockInsertions -= o.blockInsertions;
     d.blockEvictions -= o.blockEvictions;
+    d.boundRejections -= o.boundRejections;
+    d.boundSkippedSamples -= o.boundSkippedSamples;
+    d.incReusedBlocks -= o.incReusedBlocks;
+    d.incRecostBlocks -= o.incRecostBlocks;
     return d;
 }
 

@@ -25,7 +25,9 @@ mixStream(uint64_t seed, uint64_t stream)
  *  both, so caches warm across seeds and machines. The model folds
  *  its own identity (graph + accelerator, plus every core of a
  *  deployment) via contextHash, so entries from different deployments
- *  can never alias. */
+ *  can never alias. The pruning flag is absent for the same reason:
+ *  bounds only skip work that cannot win, so pruned and unpruned
+ *  engines produce — and may share — identical entries. */
 uint64_t
 contextSalt(const CostModel &model, const DseSpace &space,
             const EvalOptions &opts)
@@ -38,6 +40,82 @@ contextSalt(const CostModel &model, const DseSpace &space,
     h = hashU64(h, opts.inSituSplit ? 1 : 0);
     return hashFinalize(h);
 }
+
+bool
+sameBuffer(const BufferConfig &a, const BufferConfig &b)
+{
+    return a.style == b.style && a.actBytes == b.actBytes &&
+           a.weightBytes == b.weightBytes && a.sharedBytes == b.sharedBytes;
+}
+
+/**
+ * SubgraphCostCache adapter that consults a genome's previous
+ * evaluation record before the shared block cache, and captures every
+ * (block, cost) pair that flows through it — hits and misses alike —
+ * into the next record. Single-threaded by construction (one view per
+ * genome evaluation); the record it reads is immutable.
+ */
+class RecordView final : public SubgraphCostCache
+{
+  public:
+    RecordView(const EvalRecord *prev, SubgraphCostCache *fallback,
+               EvalRecord *next, std::atomic<uint64_t> &reused,
+               std::atomic<uint64_t> &recosted)
+        : prev_(prev), fallback_(fallback), next_(next), reused_(reused),
+          recosted_(recosted)
+    {
+    }
+
+    bool
+    lookupBlock(const std::vector<NodeId> &nodes, const BufferConfig &buf,
+                SubgraphCost *out) override
+    {
+        if (prev_ && !nodes.empty()) {
+            // Blocks are disjoint, so the front node rejects every
+            // non-matching record slot in a single comparison.
+            for (size_t i = 0; i < prev_->blocks.size(); ++i) {
+                const std::vector<NodeId> &b = prev_->blocks[i];
+                if (b.front() == nodes.front() && b == nodes) {
+                    *out = prev_->costs[i];
+                    reused_.fetch_add(1, std::memory_order_relaxed);
+                    capture(nodes, *out);
+                    return true;
+                }
+            }
+            recosted_.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (fallback_ && fallback_->lookupBlock(nodes, buf, out)) {
+            capture(nodes, *out);
+            return true;
+        }
+        return false;
+    }
+
+    void
+    insertBlock(const std::vector<NodeId> &nodes, const BufferConfig &buf,
+                const SubgraphCost &cost) override
+    {
+        capture(nodes, cost);
+        if (fallback_)
+            fallback_->insertBlock(nodes, buf, cost);
+    }
+
+  private:
+    void
+    capture(const std::vector<NodeId> &nodes, const SubgraphCost &cost)
+    {
+        if (nodes.empty())
+            return;
+        next_->blocks.push_back(nodes);
+        next_->costs.push_back(cost);
+    }
+
+    const EvalRecord *prev_;
+    SubgraphCostCache *fallback_;
+    EvalRecord *next_;
+    std::atomic<uint64_t> &reused_;
+    std::atomic<uint64_t> &recosted_;
+};
 
 } // namespace
 
@@ -62,6 +140,7 @@ EvalEngine::EvalEngine(CostModel &model, const DseSpace &space,
         cache_ = std::make_shared<EvalCache>(opts_.cacheCapacity);
     if (!opts_.cacheEnabled)
         cache_ = nullptr;
+    model_.setPruning(opts_.pruning);
     salt_ = contextSalt(model_, space_, opts_);
     // Block costs depend only on the model, so fencing them by this
     // narrower salt lets engines that differ in alpha/metric/space
@@ -103,12 +182,40 @@ EvalEngine::evaluateUncached(Genome &genome)
         genome.part = repairToCapacity(model_.graph(),
                                        std::move(genome.part), model_, buf);
     }
+    // The objective never reads the bandwidth summaries, so pruned
+    // evaluations stop at the fields it does read (bit-identically).
+    CostModel::CostScope scope = opts_.pruning
+                                     ? CostModel::CostScope::Objective
+                                     : CostModel::CostScope::Full;
     GraphCost gc;
     if (cache_) {
+        // The cache's block level is the incremental-reuse path here:
+        // it serves unchanged blocks across genomes with full key
+        // verification, so a per-genome record would re-track the
+        // same information at a per-evaluation allocation cost.
         EvalCache::BlockView blocks = cache_->blockView(modelSalt_);
-        gc = model_.partitionCost(genome.part, buf, &blocks);
+        gc = model_.partitionCost(genome.part, buf, &blocks, scope);
+    } else if (opts_.pruning) {
+        // No cache: incremental re-evaluation through the genome's
+        // own record. Serve unchanged blocks from the parent's record
+        // (valid only under the same model + buffer), capture this
+        // evaluation's blocks into a fresh record for this genome's
+        // children.
+        const EvalRecord *prev = genome.evalRecord.get();
+        if (prev && (prev->modelSalt != modelSalt_ ||
+                     !sameBuffer(prev->buf, buf)))
+            prev = nullptr;
+        auto next = std::make_shared<EvalRecord>();
+        next->modelSalt = modelSalt_;
+        next->buf = buf;
+        next->blocks.reserve(prev ? prev->blocks.size() : 8);
+        next->costs.reserve(prev ? prev->costs.size() : 8);
+        RecordView view(prev, nullptr, next.get(), recordReused_,
+                        recordRecosted_);
+        gc = model_.partitionCost(genome.part, buf, &view, scope);
+        genome.evalRecord = std::move(next);
     } else {
-        gc = model_.partitionCost(genome.part, buf);
+        gc = model_.partitionCost(genome.part, buf, nullptr, scope);
     }
     if (opts_.coExplore)
         return objective(gc, buf, opts_.alpha, opts_.metric);
@@ -126,6 +233,18 @@ EvalEngine::noteDelta(const GeneDelta &delta)
         deltaHwOnly_.fetch_add(1, std::memory_order_relaxed);
     if (delta.partitionChanged && delta.nodes.empty())
         deltaRewrites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t
+EvalEngine::recordBlocksReused() const
+{
+    return recordReused_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+EvalEngine::recordBlocksRecosted() const
+{
+    return recordRecosted_.load(std::memory_order_relaxed);
 }
 
 DeltaStats
@@ -159,6 +278,46 @@ EvalEngine::evaluate(Genome &genome, const GeneDelta *delta)
     cost = evaluateUncached(genome);
     cache_->insert(makeKey(hash, pre_block, genome), genome.part, cost);
     return cost;
+}
+
+double
+EvalEngine::objectiveBound(const Genome &genome)
+{
+    BufferConfig buf = genome.buffer(space_);
+    SubgraphBound b = model_.partitionLowerBound(genome.part, buf);
+    double metric = b.metricValue(opts_.metric);
+    if (opts_.coExplore)
+        return static_cast<double>(buf.totalBytes()) +
+               opts_.alpha * metric;
+    return metric;
+}
+
+double
+EvalEngine::evaluateBounded(Genome &genome, double incumbent,
+                            bool *skipped)
+{
+    if (skipped)
+        *skipped = false;
+    // A negative alpha would flip the objective fold's direction and
+    // invalidate the bound; infeasible incumbents reject nothing
+    // (every bound is far below the penalty).
+    if (opts_.pruning && incumbent < kInfeasiblePenalty &&
+        (!opts_.coExplore || opts_.alpha >= 0.0)) {
+        double lb = objectiveBound(genome);
+        if (lb > incumbent) {
+            boundRejections_.fetch_add(1, std::memory_order_relaxed);
+            if (skipped)
+                *skipped = true;
+            return lb;
+        }
+    }
+    return evaluate(genome);
+}
+
+uint64_t
+EvalEngine::boundRejections() const
+{
+    return boundRejections_.load(std::memory_order_relaxed);
 }
 
 Rng

@@ -66,6 +66,17 @@ struct EvalOptions
     bool inSituSplit = true;     ///< capacity repair at evaluation
     int threads = 1;             ///< total parallelism; <= 0 = all cores
 
+    /**
+     * Bound-based pruning + incremental re-evaluation (CLI
+     * --no-prune clears it). Bounds may only skip work that cannot
+     * win: results are bit-identical either way, which is why the
+     * flag is absent from the evaluation-context salt — pruned and
+     * unpruned runs legitimately share cache entries. Off buys a
+     * slower run whose every intermediate is computed the long way,
+     * for benchmarking and for verifying that claim.
+     */
+    bool pruning = true;
+
     bool cacheEnabled = true;    ///< memoize evaluations in an EvalCache
     size_t cacheCapacity = EvalCache::kDefaultCapacity; ///< genome entries
 
@@ -105,6 +116,31 @@ struct DeltaStats
         rewrites += o.rewrites;
         return *this;
     }
+};
+
+/**
+ * Per-block costs captured by one genome evaluation, carried on the
+ * genome (Genome::evalRecord) so a child produced by mutation can
+ * re-cost only its changed blocks. Reuse is content-verified: a block
+ * is served from the record only when its exact node vector matches
+ * and the record was taken under the same model salt and buffer
+ * configuration, so a record can speed evaluation up but never change
+ * a value. Immutable once attached (parents share it with any number
+ * of concurrently evaluated children).
+ *
+ * Records only run when the engine has no EvalCache: the cache's
+ * block level already provides the same verified incremental reuse
+ * (plus cross-genome sharing), so a record there would be duplicate
+ * bookkeeping on every miss. Lookup is a linear scan — partitions
+ * hold tens of blocks, and the blocks are disjoint, so comparing
+ * front nodes rejects non-matches in one probe.
+ */
+struct EvalRecord
+{
+    uint64_t modelSalt = 0; ///< graph + accelerator fingerprint
+    BufferConfig buf;       ///< configuration the costs were taken under
+    std::vector<std::vector<NodeId>> blocks; ///< evaluated node sets
+    std::vector<SubgraphCost> costs;         ///< parallel to blocks
 };
 
 /** Batched, thread-parallel genome evaluator. */
@@ -151,6 +187,14 @@ class EvalEngine
     /** Gene-change accounting accumulated from evaluate() deltas. */
     DeltaStats deltaStats() const;
 
+    /** Blocks served from a parent's evaluation record (incremental
+     *  re-evaluation) across this engine's lifetime. */
+    uint64_t recordBlocksReused() const;
+
+    /** Blocks a present record could not cover (the mutation's actual
+     *  re-cost work). */
+    uint64_t recordBlocksRecosted() const;
+
     /**
      * Evaluate one genome in the calling thread: decode its buffer,
      * apply in-situ capacity tuning (mutates genome.part), and return
@@ -162,6 +206,37 @@ class EvalEngine
      * correctness never depends on it).
      */
     double evaluate(Genome &genome, const GeneDelta *delta = nullptr);
+
+    /**
+     * Cheap lower bound on what evaluate(genome) would return: the
+     * cost model's per-block roofline bounds over the genome's
+     * pre-repair partition, folded into objective space. No in-situ
+     * repair, no tile-flow enumeration — orders of magnitude cheaper
+     * than a full evaluation. Valid against the post-repair cost
+     * because capacity repair only ever splits blocks, and a block's
+     * bound also bounds every split of it.
+     */
+    double objectiveBound(const Genome &genome);
+
+    /**
+     * Incumbent-screened evaluation: exact evaluate() whenever the
+     * genome could beat @p incumbent. When pruning is on and
+     * objectiveBound() already exceeds the incumbent, the expensive
+     * evaluation (repair + tile-flow) is skipped and the bound is
+     * returned instead — the return value is then NOT the genome's
+     * cost, only a certificate that the cost exceeds the incumbent,
+     * and genome.part is left unrepaired. For best-tracking callers
+     * (two-step sweeps, throughput benches): never feed the returned
+     * value into rank-sensitive logic like tournament selection or
+     * Metropolis acceptance, where the exact costs of non-improving
+     * genomes still matter. @p skipped, when non-null, reports
+     * whether screening fired (counted in boundRejections()).
+     */
+    double evaluateBounded(Genome &genome, double incumbent,
+                           bool *skipped = nullptr);
+
+    /** Evaluations screened out by evaluateBounded() so far. */
+    uint64_t boundRejections() const;
 
     /**
      * Evaluate a batch concurrently; genome i's cost lands in slot i
@@ -212,6 +287,9 @@ class EvalEngine
     std::atomic<uint64_t> deltaNodes_{0};
     std::atomic<uint64_t> deltaHwOnly_{0};
     std::atomic<uint64_t> deltaRewrites_{0};
+    std::atomic<uint64_t> recordReused_{0};
+    std::atomic<uint64_t> recordRecosted_{0};
+    std::atomic<uint64_t> boundRejections_{0};
 };
 
 } // namespace cocco

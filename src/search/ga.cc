@@ -188,6 +188,10 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
     }
     if (engine_.cache())
         res.cacheStats = engine_.cache()->stats() - cache_start;
+    // Incremental-recost accounting rides the cache report even when
+    // no cache is in play (the engine owns these counters).
+    res.cacheStats.incReusedBlocks = engine_.recordBlocksReused();
+    res.cacheStats.incRecostBlocks = engine_.recordBlocksRecosted();
     res.deltaStats = engine_.deltaStats();
     return res;
 }

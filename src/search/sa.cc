@@ -98,6 +98,8 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
     res.bestGraphCost = model.partitionCost(res.best.part, res.bestBuffer);
     if (engine.cache())
         res.cacheStats = engine.cache()->stats() - cache_start;
+    res.cacheStats.incReusedBlocks = engine.recordBlocksReused();
+    res.cacheStats.incRecostBlocks = engine.recordBlocksRecosted();
     res.deltaStats = engine.deltaStats();
     return res;
 }

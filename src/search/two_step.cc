@@ -64,6 +64,25 @@ runCandidates(CostModel &model, const DseSpace &space,
     SearchMonitor mon(opts.observer, opts.timeLimitSec, opts.stallLimit);
     InnerCancel inner_cancel(opts.observer);
 
+    // Bound-based candidate rejection: the whole graph as one block is
+    // a valid roofline lower bound over every partition of it (any cut
+    // only adds boundary traffic; weights and MACs are exact sums), so
+    // a capacity whose bound already exceeds the incumbent cannot
+    // yield an improvement and its inner GA is skipped wholesale. The
+    // skip replicates the un-run GA's observable effects exactly — the
+    // folded trace entries, monitor bookkeeping, and the candidate's
+    // seed draw — so pruned and unpruned sweeps stay bit-identical.
+    // Guarded off under an observer or wall-clock limit, where an
+    // inner run could legitimately be cut short mid-batch.
+    const bool can_reject = opts.pruning && !opts.observer &&
+                            opts.timeLimitSec == 0.0 && opts.alpha >= 0.0;
+    std::vector<NodeId> all_nodes(
+        static_cast<size_t>(model.graph().size()));
+    for (size_t i = 0; i < all_nodes.size(); ++i)
+        all_nodes[i] = static_cast<NodeId>(i);
+    uint64_t bound_rejections = 0, bound_skipped = 0;
+    uint64_t inc_reused = 0, inc_recost = 0;
+
     // One worker pool shared by every inner GA: the candidate loop
     // must not pay thread spawn/join per hardware point.
     std::shared_ptr<ThreadPool> pool;
@@ -83,6 +102,39 @@ runCandidates(CostModel &model, const DseSpace &space,
             break;
         BufferConfig buf = decode(space, pt);
 
+        if (can_reject && global.bestCost < kInfeasiblePenalty) {
+            SubgraphBound gb = model.subgraphBound(all_nodes, buf);
+            double lb = gb.metricValue(opts.metric);
+            if (opts.coExplore)
+                lb = static_cast<double>(buf.totalBytes()) +
+                     opts.alpha * lb;
+            if (lb > global.bestCost) {
+                // Every folded cost this GA could produce is >= lb
+                // (feasible: metric >= the bound; infeasible: the
+                // penalty, which exceeds the incumbent by the guard),
+                // so no trace entry would improve. Fold the exact
+                // sample count the inner GA would have recorded: the
+                // full init population, then generations up to the
+                // budget.
+                int64_t inner_budget = std::min<int64_t>(
+                    opts.samplesPerCandidate,
+                    opts.sampleBudget - global.samples);
+                int64_t folded = std::max<int64_t>(
+                    static_cast<int64_t>(opts.population), inner_budget);
+                ++sub_seed; // consume the candidate's seed draw
+                ++bound_rejections;
+                bound_skipped += static_cast<uint64_t>(folded);
+                for (int64_t s = 0; s < folded; ++s) {
+                    ++global.samples;
+                    global.trace.push_back(
+                        {global.samples, global.bestCost});
+                    mon.recordSample(global.trace.back(), false);
+                }
+                mon.batchDone(global.samples, global.bestCost);
+                continue;
+            }
+        }
+
         GaOptions ga;
         ga.population = opts.population;
         ga.sampleBudget = std::min<int64_t>(
@@ -92,6 +144,7 @@ runCandidates(CostModel &model, const DseSpace &space,
         ga.metric = opts.metric;
         ga.coExplore = false; // partition-only under this capacity
         ga.inSituSplit = opts.inSituSplit;
+        ga.pruning = opts.pruning;
         ga.threads = opts.threads; // batch populations through the engine
         ga.cacheEnabled = opts.cacheEnabled;
         ga.cacheCapacity = opts.cacheCapacity;
@@ -108,6 +161,8 @@ runCandidates(CostModel &model, const DseSpace &space,
         GeneticSearch search(model, fixed, ga, pool);
         SearchResult inner = search.run();
         global.deltaStats += inner.deltaStats;
+        inc_reused += inner.cacheStats.incReusedBlocks;
+        inc_recost += inner.cacheStats.incRecostBlocks;
 
         // Fold the inner (metric-only) trace into the global trace:
         // Formula 2 per candidate capacity when co-exploring (the
@@ -136,6 +191,10 @@ runCandidates(CostModel &model, const DseSpace &space,
     }
     if (cache)
         global.cacheStats = cache->stats() - cache_start;
+    global.cacheStats.boundRejections = bound_rejections;
+    global.cacheStats.boundSkippedSamples = bound_skipped;
+    global.cacheStats.incReusedBlocks = inc_reused;
+    global.cacheStats.incRecostBlocks = inc_recost;
     return global;
 }
 

@@ -85,6 +85,32 @@ CostModel::profile(const std::vector<NodeId> &nodes)
         .first->second;
 }
 
+const BoundProfile &
+CostModel::boundProfile(const std::vector<NodeId> &nodes)
+{
+    std::vector<NodeId> key(nodes);
+    std::sort(key.begin(), key.end());
+    uint64_t h = hashSortedNodeSet(key);
+    CacheShard &shard = shards_[h % kCacheShards];
+
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.bounds.find(key);
+    if (it != shard.bounds.end())
+        return it->second;
+    // A memoized full profile already carries the boundary terms.
+    BoundProfile bp;
+    auto full = shard.map.find(key);
+    if (full != shard.map.end()) {
+        bp.inBytes = full->second.inBytes;
+        bp.outBytes = full->second.outBytes;
+        bp.weightBytes = full->second.weightBytes;
+        bp.macs = full->second.macs;
+    } else {
+        bp = computeBoundProfile(nodes);
+    }
+    return shard.bounds.emplace(std::move(key), bp).first->second;
+}
+
 size_t
 CostModel::cacheSize() const
 {
@@ -96,6 +122,45 @@ CostModel::cacheSize() const
     return n;
 }
 
+CostPruneStats
+CostModel::pruneStats() const
+{
+    CostPruneStats s;
+    s.fitsShortCircuits =
+        fitsShortCircuits_.load(std::memory_order_relaxed);
+    s.schemesPruned = schemesPruned_.load(std::memory_order_relaxed);
+    return s;
+}
+
+BoundProfile
+CostModel::computeBoundProfile(const std::vector<NodeId> &nodes) const
+{
+    BoundProfile bp;
+    std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
+
+    for (NodeId u : boundaryInputs(g_, nodes))
+        bp.inBytes += g_.outBytes(u);
+    for (NodeId v : escapingOutputs(g_, nodes)) {
+        // Model inputs live in DRAM already; nothing to write back.
+        if (!g_.isInput(v))
+            bp.outBytes += g_.outBytes(v);
+    }
+    for (NodeId v : nodes) {
+        bp.weightBytes += g_.weightBytes(v);
+        bp.macs += g_.macs(v);
+        // A model-input node fused into this subgraph still loads its
+        // tensor from DRAM (when anything here consumes it).
+        if (g_.isInput(v)) {
+            for (NodeId w : g_.succs(v))
+                if (in_set.count(w)) {
+                    bp.inBytes += g_.outBytes(v);
+                    break;
+                }
+        }
+    }
+    return bp;
+}
+
 SubgraphProfile
 CostModel::computeProfile(const std::vector<NodeId> &nodes) const
 {
@@ -104,28 +169,17 @@ CostModel::computeProfile(const std::vector<NodeId> &nodes) const
 
     std::unordered_set<NodeId> in_set(nodes.begin(), nodes.end());
 
-    for (NodeId u : boundaryInputs(g_, nodes))
-        prof.inBytes += g_.outBytes(u);
-    for (NodeId v : escapingOutputs(g_, nodes)) {
-        // Model inputs live in DRAM already; nothing to write back.
-        if (!g_.isInput(v))
-            prof.outBytes += g_.outBytes(v);
-    }
-    for (NodeId v : nodes) {
-        prof.weightBytes += g_.weightBytes(v);
-        prof.macs += g_.macs(v);
-        // A model-input node fused into this subgraph still loads its
-        // tensor from DRAM (when anything here consumes it).
-        if (g_.isInput(v)) {
-            for (NodeId w : g_.succs(v))
-                if (in_set.count(w)) {
-                    prof.inBytes += g_.outBytes(v);
-                    break;
-                }
-        }
-    }
+    BoundProfile bp = computeBoundProfile(nodes);
+    prof.inBytes = bp.inBytes;
+    prof.outBytes = bp.outBytes;
+    prof.weightBytes = bp.weightBytes;
+    prof.macs = bp.macs;
 
-    ExecutionScheme scheme = bestScheme(g_, nodes);
+    uint64_t pruned = 0;
+    ExecutionScheme scheme =
+        bestScheme(g_, nodes, defaultTileCandidates(), pruning(), &pruned);
+    if (pruned)
+        schemesPruned_.fetch_add(pruned, std::memory_order_relaxed);
     prof.actFootprintBytes = scheme.actFootprintBytes;
     prof.numRegions = scheme.numRegions;
     prof.outTile = scheme.outTile;
@@ -259,9 +313,83 @@ CostModel::subgraphCost(const std::vector<NodeId> &nodes,
     return assemble(profile(nodes), buf);
 }
 
+SubgraphBound
+CostModel::subgraphBound(const std::vector<NodeId> &nodes,
+                         const BufferConfig &buf)
+{
+    const BoundProfile &bp = boundProfile(nodes);
+    const int cores = accel_.cores;
+    const int batch = accel_.batch;
+    SubgraphBound b;
+
+    // EMA floor: boundary activations move at least once per sample,
+    // weights at least once per batch (assemble's reload factor is
+    // >= 1 and only ever multiplies the input term).
+    b.emaBytes = (bp.inBytes + bp.outBytes) * batch + bp.weightBytes;
+
+    // Energy floor: assemble's exact terms with the traffic floors
+    // substituted — glbTraffic >= in + out (every surfaced tensor is
+    // written at least once), wbufTraffic == 2 * weights exactly —
+    // and the non-negative crossbar term dropped.
+    int64_t act_cap =
+        buf.style == BufferStyle::Shared ? buf.sharedBytes : buf.actBytes;
+    const EnergyModel &em = accel_.energy;
+    double glb_pj = em.sramPjPerByte(act_cap > 0 ? act_cap : 1);
+    double wbuf_pj = em.sramPjPerByte(
+        buf.style == BufferStyle::Shared ? buf.sharedBytes : buf.weightBytes);
+    double energy = em.dramEnergyPj(b.emaBytes);
+    energy += static_cast<double>(bp.inBytes + bp.outBytes) * batch * glb_pj;
+    energy += 2.0 * static_cast<double>(bp.weightBytes) * wbuf_pj;
+    energy += em.macEnergyPj(bp.macs) * batch;
+    b.energyPj = energy;
+
+    // Latency floor: mapped cycles never beat macs / peak throughput,
+    // DRAM cycles scale with the EMA floor, crossbar dropped.
+    b.computeCycles = static_cast<double>(bp.macs) * batch /
+                      (static_cast<double>(accel_.macsPerCycle()) * cores);
+    b.commCycles = static_cast<double>(b.emaBytes) /
+                   (accel_.dramBytesPerCycle() * cores);
+    b.latencyCycles = std::max(b.computeCycles, b.commCycles);
+    return b;
+}
+
+SubgraphBound
+CostModel::partitionLowerBound(const Partition &p, const BufferConfig &buf)
+{
+    SubgraphBound total;
+    for (const auto &blk : p.blocks()) {
+        SubgraphBound b = subgraphBound(blk, buf);
+        total.emaBytes += b.emaBytes;
+        total.energyPj += b.energyPj;
+        total.computeCycles += b.computeCycles;
+        total.commCycles += b.commCycles;
+        total.latencyCycles += b.latencyCycles;
+    }
+    return total;
+}
+
 bool
 CostModel::fits(const std::vector<NodeId> &nodes, const BufferConfig &buf)
 {
+    if (pruning()) {
+        // Trivial answers that need no tile-flow profiling: a single
+        // layer always fits (further tiling at a reload price), and a
+        // multi-node subgraph whose weight shard exceeds even the
+        // whole buffer can never fit (assemble's weight capacity is
+        // at most the buffer size). Exercised heavily by the in-situ
+        // capacity repair.
+        if (nodes.size() == 1) {
+            fitsShortCircuits_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        const BoundProfile &bp = boundProfile(nodes);
+        int64_t wcap = buf.style == BufferStyle::Shared ? buf.sharedBytes
+                                                        : buf.weightBytes;
+        if (ceilDiv(bp.weightBytes, accel_.cores) > wcap) {
+            fitsShortCircuits_.fetch_add(1, std::memory_order_relaxed);
+            return false;
+        }
+    }
     const SubgraphProfile &prof = profile(nodes);
     if (prof.nodeCount == 1)
         return true;
@@ -270,8 +398,9 @@ CostModel::fits(const std::vector<NodeId> &nodes, const BufferConfig &buf)
 
 GraphCost
 CostModel::partitionCost(const Partition &p, const BufferConfig &buf,
-                         SubgraphCostCache *block_cache)
+                         SubgraphCostCache *block_cache, CostScope scope)
 {
+    const bool objective_only = scope == CostScope::Objective;
     GraphCost total;
     total.feasible = true;
     auto blocks = p.blocks();
@@ -288,46 +417,56 @@ CostModel::partitionCost(const Partition &p, const BufferConfig &buf,
         costs.push_back(c);
         if (!c.feasible) {
             total.feasible = false;
+            // The objective of an infeasible partition is the flat
+            // penalty: nothing computed past this point can change
+            // it, so the remaining blocks are skipped.
+            if (objective_only)
+                return total;
             continue;
         }
         total.emaBytes += c.emaBytes;
         total.energyPj += c.energyPj;
         total.latencyCycles += c.latencyCycles;
     }
-    if (total.latencyCycles > 0) {
+    if (!objective_only && total.latencyCycles > 0) {
         // bytes/cycle at clockGhz GHz -> GB/s.
         total.avgBwGBps = static_cast<double>(total.emaBytes) /
                           total.latencyCycles * accel_.clockGhz;
     }
     // Strict double-buffered prefetch: adjacent subgraphs' weights
-    // must co-reside in the weight (or shared) buffer.
+    // must co-reside in the weight (or shared) buffer. Weight shards
+    // need only the boundary summary, never a full profile.
     if (accel_.doubleBufferWeights) {
         int64_t cap = buf.style == BufferStyle::Shared ? buf.sharedBytes
                                                        : buf.weightBytes;
         for (size_t i = 0; i + 1 < blocks.size(); ++i) {
             int64_t wa =
-                ceilDiv(profile(blocks[i]).weightBytes, accel_.cores);
-            int64_t wb =
-                ceilDiv(profile(blocks[i + 1]).weightBytes, accel_.cores);
+                ceilDiv(boundProfile(blocks[i]).weightBytes, accel_.cores);
+            int64_t wb = ceilDiv(boundProfile(blocks[i + 1]).weightBytes,
+                                 accel_.cores);
             // Oversized singletons stream their weights in tiles (the
             // reload fallback) and are exempt from co-residency.
             if (wa > cap || wb > cap)
                 continue;
-            if (wa + wb > cap)
+            if (wa + wb > cap) {
                 total.feasible = false;
+                if (objective_only)
+                    return total;
+            }
         }
     }
+    if (objective_only)
+        return total;
 
     // Peak demand: each subgraph's activation traffic plus the next
     // subgraph's weights, prefetched during this window.
     for (size_t i = 0; i < blocks.size(); ++i) {
         if (!costs[i].feasible || costs[i].latencyCycles <= 0)
             continue;
-        const SubgraphProfile &prof = profile(blocks[i]);
-        int64_t act_io =
-            (prof.inBytes + prof.outBytes) * accel_.batch;
+        const BoundProfile &bp = boundProfile(blocks[i]);
+        int64_t act_io = (bp.inBytes + bp.outBytes) * accel_.batch;
         int64_t prefetch = i + 1 < blocks.size()
-                               ? profile(blocks[i + 1]).weightBytes
+                               ? boundProfile(blocks[i + 1]).weightBytes
                                : 0;
         double bw = static_cast<double>(act_io + prefetch) /
                     costs[i].latencyCycles * accel_.clockGhz;

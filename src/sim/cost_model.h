@@ -20,6 +20,7 @@
 #ifndef COCCO_SIM_COST_MODEL_H
 #define COCCO_SIM_COST_MODEL_H
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -72,6 +73,63 @@ struct SubgraphCost
     double computeCycles = 0.0;
     double commCycles = 0.0;
     double latencyCycles = 0.0;
+};
+
+/**
+ * Boundary-only summary of a subgraph: the terms that survive any
+ * tiling (boundary tensors, weights, MACs). Much cheaper than a full
+ * SubgraphProfile — no scheme derivation, no spatial mapping — and
+ * sufficient both for the roofline lower bound and for the
+ * weight-residency terms of partition-level bookkeeping.
+ */
+struct BoundProfile
+{
+    int64_t inBytes = 0;     ///< boundary input tensors
+    int64_t outBytes = 0;    ///< escaping output tensors
+    int64_t weightBytes = 0; ///< resident weights
+    int64_t macs = 0;
+};
+
+/**
+ * Roofline lower bound on a subgraph's cost under a buffer
+ * configuration: ephemeral intermediates are free, boundary tensors
+ * and weights must cross DRAM at least once, and compute can never
+ * beat macs / peak throughput. Every field lower-bounds the
+ * corresponding SubgraphCost field of any *feasible* evaluation of
+ * the same node set — and, summed over blocks, of any partition
+ * refining it — so a bound that already exceeds an incumbent
+ * objective proves the candidate cannot win.
+ */
+struct SubgraphBound
+{
+    int64_t emaBytes = 0;
+    double energyPj = 0.0;
+    double computeCycles = 0.0;
+    double commCycles = 0.0;
+    double latencyCycles = 0.0;
+
+    /** Lower bound on the metric value (bytes for EMA, pJ for
+     *  Energy). */
+    double
+    metricValue(Metric m) const
+    {
+        return m == Metric::EMA ? static_cast<double>(emaBytes) : energyPj;
+    }
+};
+
+/** Per-model pruning counters (monotonic; see CostModel::pruneStats). */
+struct CostPruneStats
+{
+    uint64_t fitsShortCircuits = 0; ///< fits() decided without profiling
+    uint64_t schemesPruned = 0;     ///< tile candidates aborted early
+
+    CostPruneStats &
+    operator+=(const CostPruneStats &o)
+    {
+        fitsShortCircuits += o.fitsShortCircuits;
+        schemesPruned += o.schemesPruned;
+        return *this;
+    }
 };
 
 /** Aggregate cost of a whole partition. */
@@ -187,13 +245,55 @@ class CostModel
     /** Capacity-independent profile of a subgraph (memoized). */
     const SubgraphProfile &profile(const std::vector<NodeId> &nodes);
 
+    /** Boundary-only summary of a subgraph (memoized; derived from an
+     *  already-memoized full profile when one exists). */
+    const BoundProfile &boundProfile(const std::vector<NodeId> &nodes);
+
     /** Cost of one subgraph under @p buf. */
     virtual SubgraphCost subgraphCost(const std::vector<NodeId> &nodes,
+                                      const BufferConfig &buf);
+
+    /**
+     * Cheap roofline lower bound on subgraphCost (see SubgraphBound).
+     * Needs only the boundary summary — no tile-flow enumeration, no
+     * spatial mapping — so it is orders of magnitude cheaper than an
+     * exact evaluation. A deployment model composes per-core bounds
+     * gated on the slowest core.
+     */
+    virtual SubgraphBound subgraphBound(const std::vector<NodeId> &nodes,
+                                        const BufferConfig &buf);
+
+    /**
+     * Lower bound on partitionCost(p, buf) — and on the cost of every
+     * refinement of @p p: the per-block roofline bounds, summed.
+     * Splitting a block only adds boundary traffic while its weights
+     * and MACs are exact sums, so the bound also holds for any
+     * partition that repair (which only ever splits) derives from
+     * @p p. Dispatches through subgraphBound, so deployment models
+     * compose per-core bounds automatically. Backs the engine's
+     * incumbent screening (EvalEngine::objectiveBound) and the
+     * two-step driver's candidate rejection.
+     */
+    SubgraphBound partitionLowerBound(const Partition &p,
                                       const BufferConfig &buf);
 
     /** Whether a subgraph fits @p buf (residency + region limit). */
     virtual bool fits(const std::vector<NodeId> &nodes,
                       const BufferConfig &buf);
+
+    /**
+     * How much of partitionCost a caller needs. Objective restricts
+     * the result to the fields the search objective reads (feasible,
+     * emaBytes, energyPj): per-block work stops as soon as the
+     * partition is known infeasible and the bandwidth summaries are
+     * skipped. Every field that is produced is bit-identical to a
+     * Full evaluation.
+     */
+    enum class CostScope
+    {
+        Full,      ///< every GraphCost field
+        Objective, ///< feasibility + metric sums only
+    };
 
     /**
      * Aggregate cost of a partition under @p buf. When @p block_cache
@@ -204,7 +304,35 @@ class CostModel
     virtual GraphCost partitionCost(const Partition &p,
                                     const BufferConfig &buf,
                                     SubgraphCostCache *block_cache =
-                                        nullptr);
+                                        nullptr,
+                                    CostScope scope = CostScope::Full);
+
+    /**
+     * Toggle the bound-based work-skipping fast paths (trivial fits()
+     * answers, tile candidates aborted against the incumbent
+     * footprint). Pruning never changes any produced value — bounds
+     * only skip work that cannot win — so models with different
+     * settings still agree bit-for-bit; the switch exists so the
+     * claim stays testable. Off by default; the evaluation engine
+     * sets it from EvalOptions::pruning. A deployment model forwards
+     * the setting to its per-core models.
+     */
+    virtual void
+    setPruning(bool on)
+    {
+        prune_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Whether the work-skipping fast paths are enabled. */
+    bool
+    pruning() const
+    {
+        return prune_.load(std::memory_order_relaxed);
+    }
+
+    /** Snapshot of the pruning counters (a deployment model sums its
+     *  per-core models' counters in). */
+    virtual CostPruneStats pruneStats() const;
 
     /**
      * Fold everything that determines this model's cost values into a
@@ -237,12 +365,15 @@ class CostModel
         size_t operator()(const std::vector<NodeId> &nodes) const;
     };
 
-    /** One stripe of the profile memo. */
+    /** One stripe of the profile memo (full profiles + the cheap
+     *  boundary summaries share the stripes). */
     struct CacheShard
     {
         mutable std::mutex mu;
         std::unordered_map<std::vector<NodeId>, SubgraphProfile, NodeSetHash>
             map;
+        std::unordered_map<std::vector<NodeId>, BoundProfile, NodeSetHash>
+            bounds;
     };
 
     static constexpr int kCacheShards = 64;
@@ -250,10 +381,16 @@ class CostModel
     SubgraphCost assemble(const SubgraphProfile &prof,
                           const BufferConfig &buf) const;
     SubgraphProfile computeProfile(const std::vector<NodeId> &nodes) const;
+    BoundProfile computeBoundProfile(const std::vector<NodeId> &nodes)
+        const;
 
     const Graph &g_;
     AcceleratorConfig accel_;
     CacheShard shards_[kCacheShards];
+
+    std::atomic<bool> prune_{false};
+    mutable std::atomic<uint64_t> fitsShortCircuits_{0};
+    mutable std::atomic<uint64_t> schemesPruned_{0};
 };
 
 } // namespace cocco

@@ -454,6 +454,61 @@ DeploymentCostModel::subgraphCost(const std::vector<NodeId> &nodes,
     return out;
 }
 
+SubgraphBound
+DeploymentCostModel::subgraphBound(const std::vector<NodeId> &nodes,
+                                   const BufferConfig &buf)
+{
+    if (homogeneous_)
+        return CostModel::subgraphBound(nodes, buf);
+
+    // Mirror of the heterogeneous subgraphCost composition with each
+    // per-core exact value replaced by its per-core floor; since the
+    // composition is monotone in every term (max for compute, mean
+    // for energy, first core's EMA, summed bandwidth) and the
+    // non-negative crossbar serialization is dropped, the result
+    // lower-bounds every feasible evaluation.
+    const double clock0 = accel().clockGhz;
+    double energy_sum = 0.0, compute_max = 0.0, dram_gbps = 0.0;
+    int64_t ema = 0;
+    bool have_ema = false;
+    for (CostModel *m : perCore_) {
+        SubgraphBound b = m->subgraphBound(nodes, buf);
+        energy_sum += b.energyPj;
+        compute_max = std::max(compute_max,
+                               b.computeCycles *
+                                   (clock0 / m->accel().clockGhz));
+        dram_gbps += m->accel().dramGBpsPerCore;
+        if (!have_ema) {
+            ema = b.emaBytes;
+            have_ema = true;
+        }
+    }
+    SubgraphBound out;
+    out.emaBytes = ema;
+    out.energyPj = energy_sum / static_cast<double>(perCore_.size());
+    out.computeCycles = compute_max;
+    out.commCycles = static_cast<double>(ema) * clock0 / dram_gbps;
+    out.latencyCycles = std::max(out.computeCycles, out.commCycles);
+    return out;
+}
+
+void
+DeploymentCostModel::setPruning(bool on)
+{
+    CostModel::setPruning(on);
+    for (auto &m : ownedModels_)
+        m->setPruning(on);
+}
+
+CostPruneStats
+DeploymentCostModel::pruneStats() const
+{
+    CostPruneStats s = CostModel::pruneStats();
+    for (const auto &m : ownedModels_)
+        s += m->pruneStats();
+    return s;
+}
+
 bool
 DeploymentCostModel::fits(const std::vector<NodeId> &nodes,
                           const BufferConfig &buf)

@@ -225,8 +225,17 @@ class DeploymentCostModel : public CostModel
 
     SubgraphCost subgraphCost(const std::vector<NodeId> &nodes,
                               const BufferConfig &buf) override;
+    /** Roofline lower bound composed exactly like subgraphCost: the
+     *  slowest core gates compute, per-core bandwidth aggregates, the
+     *  per-core energy floors average (crossbar dropped). */
+    SubgraphBound subgraphBound(const std::vector<NodeId> &nodes,
+                                const BufferConfig &buf) override;
     bool fits(const std::vector<NodeId> &nodes,
               const BufferConfig &buf) override;
+    /** Forwarded to every per-core model. */
+    void setPruning(bool on) override;
+    /** Aggregate view's counters plus every per-core model's. */
+    CostPruneStats pruneStats() const override;
     uint64_t contextHash(uint64_t h) const override;
     DeploymentBreakdown breakdown(const Partition &p,
                                   const BufferConfig &buf) override;

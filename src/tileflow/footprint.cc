@@ -1,5 +1,8 @@
 #include "tileflow/footprint.h"
 
+#include <algorithm>
+#include <functional>
+
 #include "util/logging.h"
 
 namespace cocco {
@@ -13,10 +16,36 @@ defaultTileCandidates()
 
 ExecutionScheme
 bestScheme(const Graph &g, const std::vector<NodeId> &nodes,
-           const std::vector<int> &candidates)
+           const std::vector<int> &candidates, bool prune,
+           uint64_t *schemes_pruned)
 {
     if (candidates.empty())
         panic("bestScheme needs at least one tile candidate");
+
+    if (prune) {
+        // Largest tile first with a strict improve-only comparison:
+        // equivalent to the ascending walk below (minimal footprint,
+        // largest tile among ties), but every candidate after the
+        // first can abort its derivation at the incumbent footprint.
+        std::vector<int> order(candidates);
+        std::sort(order.begin(), order.end(), std::greater<int>());
+        ExecutionScheme best;
+        bool have = false;
+        for (int t : order) {
+            ExecutionScheme s = deriveConsumptionScheme(
+                g, nodes, t, have ? best.actFootprintBytes : -1);
+            if (s.aborted) {
+                if (schemes_pruned)
+                    ++*schemes_pruned;
+                continue;
+            }
+            if (!have || s.actFootprintBytes < best.actFootprintBytes) {
+                best = std::move(s);
+                have = true;
+            }
+        }
+        return best;
+    }
 
     ExecutionScheme best;
     bool have = false;

@@ -9,6 +9,7 @@
 #ifndef COCCO_TILEFLOW_FOOTPRINT_H
 #define COCCO_TILEFLOW_FOOTPRINT_H
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.h"
@@ -23,10 +24,22 @@ const std::vector<int> &defaultTileCandidates();
  * Derive the consumption-centric scheme for each candidate output
  * tile and return the one with the smallest activation footprint
  * (ties broken toward the larger tile, which keeps PE utilization up).
+ *
+ * With @p prune set, candidates are walked largest tile first and each
+ * later derivation aborts as soon as its running footprint reaches the
+ * incumbent's (see deriveConsumptionScheme's abort_above). The result
+ * is bit-identical to the unpruned walk: descending order with a
+ * strict improve-only comparison selects the same minimal-footprint /
+ * largest-tile scheme, and an aborted candidate can at best tie — and
+ * ties keep the incumbent, which already has the larger tile.
+ * @p schemes_pruned, when non-null, is incremented per aborted
+ * candidate.
  */
 ExecutionScheme bestScheme(const Graph &g, const std::vector<NodeId> &nodes,
                            const std::vector<int> &candidates =
-                               defaultTileCandidates());
+                               defaultTileCandidates(),
+                           bool prune = false,
+                           uint64_t *schemes_pruned = nullptr);
 
 } // namespace cocco
 

@@ -31,7 +31,7 @@ ExecutionScheme::find(NodeId v) const
 
 ExecutionScheme
 deriveConsumptionScheme(const Graph &g, const std::vector<NodeId> &nodes,
-                        int out_tile)
+                        int out_tile, int64_t abort_above)
 {
     if (out_tile < 1)
         panic("out_tile must be >= 1, got %d", out_tile);
@@ -71,6 +71,7 @@ deriveConsumptionScheme(const Graph &g, const std::vector<NodeId> &nodes,
     // Node ids are topologically ordered, so a reverse id sweep visits
     // consumers before producers.
     std::unordered_map<NodeId, NodeScheme> result;
+    int64_t running_footprint = 0;
     for (auto it = extended.rbegin(); it != extended.rend(); ++it) {
         NodeId u = *it;
         const Layer &lu = g.layer(u);
@@ -109,6 +110,30 @@ deriveConsumptionScheme(const Graph &g, const std::vector<NodeId> &nodes,
             ns.xW = static_cast<int>(std::min<int64_t>(xw, lu.outW));
         }
         result.emplace(u, ns);
+
+        if (abort_above >= 0) {
+            // Accumulate this node's MAIN + SIDE contribution with the
+            // exact region-pass formulas below; once the partial sum
+            // reaches the threshold the full footprint must too, so
+            // the stage-3 solve and region assembly are skipped.
+            int64_t main_b = static_cast<int64_t>(ns.xH) * ns.xW * lu.outC;
+            int overlap = 0;
+            for (NodeId v : children[u]) {
+                const Layer &lv = g.layer(v);
+                overlap = std::max(overlap, lv.kernel - lv.stride);
+            }
+            bool whole = (ns.xH >= lu.outH && ns.xW >= lu.outW);
+            int64_t side_b = 0;
+            if (overlap > 0 && !whole && lu.outW > ns.xW)
+                side_b = static_cast<int64_t>(overlap) *
+                         (lu.outW - ns.xW) * lu.outC;
+            running_footprint += main_b + side_b;
+            if (running_footprint >= abort_above) {
+                scheme.aborted = true;
+                scheme.actFootprintBytes = running_footprint;
+                return scheme;
+            }
+        }
     }
 
     // --- Stage 3: minimal co-prime upd_num assignment. ---

@@ -58,6 +58,12 @@ struct ExecutionScheme
     int outTile = 1;               ///< stage-1 output tile size used
     bool updConsistent = true;     ///< stage-3 system had a solution
 
+    /** True when the derivation stopped early because the running
+     *  footprint reached the caller's abort threshold. An aborted
+     *  scheme carries only the partial actFootprintBytes (already >=
+     *  the threshold) — nodes/regions/upd are not populated. */
+    bool aborted = false;
+
     /** Entry for graph node @p v, or nullptr if absent. */
     const NodeScheme *find(NodeId v) const;
 };
@@ -69,10 +75,20 @@ struct ExecutionScheme
  * @param g        the computation graph
  * @param nodes    the subgraph's node ids (any order; must be distinct)
  * @param out_tile stage-1 tile size for output nodes (>= 1)
+ * @param abort_above when >= 0, stop as soon as the running activation
+ *                 footprint (accumulated during the stage-2 sweep)
+ *                 reaches this value and return a scheme with
+ *                 `aborted` set. The footprint is a sum of
+ *                 non-negative per-node terms, so a partial sum at or
+ *                 above the threshold proves the full footprint is
+ *                 too: callers comparing candidate tiles can skip the
+ *                 stage-3 solve and region assembly for candidates
+ *                 that cannot beat their incumbent. -1 = never abort.
  */
 ExecutionScheme deriveConsumptionScheme(const Graph &g,
                                         const std::vector<NodeId> &nodes,
-                                        int out_tile);
+                                        int out_tile,
+                                        int64_t abort_above = -1);
 
 } // namespace cocco
 

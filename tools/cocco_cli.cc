@@ -102,6 +102,7 @@ struct CliArgs
     int64_t stallLimit = 0;
     int64_t cacheSize =
         static_cast<int64_t>(EvalCache::kDefaultCapacity); ///< 0 = off
+    bool pruning = true;    ///< --no-prune clears (bit-identical runs)
     std::string cacheFile;  ///< warm-start / persist path ("" = none)
     std::string metricsOut; ///< JSON metrics path ("" = none)
     std::string specFile;   ///< declarative run spec ("" = none)
@@ -132,7 +133,9 @@ usage()
         "--threads N --json\n"
         "       --neighbor-batch N --time-limit SEC --stall-limit N\n"
         "       --timeline --cache-size N --cache-file F "
-        "--metrics-out F\n");
+        "--metrics-out F\n"
+        "       --no-prune (disable bound-based pruning; results are\n"
+        "                   bit-identical, only slower)\n");
     std::exit(2);
 }
 
@@ -212,6 +215,8 @@ parse(int argc, char **argv)
                                                     : Metric::Energy;
         else if (f == "--json")
             a.json = true;
+        else if (f == "--no-prune")
+            a.pruning = false;
         else
             usage();
     }
@@ -367,6 +372,7 @@ specFromArgs(const CliArgs &a)
     spec.eval.threads = a.threads;
     spec.eval.timeLimitSec = a.timeLimitSec;
     spec.eval.stallLimit = a.stallLimit;
+    spec.eval.pruning = a.pruning;
     spec.sa.neighborBatch = a.neighborBatch;
     return spec;
 }

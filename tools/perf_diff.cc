@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Regression gate over two bench_perf snapshots.
+ *
+ *   perf_diff BASELINE.json CURRENT.json [--tolerance PCT]
+ *
+ * Compares every series of the baseline against the current snapshot,
+ * direction-aware (each series declares higher_is_better): a series
+ * that moved more than PCT percent (default 10) in its bad direction
+ * is a regression, as is a baseline series missing from the current
+ * snapshot. Series new in the current snapshot are reported but never
+ * fail — adding coverage must not break the gate. Exits 1 on any
+ * regression or malformed snapshot, 0 otherwise, so CI can call it
+ * directly.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/json.h"
+
+using cocco::JsonValue;
+
+namespace {
+
+struct SeriesPoint
+{
+    double value = 0.0;
+    std::string unit;
+    bool higherIsBetter = true;
+};
+
+/** Parse one "series" member; false (with message) on schema errors. */
+bool
+readPoint(const std::string &name, const JsonValue &v, SeriesPoint *out)
+{
+    if (!v.isObject()) {
+        std::fprintf(stderr, "error: series \"%s\" must be an object\n",
+                     name.c_str());
+        return false;
+    }
+    const JsonValue *value = v.find("value");
+    const JsonValue *unit = v.find("unit");
+    const JsonValue *dir = v.find("higher_is_better");
+    if (!value || !value->isNumber() || !dir || !dir->isBool()) {
+        std::fprintf(stderr,
+                     "error: series \"%s\" needs a numeric \"value\" and "
+                     "a boolean \"higher_is_better\"\n",
+                     name.c_str());
+        return false;
+    }
+    out->value = value->number();
+    out->unit = unit && unit->isString() ? unit->str() : "";
+    out->higherIsBetter = dir->boolean();
+    return true;
+}
+
+/** Load a snapshot and return its "series" object (null on error). */
+const JsonValue *
+loadSeries(const char *path, JsonValue *doc)
+{
+    std::string err;
+    if (!cocco::loadJsonFile(path, doc, &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return nullptr;
+    }
+    if (!doc->isObject()) {
+        std::fprintf(stderr, "error: %s: root must be an object\n", path);
+        return nullptr;
+    }
+    const JsonValue *series = doc->find("series");
+    if (!series || !series->isObject()) {
+        std::fprintf(stderr, "error: %s: missing \"series\" object\n",
+                     path);
+        return nullptr;
+    }
+    return series;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const char *base_path = nullptr;
+    const char *cur_path = nullptr;
+    double tolerance = 10.0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+            tolerance = std::strtod(argv[++i], nullptr);
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::printf("usage: perf_diff BASELINE.json CURRENT.json "
+                        "[--tolerance PCT]\n"
+                        "  exits 1 when any series regressed more than "
+                        "PCT%% (default 10)\n");
+            return 0;
+        } else if (!base_path) {
+            base_path = argv[i];
+        } else if (!cur_path) {
+            cur_path = argv[i];
+        } else {
+            std::fprintf(stderr, "error: unexpected argument %s\n",
+                         argv[i]);
+            return 1;
+        }
+    }
+    if (!base_path || !cur_path) {
+        std::fprintf(stderr,
+                     "usage: perf_diff BASELINE.json CURRENT.json "
+                     "[--tolerance PCT]\n");
+        return 1;
+    }
+    if (!(tolerance >= 0.0) || !std::isfinite(tolerance)) {
+        std::fprintf(stderr, "error: tolerance must be a finite "
+                             "non-negative percentage\n");
+        return 1;
+    }
+
+    JsonValue base_doc, cur_doc;
+    const JsonValue *base = loadSeries(base_path, &base_doc);
+    const JsonValue *cur = loadSeries(cur_path, &cur_doc);
+    if (!base || !cur)
+        return 1;
+
+    std::printf("perf_diff: %s -> %s (tolerance %.1f%%)\n", base_path,
+                cur_path, tolerance);
+    int checked = 0, regressions = 0;
+    for (const auto &[name, bv] : base->members()) {
+        SeriesPoint b;
+        if (!readPoint(name, bv, &b))
+            return 1;
+        const JsonValue *cv = cur->find(name);
+        if (!cv) {
+            std::printf("  %-28s %12.4g -> %12s %-8s\n", name.c_str(),
+                        b.value, "MISSING", "FAIL");
+            ++regressions;
+            ++checked;
+            continue;
+        }
+        SeriesPoint c;
+        if (!readPoint(name, *cv, &c))
+            return 1;
+        // Percent change in the series' bad direction; a zero
+        // baseline can only regress by becoming worse than zero.
+        double change = b.value != 0.0
+                            ? 100.0 * (c.value - b.value) / std::fabs(b.value)
+                            : (c.value == 0.0 ? 0.0
+                               : b.higherIsBetter
+                                   ? (c.value < 0.0 ? -100.0 : 100.0)
+                                   : (c.value > 0.0 ? 100.0 : -100.0));
+        double bad = b.higherIsBetter ? -change : change;
+        bool regressed = bad > tolerance;
+        std::printf("  %-28s %12.4g -> %12.4g %+7.1f%% %-8s\n",
+                    name.c_str(), b.value, c.value, change,
+                    regressed ? "FAIL" : "ok");
+        if (regressed)
+            ++regressions;
+        ++checked;
+    }
+    for (const auto &[name, cv] : cur->members()) {
+        if (base->find(name))
+            continue;
+        SeriesPoint c;
+        if (!readPoint(name, cv, &c))
+            return 1;
+        std::printf("  %-28s %12s -> %12.4g %-8s (new series)\n",
+                    name.c_str(), "-", c.value, "ok");
+    }
+    std::printf("%d series, %d regression%s\n", checked, regressions,
+                regressions == 1 ? "" : "s");
+    return regressions > 0 ? 1 : 0;
+}
