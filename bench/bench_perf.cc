@@ -35,6 +35,7 @@
 #include "core/cocco.h"
 #include "partition/repair.h"
 #include "search/operators.h"
+#include "serve/job_manager.h"
 #include "util/json.h"
 
 using namespace cocco;
@@ -338,6 +339,50 @@ main(int argc, char **argv)
                          off.result.bestCost, on.result.bestCost);
             failed = true;
         }
+    }
+
+    // --- Exploration-service throughput (JobManager drain rate). ---
+    {
+        int n_jobs = args.full ? 100 : 20;
+        double best_rate = 0.0;
+        for (int r = 0; r < repeats; ++r) {
+            JobManagerOptions mopts;
+            mopts.workers = 2;
+            mopts.threadBudget = 2;
+            mopts.queueCapacity = n_jobs;
+            JobManager manager(mopts);
+            double t0 = now();
+            for (int i = 0; i < n_jobs; ++i) {
+                SearchSpec spec;
+                spec.algo = "ga";
+                spec.workload.model = "GoogleNet";
+                spec.eval.sampleBudget = 150;
+                spec.eval.seed = 1 + static_cast<uint64_t>(i % 4);
+                spec.eval.threads = 1;
+                spec.ga.population = 25;
+                std::string err;
+                if (manager.submit(spec, "bench", &err) < 0) {
+                    std::fprintf(stderr, "FAIL: serve submit: %s\n",
+                                 err.c_str());
+                    failed = true;
+                    break;
+                }
+            }
+            manager.drain();
+            for (const JobStatus &s : manager.jobs())
+                if (s.state != JobState::Done) {
+                    std::fprintf(stderr,
+                                 "FAIL: serve job %lld ended %s\n",
+                                 static_cast<long long>(s.id),
+                                 jobStateName(s.state));
+                    failed = true;
+                }
+            best_rate = std::max(best_rate, n_jobs / (now() - t0));
+        }
+        std::printf("serve: %d jobs drained at %.1f jobs/s (2 workers)\n",
+                    n_jobs, best_rate);
+        series.push_back({"serve_jobs_per_sec", best_rate, "jobs/s",
+                          true});
     }
 
     if (!writeSnapshot(out, series)) {

@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Exploration-service stress bench: hundreds of concurrent small
+ * specs hammered through one warm `cocco serve` process — HTTP
+ * submissions from several client threads, all jobs sharing the
+ * process-wide EvalCache.
+ *
+ * Correctness gates (exit non-zero on any violation):
+ *  - every submitted job completes (state "done");
+ *  - every job's result document is byte-identical to a solo
+ *    cold-cache run of the same spec through CoccoFramework — the
+ *    shared warm cache and the thread-budget ledger must never change
+ *    a result, only its latency;
+ *  - the shared cache actually shares: lifetime hit-rate > 0 (the
+ *    workload cycles a handful of distinct specs, so later jobs must
+ *    hit entries warmed by earlier ones).
+ *
+ * Reports jobs/sec through the full HTTP round trip and the shared
+ * cache hit-rate; --metrics-out writes the schema-v1 document.
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cocco.h"
+#include "core/serialize.h"
+#include "serve/http_server.h"
+#include "serve/job_manager.h"
+#include "serve/service.h"
+#include "util/json.h"
+#include "util/logging.h"
+
+using namespace cocco;
+using namespace cocco::bench;
+
+namespace {
+
+double
+now()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** The solo reference: the spec document run cold through the same
+ *  path `cocco run` takes, cache off. */
+std::string
+soloResultDoc(const std::string &specText)
+{
+    SearchSpec spec;
+    std::string err;
+    if (!parseRunSpecText(specText, &spec, &err))
+        fatal("bench spec does not parse: %s", err.c_str());
+    spec.eval.cacheEnabled = false;
+    Graph g;
+    if (!resolveWorkload(spec.workload, &g, &err))
+        fatal("%s", err.c_str());
+    AcceleratorConfig accel;
+    if (!resolvePlatform(spec.platform, &accel, &err))
+        fatal("%s", err.c_str());
+    CoccoFramework cocco(g, accel);
+    CoccoResult r = cocco.explore(spec);
+    return resultToJson(g, r);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    BenchArgs args = parseArgs(argc, argv, "exploration-service stress");
+    banner("Exploration service: concurrent jobs over one warm cache",
+           args);
+
+    // A handful of distinct specs cycled across many submissions —
+    // distinct enough to exercise admission/scheduling, repetitive
+    // enough that the shared cache must produce hits.
+    const int64_t samples = args.full ? 600 : 150;
+    std::vector<std::string> specTexts;
+    for (uint64_t s = 1; s <= 4; ++s)
+        specTexts.push_back(strprintf(
+            "{\"algo\":\"ga\",\"model\":\"GoogleNet\",\"samples\":%lld,"
+            "\"seed\":%llu,\"threads\":1,\"ga\":{\"population\":25}}",
+            static_cast<long long>(samples),
+            static_cast<unsigned long long>(args.seed * 10 + s)));
+
+    std::printf("solo baselines (%zu specs, cache off)...\n",
+                specTexts.size());
+    std::vector<std::string> expected;
+    for (const std::string &text : specTexts)
+        expected.push_back(soloResultDoc(text));
+
+    const int totalJobs = args.full ? 240 : 60;
+    const int clients = 6;
+
+    JobManagerOptions mopts;
+    mopts.workers = 4;
+    mopts.threadBudget = 4;
+    mopts.queueCapacity = totalJobs;
+    JobManager manager(mopts);
+
+    HttpServer server([&manager](const HttpRequest &req) {
+        return serveHttpRequest(manager, req, nullptr);
+    });
+    std::string err;
+    if (!server.start(0, &err))
+        fatal("%s", err.c_str());
+    int port = server.port();
+    std::printf("serving on 127.0.0.1:%d, %d jobs from %d clients...\n",
+                port, totalJobs, clients);
+
+    // Client threads submit over real HTTP; each records which spec
+    // every accepted job id came from for the identity check.
+    std::vector<std::vector<std::pair<int64_t, size_t>>> submitted(
+        clients);
+    std::atomic<int> failures{0};
+    double t0 = now();
+    std::vector<std::thread> pool;
+    for (int c = 0; c < clients; ++c) {
+        pool.emplace_back([&, c] {
+            for (int i = c; i < totalJobs; i += clients) {
+                size_t specIdx = static_cast<size_t>(i) %
+                                 specTexts.size();
+                int status = 0;
+                std::string body, ferr;
+                if (!httpFetch("127.0.0.1", port, "POST", "/jobs",
+                               specTexts[specIdx], &status, &body,
+                               &ferr) ||
+                    status != 202) {
+                    std::fprintf(stderr, "FAIL: submit %d: %s (%d)\n", i,
+                                 ferr.c_str(), status);
+                    ++failures;
+                    continue;
+                }
+                JsonValue doc;
+                std::string perr;
+                if (!parseJson(body, &doc, &perr) || !doc.isObject() ||
+                    !doc.find("job")) {
+                    std::fprintf(stderr, "FAIL: submit reply: %s\n",
+                                 body.c_str());
+                    ++failures;
+                    continue;
+                }
+                submitted[c].emplace_back(doc.find("job")->integer(),
+                                          specIdx);
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    manager.drain();
+    double wall = now() - t0;
+    double jobsPerSec = totalJobs / wall;
+
+    // Every job completed, every result bit-identical to its solo run.
+    int mismatches = 0;
+    for (const auto &client : submitted) {
+        for (const auto &[id, specIdx] : client) {
+            JobStatus s = manager.status(id);
+            if (s.state != JobState::Done) {
+                std::fprintf(stderr, "FAIL: job %lld ended %s (%s)\n",
+                             static_cast<long long>(id),
+                             jobStateName(s.state), s.error.c_str());
+                ++failures;
+                continue;
+            }
+            int status = 0;
+            std::string body, ferr;
+            if (!httpFetch("127.0.0.1", port, "GET",
+                           strprintf("/jobs/%lld/result",
+                                     static_cast<long long>(id)),
+                           "", &status, &body, &ferr) ||
+                status != 200) {
+                std::fprintf(stderr, "FAIL: fetch job %lld: %s (%d)\n",
+                             static_cast<long long>(id), ferr.c_str(),
+                             status);
+                ++failures;
+                continue;
+            }
+            if (body != expected[specIdx]) {
+                std::fprintf(stderr,
+                             "FAIL: job %lld differs from its solo run "
+                             "(spec %zu)\n",
+                             static_cast<long long>(id), specIdx);
+                ++mismatches;
+            }
+        }
+    }
+    server.stop();
+
+    EvalCacheStats stats = manager.cacheStats();
+    std::printf("%d jobs in %.2fs: %.1f jobs/s, shared-cache hit rate "
+                "%.1f%% (%llu hits / %llu misses)\n",
+                totalJobs, wall, jobsPerSec, 100.0 * stats.hitRate(),
+                static_cast<unsigned long long>(stats.hits),
+                static_cast<unsigned long long>(stats.misses));
+    if (mismatches)
+        std::fprintf(stderr, "FAIL: %d result(s) not bit-identical\n",
+                     mismatches);
+    if (stats.hitRate() <= 0.0) {
+        std::fprintf(stderr, "FAIL: shared cache produced no hits — "
+                             "jobs are not warming each other\n");
+        ++failures;
+    }
+
+    RunMetrics m;
+    m.name = "serve-stress";
+    m.model = "GoogleNet";
+    m.threads = mopts.threadBudget;
+    m.seed = args.seed;
+    m.samples = static_cast<int64_t>(totalJobs) * samples;
+    m.bestCost = 0.0;
+    m.wallSeconds = wall;
+    m.cacheEnabled = true;
+    m.cache = stats;
+    m.extra.emplace_back("jobs_per_sec", jobsPerSec);
+    m.extra.emplace_back("jobs", totalJobs);
+    writeMetrics(args, "bench_serve", {m});
+
+    return failures.load() || mismatches ? 1 : 0;
+}

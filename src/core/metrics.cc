@@ -78,6 +78,15 @@ metricsToJson(const std::string &generator,
             w.endArray();
             w.endObject();
         }
+        if (r.hasJob) {
+            w.key("job").beginObject();
+            w.field("id", r.jobId);
+            w.field("tenant", r.tenant);
+            w.field("state", r.jobState);
+            w.field("queued_seconds", r.queuedSeconds);
+            w.field("resumed", r.resumed);
+            w.endObject();
+        }
         w.key("extra").beginObject();
         for (const auto &[key, value] : r.extra)
             w.field(key, value);

@@ -25,6 +25,8 @@
  *                       "crossbar_energy_share": X,
  *                       "crossbar_latency_share": X,
  *                       "core_utilization": [X, ...] },   // optional
+ *       "job": { "id": N, "tenant": "...", "state": "...",
+ *                "queued_seconds": X, "resumed": B },     // optional
  *       "extra": { "<key>": X, ... }
  *     }, ...
  *   ]
@@ -34,6 +36,12 @@
  * CoccoResult (the CLI search modes and the deployment-aware bench
  * harnesses) so the multi-core trajectory — per-core utilization and
  * the crossbar's energy/latency share — is machine-checkable.
+ *
+ * The "job" object appears when the run went through the exploration
+ * service (`cocco serve` / `cocco batch`): job id, tenant label,
+ * terminal state ("done"/"cancelled"/"failed"), queue latency, and
+ * whether the run was resumed from a checkpoint. Solo `cocco run`
+ * documents omit it, keeping their exact prior shape.
  */
 
 #ifndef COCCO_CORE_METRICS_H
@@ -68,6 +76,15 @@ struct RunMetrics
      *  keep their exact shape). */
     bool hasDeployment = false;
     DeploymentBreakdown deployment;
+
+    /** Serving context (`cocco serve` / `cocco batch`); emitted only
+     *  when set, so solo-run documents keep their exact shape. */
+    bool hasJob = false;
+    int64_t jobId = 0;
+    std::string tenant;
+    std::string jobState;      ///< terminal JobState name
+    double queuedSeconds = 0.0;
+    bool resumed = false;      ///< run was resumed from a checkpoint
 
     /** Free-form numeric side channel ("speedup", "budget", ...). */
     std::vector<std::pair<std::string, double>> extra;

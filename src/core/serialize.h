@@ -14,6 +14,7 @@
 #include <string>
 
 #include "core/cocco.h"
+#include "search/checkpoint.h"
 #include "search/eval_cache.h"
 #include "sim/deployment.h"
 #include "sim/platform.h"
@@ -51,6 +52,31 @@ bool saveEvalCache(const EvalCache &cache, const std::string &path);
  *         corrupt tail stops the load but keeps earlier entries.
  */
 int loadEvalCache(EvalCache &cache, const std::string &path);
+
+/**
+ * Persist a mid-run search checkpoint (search/checkpoint.h) to
+ * @p path.
+ *
+ * Same family as the cache format: line-oriented versioned text
+ * ("COCCO-CHECKPOINT <version>"), hexfloat doubles for bit-exact
+ * round trips. Unlike the cache, a checkpoint is all-or-nothing — a
+ * partial resume state would silently fork the run — so the write
+ * goes to a temporary file first and renames over @p path only on
+ * success, and the loader rejects any malformed or truncated content
+ * outright. The format version is SearchCheckpoint::kVersion: bump it
+ * whenever the struct or its encoding changes (see CONTRIBUTING).
+ *
+ * @return false when the file cannot be written.
+ */
+bool saveCheckpoint(const SearchCheckpoint &c, const std::string &path);
+
+/**
+ * Load a checkpoint written by saveCheckpoint into @p out.
+ * @return false with *err describing the problem when the file is
+ *         missing, corrupt, or carries another format version.
+ */
+bool loadCheckpoint(const std::string &path, SearchCheckpoint *out,
+                    std::string *err);
 
 // --- Workload & platform resolution -------------------------------------
 // The file-and-name layer that makes a run spec self-contained: a

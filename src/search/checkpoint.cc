@@ -1,0 +1,70 @@
+#include "search/checkpoint.h"
+
+#include "sim/cost_model.h"
+#include "util/hash.h"
+
+namespace cocco {
+
+namespace {
+
+/** The fence lanes every driver shares: evaluation context (model,
+ *  space, objective knobs) plus the run identity (algo, seed, budget).
+ *  Mirrors the evaluation-context salt but adds what the salt
+ *  deliberately leaves out — seed and budget — because a checkpoint
+ *  is a position inside ONE specific run, not a shareable value. */
+uint64_t
+baseFence(const CostModel &model, const DseSpace &space,
+          const EvalOptions &opts, const std::string &algo)
+{
+    uint64_t h = model.contextHash(kHashSeed);
+    h = hashDseSpace(h, space);
+    h = hashString(h, algo);
+    h = hashU64(h, opts.seed);
+    h = hashI64(h, opts.sampleBudget);
+    h = hashDouble(h, opts.alpha);
+    h = hashU64(h, static_cast<uint64_t>(opts.metric));
+    h = hashU64(h, opts.coExplore ? 1 : 0);
+    h = hashU64(h, opts.inSituSplit ? 1 : 0);
+    return h;
+}
+
+} // namespace
+
+uint64_t
+gaCheckpointFence(const CostModel &model, const DseSpace &space,
+                  const GaOptions &opts)
+{
+    uint64_t h = baseFence(model, space, opts, "ga");
+    h = hashI64(h, opts.population);
+    h = hashDouble(h, opts.crossoverRate);
+    h = hashDouble(h, opts.mutPartitionRate);
+    h = hashDouble(h, opts.mutDseRate);
+    h = hashI64(h, opts.tournament);
+    h = hashI64(h, opts.elite);
+    h = hashU64(h, opts.recordPoints ? 1 : 0);
+    return hashFinalize(h);
+}
+
+uint64_t
+saCheckpointFence(const CostModel &model, const DseSpace &space,
+                  const SaOptions &opts)
+{
+    uint64_t h = baseFence(model, space, opts, "sa");
+    h = hashDouble(h, opts.tempStartFrac);
+    h = hashDouble(h, opts.tempEndFrac);
+    h = hashDouble(h, opts.dseMutationRate);
+    h = hashI64(h, opts.neighborBatch);
+    return hashFinalize(h);
+}
+
+uint64_t
+twoStepCheckpointFence(const CostModel &model, const DseSpace &space,
+                       const TwoStepOptions &opts, const std::string &algo)
+{
+    uint64_t h = baseFence(model, space, opts, algo);
+    h = hashI64(h, opts.samplesPerCandidate);
+    h = hashI64(h, opts.population);
+    return hashFinalize(h);
+}
+
+} // namespace cocco

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Checkpoint/resume for in-flight searches.
+ *
+ * A SearchCheckpoint is a complete snapshot of a driver's state at a
+ * batch boundary — the only points where parallel runs have a
+ * well-defined serial state (forEachStream discards cut-short batches
+ * whole, so a boundary snapshot never captures half a batch). Resuming
+ * from one replays the remainder of the run bit-identically to the
+ * uninterrupted original, for any thread count: everything
+ * thread-count-independent that feeds the result stream is captured
+ * (master RNG, engine stream counter, incumbent, trace, per-algorithm
+ * working state), and nothing timing-dependent is.
+ *
+ * Drivers see checkpointing through CheckpointHooks on
+ * EvalOptions::checkpoint:
+ *   - hooks.resume:   a snapshot to restore before the first batch;
+ *   - hooks.request:  set from any thread to ask for a snapshot at the
+ *                     next boundary (served once, then auto-cleared);
+ *   - hooks.save:     receives every snapshot taken;
+ *   - hooks.saveOnStop: additionally snapshot when the run ends early
+ *                     (cancellation or the wall-clock limit) — the
+ *                     "killed job" path, where the last boundary state
+ *                     is exactly what a restart needs.
+ *
+ * A snapshot is only meaningful for the exact run configuration that
+ * produced it, so each one carries a fence hash of everything
+ * result-affecting: model, space, algorithm + its parameters, seed,
+ * budget, objective knobs. Thread count and pruning are deliberately
+ * excluded — both are guaranteed not to change results, so a job may
+ * legitimately resume with different parallelism. Drivers fatal on a
+ * fence mismatch rather than silently producing a forked run.
+ *
+ * Persistence (save/loadCheckpoint) lives in core/serialize next to
+ * the cache file format and follows the same versioning rule.
+ */
+
+#ifndef COCCO_SEARCH_CHECKPOINT_H
+#define COCCO_SEARCH_CHECKPOINT_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "search/ga.h"
+#include "search/sa.h"
+#include "search/two_step.h"
+
+namespace cocco {
+
+/** One mid-run snapshot at a batch boundary (see file comment). */
+struct SearchCheckpoint
+{
+    /** Persisted-format version (core/serialize). Bump on ANY change
+     *  to this struct or its encoding; loaders reject other versions
+     *  (a half-understood resume state would fork the run). */
+    static constexpr int kVersion = 1;
+
+    std::string algo;   ///< driver key ("ga", "sa", "ts-random", ...)
+    uint64_t fence = 0; ///< run-identity hash (checkpointFence below)
+    uint64_t seed = 0;
+
+    // --- State shared by every driver. ---
+    int64_t samples = 0;
+    double bestCost = kInfeasiblePenalty;
+    Genome best;
+    std::vector<TracePoint> trace;
+    std::vector<SamplePoint> points;   ///< GA --record-points stream
+    std::array<uint64_t, 4> rng{};     ///< the driver's master Rng
+    uint64_t streamCounter = 0;        ///< engine counter at the boundary
+    int64_t sinceImprove = 0;          ///< stall counter
+
+    // --- GA: the population at the generation boundary. ---
+    std::vector<Genome> population;
+    std::vector<double> popCosts; ///< parallel to population
+
+    // --- SA: current state + the frozen temperature schedule. ---
+    bool hasSa = false;
+    Genome saCur;
+    double saCurCost = 0.0;
+    double saT0 = 0.0; ///< derived from the first evaluation; frozen
+
+    // --- Two-step: sweep position + folded accounting. ---
+    bool hasTs = false;
+    int64_t tsCandidate = 0; ///< next candidate index to run
+    uint64_t tsSubSeed = 0;
+    BufferConfig tsBestBuffer;
+    uint64_t tsBoundRejections = 0;
+    uint64_t tsBoundSkippedSamples = 0;
+    uint64_t tsIncReused = 0;
+    uint64_t tsIncRecost = 0;
+    DeltaStats tsDelta;
+};
+
+/** Driver-facing checkpoint wiring (EvalOptions::checkpoint). */
+struct CheckpointHooks
+{
+    /** Snapshot to restore before the first batch; null = fresh run.
+     *  Must outlive the run. Fence-validated (fatal on mismatch). */
+    const SearchCheckpoint *resume = nullptr;
+
+    /** Receives every snapshot taken. Called on the driver thread at
+     *  a batch boundary — keep it quick (a file write is fine). */
+    std::function<void(const SearchCheckpoint &)> save;
+
+    /** Set from any thread to request a snapshot at the next batch
+     *  boundary; cleared once served. */
+    std::atomic<bool> request{false};
+
+    /** Snapshot the last boundary when the run stops early
+     *  (Cancelled / TimeLimit) — the resume-after-kill path. */
+    bool saveOnStop = true;
+};
+
+/** Fence hash for a GA run (model + space + result-affecting options
+ *  + the GA knobs; threads/pruning excluded — see file comment). */
+uint64_t gaCheckpointFence(const CostModel &model, const DseSpace &space,
+                           const GaOptions &opts);
+
+/** Fence hash for an SA run. */
+uint64_t saCheckpointFence(const CostModel &model, const DseSpace &space,
+                           const SaOptions &opts);
+
+/** Fence hash for a two-step sweep; @p algo distinguishes the
+ *  candidate schedule ("ts-random" vs "ts-grid"). */
+uint64_t twoStepCheckpointFence(const CostModel &model,
+                                const DseSpace &space,
+                                const TwoStepOptions &opts,
+                                const std::string &algo);
+
+} // namespace cocco
+
+#endif // COCCO_SEARCH_CHECKPOINT_H

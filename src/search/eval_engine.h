@@ -49,6 +49,8 @@
 
 namespace cocco {
 
+struct CheckpointHooks; // search/checkpoint.h
+
 /**
  * The evaluation-environment core shared by every search driver:
  * GaOptions / SaOptions / TwoStepOptions all layer their algorithm
@@ -96,6 +98,11 @@ struct EvalOptions
     /** Early stop: end the run after this many recorded samples
      *  without the incumbent improving (0 = never). */
     int64_t stallLimit = 0;
+
+    /** Optional checkpoint/resume wiring (search/checkpoint.h; not
+     *  owned, must outlive the run). Read by the GA/SA/two-step
+     *  drivers, ignored by the engine itself. Null = none. */
+    CheckpointHooks *checkpoint = nullptr;
 };
 
 /** Operator-reported gene-change accounting (see GeneDelta). */
@@ -264,6 +271,15 @@ class EvalEngine
 
     /** RNG stream for the i-th element of the *next* batch. */
     Rng streamRng(uint64_t index) const;
+
+    /** The stream counter (checkpointing: capture it at a completed
+     *  batch boundary — forEachStream advances it up front, so after
+     *  a discarded partial batch the live value is already past the
+     *  boundary state). */
+    uint64_t streamCounter() const { return streamCounter_; }
+
+    /** Restore a counter captured by streamCounter() (resume). */
+    void setStreamCounter(uint64_t counter) { streamCounter_ = counter; }
 
   private:
     double evaluateUncached(Genome &genome);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "partition/repair.h"
+#include "search/checkpoint.h"
 #include "search/operators.h"
 #include "util/logging.h"
 
@@ -87,12 +88,74 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
         return *best;
     };
 
-    // --- Initialization (optionally seeded with external results):
-    //     one batch through the engine. A batch cut short by a hard
-    //     stop is discarded whole: which elements ran depends on
-    //     timing, so recording any of them would break determinism. ---
+    // --- Checkpointing: snapshots are taken only at generation
+    //     boundaries (after selection refilled the population), where
+    //     (rng, stream counter, population, incumbent, trace) form a
+    //     consistent serial state. `boundary` holds the stream counter
+    //     captured there — the live counter is already past it while a
+    //     batch is in flight, including discarded partial ones. ---
+    CheckpointHooks *ck = opts_.checkpoint;
+    const uint64_t fence =
+        ck ? gaCheckpointFence(model_, space_, opts_) : 0;
+    uint64_t boundary = 0;
+    auto strip = [](Genome g) {
+        g.evalRecord = nullptr; // value-neutral accelerator; drop it
+        return g;
+    };
+    auto snapshot = [&]() {
+        SearchCheckpoint c;
+        c.algo = "ga";
+        c.fence = fence;
+        c.seed = opts_.seed;
+        c.samples = res.samples;
+        c.bestCost = res.bestCost;
+        c.best = strip(res.best);
+        c.trace = res.trace;
+        c.points = res.points;
+        c.rng = rng.state();
+        c.streamCounter = boundary;
+        c.sinceImprove = mon.samplesSinceImprove();
+        for (const Scored &s : pop) {
+            c.population.push_back(strip(s.genome));
+            c.popCosts.push_back(s.cost);
+        }
+        return c;
+    };
+    auto serve_request = [&]() {
+        if (ck && ck->save &&
+            ck->request.exchange(false, std::memory_order_acq_rel))
+            ck->save(snapshot());
+    };
+
+    // --- Initialization: resume from a checkpoint, or run one batch
+    //     through the engine (optionally seeded with external
+    //     results). A batch cut short by a hard stop is discarded
+    //     whole: which elements ran depends on timing, so recording
+    //     any of them would break determinism. ---
     bool complete;
-    {
+    if (ck && ck->resume) {
+        const SearchCheckpoint &c = *ck->resume;
+        if (c.algo != "ga" || c.fence != fence)
+            fatal("checkpoint does not match this run (saved by \"%s\", "
+                  "fence mismatch or different configuration)",
+                  c.algo.c_str());
+        if (c.population.size() != static_cast<size_t>(opts_.population) ||
+            c.popCosts.size() != c.population.size())
+            fatal("checkpoint population does not match the configured "
+                  "GA population");
+        res.samples = c.samples;
+        res.bestCost = c.bestCost;
+        res.best = c.best;
+        res.trace = c.trace;
+        res.points = c.points;
+        rng.setState(c.rng);
+        engine_.setStreamCounter(c.streamCounter);
+        boundary = c.streamCounter;
+        mon.restoreStall(c.sinceImprove);
+        for (size_t i = 0; i < c.population.size(); ++i)
+            pop.push_back({c.population[i], c.popCosts[i]});
+        complete = true;
+    } else {
         size_t n = static_cast<size_t>(opts_.population);
         size_t n_seed = std::min(seeds.size(), n);
         std::vector<Scored> init(n);
@@ -109,6 +172,8 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
                 pop.push_back(std::move(s));
             }
             mon.batchDone(res.samples, res.bestCost);
+            boundary = engine_.streamCounter();
+            serve_request();
         }
     }
 
@@ -178,9 +243,19 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
             pop.push_back(pool[e]);
         while (static_cast<int>(pop.size()) < opts_.population)
             pop.push_back(tournament_pick(pool, rng));
+
+        boundary = engine_.streamCounter();
+        serve_request();
     }
 
     res.stop = mon.stopReason();
+    // The killed-job path: the run ended early, so persist the last
+    // boundary — resuming from it replays the rest bit-identically.
+    // (A budget/stall end is final; nothing left to resume.)
+    if (ck && ck->save && ck->saveOnStop && !pop.empty() &&
+        (res.stop == StopReason::Cancelled ||
+         res.stop == StopReason::TimeLimit))
+        ck->save(snapshot());
     if (res.samples > 0) {
         res.bestBuffer = res.best.buffer(space_);
         res.bestGraphCost =

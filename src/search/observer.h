@@ -160,6 +160,12 @@ class SearchMonitor
     /** Samples recorded since the incumbent last improved. */
     int64_t samplesSinceImprove() const { return sinceImprove_; }
 
+    /** Restore the stall counter from a checkpoint so a resumed run's
+     *  stall-limit behavior matches the uninterrupted run. The wall
+     *  clock deliberately restarts (start_ is set at construction):
+     *  a resume gets a fresh time budget, not a stale one. */
+    void restoreStall(int64_t sinceImprove) { sinceImprove_ = sinceImprove; }
+
     /** The stall limit tripped. */
     bool
     stalled() const

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "search/checkpoint.h"
 #include "search/operators.h"
 #include "util/logging.h"
 
@@ -26,8 +27,9 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
     int batch = std::max(opts.neighborBatch, 1);
 
     SearchResult res;
-    Genome cur = randomGenome(model.graph(), space, rng);
-    double cur_cost = engine.evaluate(cur);
+    Genome cur;
+    double cur_cost = 0.0;
+    double t0 = 0.0;
 
     auto record = [&](const Genome &genome, double cost) {
         ++res.samples;
@@ -39,10 +41,65 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
         res.trace.push_back({res.samples, res.bestCost});
         mon.recordSample(res.trace.back(), improved);
     };
-    record(cur, cur_cost);
-    mon.batchDone(res.samples, res.bestCost);
 
-    double t0 = std::max(cur_cost * opts.tempStartFrac, 1.0);
+    // --- Checkpointing at sweep boundaries (see GA): `boundary` is
+    //     the stream counter after the last fully recorded sweep; t0
+    //     rides along because the temperature schedule is frozen from
+    //     the very first evaluation. ---
+    CheckpointHooks *ck = opts.checkpoint;
+    const uint64_t fence = ck ? saCheckpointFence(model, space, opts) : 0;
+    uint64_t boundary = 0;
+    auto strip = [](Genome g) {
+        g.evalRecord = nullptr;
+        return g;
+    };
+    auto make_checkpoint = [&]() {
+        SearchCheckpoint c;
+        c.algo = "sa";
+        c.fence = fence;
+        c.seed = opts.seed;
+        c.samples = res.samples;
+        c.bestCost = res.bestCost;
+        c.best = strip(res.best);
+        c.trace = res.trace;
+        c.rng = rng.state();
+        c.streamCounter = boundary;
+        c.sinceImprove = mon.samplesSinceImprove();
+        c.hasSa = true;
+        c.saCur = strip(cur);
+        c.saCurCost = cur_cost;
+        c.saT0 = t0;
+        return c;
+    };
+
+    if (ck && ck->resume) {
+        const SearchCheckpoint &c = *ck->resume;
+        if (c.algo != "sa" || c.fence != fence)
+            fatal("checkpoint does not match this run (saved by \"%s\", "
+                  "fence mismatch or different configuration)",
+                  c.algo.c_str());
+        if (!c.hasSa)
+            fatal("checkpoint is missing the SA state section");
+        res.samples = c.samples;
+        res.bestCost = c.bestCost;
+        res.best = c.best;
+        res.trace = c.trace;
+        rng.setState(c.rng);
+        engine.setStreamCounter(c.streamCounter);
+        boundary = c.streamCounter;
+        mon.restoreStall(c.sinceImprove);
+        cur = c.saCur;
+        cur_cost = c.saCurCost;
+        t0 = c.saT0;
+    } else {
+        // The initial state is evaluated serially (no stream draw), so
+        // the boundary stream counter stays 0 here.
+        cur = randomGenome(model.graph(), space, rng);
+        cur_cost = engine.evaluate(cur);
+        record(cur, cur_cost);
+        mon.batchDone(res.samples, res.bestCost);
+        t0 = std::max(cur_cost * opts.tempStartFrac, 1.0);
+    }
     double t_end = t0 * opts.tempEndFrac;
 
     while (!mon.shouldStop() && res.samples < opts.sampleBudget) {
@@ -91,9 +148,17 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
             }
         }
         mon.batchDone(res.samples, res.bestCost);
+        boundary = engine.streamCounter();
+        if (ck && ck->save &&
+            ck->request.exchange(false, std::memory_order_acq_rel))
+            ck->save(make_checkpoint());
     }
 
     res.stop = mon.stopReason();
+    if (ck && ck->save && ck->saveOnStop && res.samples > 0 &&
+        (res.stop == StopReason::Cancelled ||
+         res.stop == StopReason::TimeLimit))
+        ck->save(make_checkpoint());
     res.bestBuffer = res.best.buffer(space);
     res.bestGraphCost = model.partitionCost(res.best.part, res.bestBuffer);
     if (engine.cache())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "search/checkpoint.h"
 #include "util/logging.h"
 
 namespace cocco {
@@ -57,7 +58,7 @@ class InnerCancel : public SearchObserver
 SearchResult
 runCandidates(CostModel &model, const DseSpace &space,
               const std::vector<HwPoint> &candidates,
-              const TwoStepOptions &opts)
+              const TwoStepOptions &opts, const char *algo)
 {
     SearchResult global;
     uint64_t sub_seed = opts.seed;
@@ -97,9 +98,76 @@ runCandidates(CostModel &model, const DseSpace &space,
     if (cache)
         cache_start = cache->stats();
 
-    for (const HwPoint &pt : candidates) {
+    // --- Checkpointing at candidate boundaries: the sweep's serial
+    //     state between candidates is (index, sub_seed, folded trace,
+    //     incumbent, counters). Inner GAs run without hooks of their
+    //     own, so an interrupt mid-candidate resumes by re-running
+    //     that candidate wholly from the pre-candidate snapshot —
+    //     `pending` — which is exactly what the uninterrupted run did
+    //     too (bit-identity holds either way). A candidate that DID
+    //     finish advances `pending` past itself so a later save never
+    //     redoes completed work. ---
+    CheckpointHooks *ck = opts.checkpoint;
+    const uint64_t fence =
+        ck ? twoStepCheckpointFence(model, space, opts, algo) : 0;
+    size_t start_idx = 0;
+    if (ck && ck->resume) {
+        const SearchCheckpoint &c = *ck->resume;
+        if (c.algo != algo || c.fence != fence)
+            fatal("checkpoint does not match this run (saved by \"%s\", "
+                  "fence mismatch or different configuration)",
+                  c.algo.c_str());
+        if (!c.hasTs)
+            fatal("checkpoint is missing the two-step state section");
+        global.samples = c.samples;
+        global.bestCost = c.bestCost;
+        global.best = c.best;
+        global.bestBuffer = c.tsBestBuffer;
+        global.trace = c.trace;
+        global.deltaStats = c.tsDelta;
+        sub_seed = c.tsSubSeed;
+        start_idx = static_cast<size_t>(c.tsCandidate);
+        mon.restoreStall(c.sinceImprove);
+        bound_rejections = c.tsBoundRejections;
+        bound_skipped = c.tsBoundSkippedSamples;
+        inc_reused = c.tsIncReused;
+        inc_recost = c.tsIncRecost;
+    }
+    auto snapshot = [&](size_t next_idx) {
+        SearchCheckpoint c;
+        c.algo = algo;
+        c.fence = fence;
+        c.seed = opts.seed;
+        c.samples = global.samples;
+        c.bestCost = global.bestCost;
+        c.best = global.best;
+        c.best.evalRecord = nullptr;
+        c.trace = global.trace;
+        c.sinceImprove = mon.samplesSinceImprove();
+        c.hasTs = true;
+        c.tsCandidate = static_cast<int64_t>(next_idx);
+        c.tsSubSeed = sub_seed;
+        c.tsBestBuffer = global.bestBuffer;
+        c.tsBoundRejections = bound_rejections;
+        c.tsBoundSkippedSamples = bound_skipped;
+        c.tsIncReused = inc_reused;
+        c.tsIncRecost = inc_recost;
+        c.tsDelta = global.deltaStats;
+        return c;
+    };
+    SearchCheckpoint pending;
+    bool have_pending = false;
+
+    for (size_t idx = start_idx; idx < candidates.size(); ++idx) {
         if (mon.shouldStop() || global.samples >= opts.sampleBudget)
             break;
+        if (ck && ck->save) {
+            pending = snapshot(idx);
+            have_pending = true;
+            if (ck->request.exchange(false, std::memory_order_acq_rel))
+                ck->save(pending);
+        }
+        const HwPoint &pt = candidates[idx];
         BufferConfig buf = decode(space, pt);
 
         if (can_reject && global.bestCost < kInfeasiblePenalty) {
@@ -131,6 +199,10 @@ runCandidates(CostModel &model, const DseSpace &space,
                     mon.recordSample(global.trace.back(), false);
                 }
                 mon.batchDone(global.samples, global.bestCost);
+                if (ck && ck->save) {
+                    pending = snapshot(idx + 1);
+                    have_pending = true;
+                }
                 continue;
             }
         }
@@ -182,9 +254,22 @@ runCandidates(CostModel &model, const DseSpace &space,
             mon.recordSample(global.trace.back(), improved);
         }
         mon.batchDone(global.samples, global.bestCost);
+
+        // Only a full inner run advances the boundary: one cut short
+        // (cancel / time limit) folded a timing-dependent partial
+        // trace, so the pre-candidate snapshot stays authoritative and
+        // a resume re-runs this candidate from scratch.
+        if (ck && ck->save && inner.stop == StopReason::BudgetExhausted) {
+            pending = snapshot(idx + 1);
+            have_pending = true;
+        }
     }
 
     global.stop = mon.stopReason();
+    if (ck && ck->save && ck->saveOnStop && have_pending &&
+        (global.stop == StopReason::Cancelled ||
+         global.stop == StopReason::TimeLimit))
+        ck->save(pending);
     if (global.bestCost < kInfeasiblePenalty) {
         global.bestGraphCost =
             model.partitionCost(global.best.part, global.bestBuffer);
@@ -205,13 +290,14 @@ runCandidates(CostModel &model, const DseSpace &space,
  */
 bool
 frozenSweep(CostModel &model, const DseSpace &space,
-            const TwoStepOptions &opts, SearchResult *out)
+            const TwoStepOptions &opts, SearchResult *out,
+            const char *algo)
 {
     if (space.searchHw)
         return false;
     TwoStepOptions single = opts;
     single.samplesPerCandidate = opts.sampleBudget;
-    *out = runCandidates(model, space, {HwPoint{}}, single);
+    *out = runCandidates(model, space, {HwPoint{}}, single, algo);
     return true;
 }
 
@@ -222,7 +308,7 @@ twoStepRandom(CostModel &model, const DseSpace &space,
               const TwoStepOptions &opts)
 {
     SearchResult frozen;
-    if (frozenSweep(model, space, opts, &frozen))
+    if (frozenSweep(model, space, opts, &frozen, "ts-random"))
         return frozen;
     Rng rng(opts.seed * 31 + 7);
     int64_t n = std::max<int64_t>(
@@ -239,7 +325,7 @@ twoStepRandom(CostModel &model, const DseSpace &space,
             static_cast<int>(rng.uniformInt(0, space.sharedGrid.count - 1));
         candidates.push_back(pt);
     }
-    return runCandidates(model, space, candidates, opts);
+    return runCandidates(model, space, candidates, opts, "ts-random");
 }
 
 SearchResult
@@ -247,7 +333,7 @@ twoStepGrid(CostModel &model, const DseSpace &space,
             const TwoStepOptions &opts)
 {
     SearchResult frozen;
-    if (frozenSweep(model, space, opts, &frozen))
+    if (frozenSweep(model, space, opts, &frozen, "ts-grid"))
         return frozen;
     int64_t n = std::max<int64_t>(
         1, opts.sampleBudget / std::max<int64_t>(1,
@@ -282,7 +368,7 @@ twoStepGrid(CostModel &model, const DseSpace &space,
                              decode(space, y).totalBytes();
                   });
     }
-    return runCandidates(model, space, candidates, opts);
+    return runCandidates(model, space, candidates, opts, "ts-grid");
 }
 
 } // namespace cocco

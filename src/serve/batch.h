@@ -1,0 +1,84 @@
+/**
+ * @file
+ * `cocco batch <dir>`: drain a directory of run-spec documents
+ * through one JobManager — every spec a job, all of them sharing the
+ * process-wide evaluation cache, so a basket of related runs warms
+ * itself as it goes.
+ *
+ * Outputs, per spec `<stem>.json`, into the output directory:
+ *   <stem>.metrics.json  the schema-v1 metrics document (job block set)
+ *   <stem>.result.json   the resultToJson solution document
+ * plus `batch_summary.json` with per-spec outcomes and the shared
+ * cache's lifetime accounting. Specs that fail to parse or resolve
+ * are recorded as failed entries; they never abort the batch.
+ *
+ * Interruption: when the interrupt flag flips (the CLI's SIGINT
+ * handler), every in-flight job is cancelled cooperatively; partial
+ * results and the summary are still written, and the run reports
+ * cancelled = true.
+ */
+
+#ifndef COCCO_SERVE_BATCH_H
+#define COCCO_SERVE_BATCH_H
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "search/eval_cache.h"
+
+namespace cocco {
+
+/** Knobs for one batch run. */
+struct BatchOptions
+{
+    std::string outDir;   ///< output directory; "" = the spec dir
+    int jobs = 2;         ///< concurrently running specs
+    int threadBudget = 0; ///< total eval threads; <= 0 = all cores
+    bool cacheEnabled = true;
+    size_t cacheCapacity = EvalCache::kDefaultCapacity;
+    std::string cacheFile; ///< warm-start / persist the shared cache
+    bool progress = false; ///< NDJSON job events on stderr
+
+    /** Cooperative-cancel flag (the CLI's SIGINT latch). */
+    const std::atomic<bool> *interrupt = nullptr;
+};
+
+/** One spec's outcome. */
+struct BatchEntry
+{
+    std::string specFile; ///< the input document (basename)
+    int64_t job = 0;      ///< job id (0 when never admitted)
+    std::string state;    ///< "done" / "cancelled" / "failed"
+    int64_t samples = 0;
+    double bestCost = 0.0;
+    double wallSeconds = 0.0;
+    std::string error;
+};
+
+/** The whole batch's outcome. */
+struct BatchSummary
+{
+    std::vector<BatchEntry> entries;
+    int done = 0;
+    int cancelled = 0;
+    int failed = 0;
+    double wallSeconds = 0.0;
+    bool interrupted = false;
+    EvalCacheStats cache; ///< shared-cache lifetime counters
+};
+
+/**
+ * Run every `*.json` run spec in @p dir (output artifacts excluded)
+ * through a JobManager per @p opts; write per-spec metrics/result
+ * documents and `batch_summary.json` into the output directory.
+ * @return false with *err set when the directory cannot be scanned,
+ * holds no specs, or the output directory cannot be created — spec
+ * level failures are per-entry outcomes, not errors.
+ */
+bool runBatchDir(const std::string &dir, const BatchOptions &opts,
+                 BatchSummary *out, std::string *err);
+
+} // namespace cocco
+
+#endif // COCCO_SERVE_BATCH_H

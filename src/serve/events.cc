@@ -1,0 +1,102 @@
+#include "serve/events.h"
+
+#include "util/json.h"
+
+namespace cocco {
+
+const char *
+jobEventName(JobEvent::Kind kind)
+{
+    switch (kind) {
+      case JobEvent::Kind::Accepted:
+        return "accepted";
+      case JobEvent::Kind::Started:
+        return "started";
+      case JobEvent::Kind::Improve:
+        return "improve";
+      case JobEvent::Kind::BatchDone:
+        return "batch";
+      case JobEvent::Kind::Checkpoint:
+        return "checkpoint";
+      case JobEvent::Kind::Done:
+        return "done";
+      case JobEvent::Kind::Cancelled:
+        return "cancelled";
+      case JobEvent::Kind::Failed:
+        return "failed";
+    }
+    return "unknown";
+}
+
+std::string
+encodeJobEvent(const JobEvent &e)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("event", jobEventName(e.kind));
+    w.field("job", e.job);
+    switch (e.kind) {
+      case JobEvent::Kind::Improve:
+      case JobEvent::Kind::BatchDone:
+        w.field("sample", e.sample);
+        w.field("best", e.bestCost);
+        break;
+      case JobEvent::Kind::Checkpoint:
+        w.field("sample", e.sample);
+        break;
+      case JobEvent::Kind::Done:
+      case JobEvent::Kind::Cancelled:
+        w.field("sample", e.sample);
+        w.field("best", e.bestCost);
+        w.field("stop", stopReasonName(e.stop));
+        break;
+      case JobEvent::Kind::Failed:
+        w.field("error", e.error);
+        break;
+      case JobEvent::Kind::Accepted:
+      case JobEvent::Kind::Started:
+        break;
+    }
+    w.endObject();
+    return w.str();
+}
+
+void
+NdjsonProgress::onImprove(const TracePoint &tp)
+{
+    JobEvent e;
+    e.kind = JobEvent::Kind::Improve;
+    e.job = job_;
+    e.sample = tp.sample;
+    e.bestCost = tp.bestCost;
+    emit(e);
+}
+
+void
+NdjsonProgress::onBatchDone(int64_t samples, double bestCost)
+{
+    JobEvent e;
+    e.kind = JobEvent::Kind::BatchDone;
+    e.job = job_;
+    e.sample = samples;
+    e.bestCost = bestCost;
+    emit(e);
+}
+
+bool
+NdjsonProgress::cancelled()
+{
+    return cancel_ && cancel_->load(std::memory_order_relaxed);
+}
+
+void
+NdjsonProgress::emit(const JobEvent &e)
+{
+    if (!out_)
+        return;
+    std::string line = encodeJobEvent(e);
+    std::fprintf(out_, "%s\n", line.c_str());
+    std::fflush(out_);
+}
+
+} // namespace cocco

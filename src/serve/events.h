@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The NDJSON progress-event vocabulary shared by every front end of
+ * the exploration service: `cocco serve` (HTTP event streams and the
+ * stdio protocol), `cocco batch --progress`, and `cocco run
+ * --progress` all emit the same one-object-per-line encoding, so a
+ * consumer written against one surface parses all of them.
+ *
+ * Event schema (one JSON object per line, no trailing comma):
+ *   {"event":"accepted","job":N}
+ *   {"event":"started","job":N}
+ *   {"event":"improve","job":N,"sample":N,"best":X}
+ *   {"event":"batch","job":N,"sample":N,"best":X}
+ *   {"event":"checkpoint","job":N,"sample":N}
+ *   {"event":"done","job":N,"sample":N,"best":X,"stop":"budget"}
+ *   {"event":"cancelled","job":N,"sample":N,"best":X,"stop":"cancelled"}
+ *   {"event":"failed","job":N,"error":"..."}
+ *
+ * "improve"/"batch" map 1:1 onto SearchObserver::onImprove /
+ * onBatchDone; "stop" carries stopReasonName(). Solo `cocco run`
+ * emits job id 0.
+ */
+
+#ifndef COCCO_SERVE_EVENTS_H
+#define COCCO_SERVE_EVENTS_H
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "search/observer.h"
+
+namespace cocco {
+
+/** One progress event (see file comment for the wire encoding). */
+struct JobEvent
+{
+    enum class Kind
+    {
+        Accepted,   ///< admitted to the queue
+        Started,    ///< picked up by a worker
+        Improve,    ///< the incumbent improved (onImprove)
+        BatchDone,  ///< an evaluation batch finished (onBatchDone)
+        Checkpoint, ///< a checkpoint snapshot was persisted
+        Done,       ///< terminal: ran to its natural end
+        Cancelled,  ///< terminal: cancelled mid-flight
+        Failed,     ///< terminal: spec resolution/setup failed
+    };
+
+    Kind kind = Kind::BatchDone;
+    int64_t job = 0;
+    int64_t sample = 0;
+    double bestCost = 0.0;
+    StopReason stop = StopReason::BudgetExhausted; ///< Done/Cancelled
+    std::string error;                             ///< Failed
+};
+
+/** Stable lowercase wire name ("accepted", "improve", ...). */
+const char *jobEventName(JobEvent::Kind kind);
+
+/** Encode one event as its NDJSON line (no trailing newline). */
+std::string encodeJobEvent(const JobEvent &e);
+
+/**
+ * SearchObserver that prints improve/batch events as NDJSON lines to
+ * a FILE* and doubles as the cooperative-cancellation hook: pass the
+ * process's SIGINT flag as @p cancel and a trapped interrupt stops
+ * the run at the next batch boundary. Pass a null @p out to get the
+ * cancellation wiring without any printing (`cocco run` without
+ * --progress). Lines are written atomically (single fprintf +
+ * flush), so the stream stays parseable under concurrent writers.
+ */
+class NdjsonProgress : public SearchObserver
+{
+  public:
+    NdjsonProgress(std::FILE *out, int64_t job,
+                   const std::atomic<bool> *cancel = nullptr)
+        : out_(out), job_(job), cancel_(cancel)
+    {
+    }
+
+    void onImprove(const TracePoint &tp) override;
+    void onBatchDone(int64_t samples, double bestCost) override;
+    bool cancelled() override;
+
+    /** Emit an arbitrary event on the same stream (e.g. checkpoint
+     *  saves from the driver's save hook). No-op without an out. */
+    void emit(const JobEvent &e);
+
+  private:
+    std::FILE *out_;
+    int64_t job_;
+    const std::atomic<bool> *cancel_;
+};
+
+} // namespace cocco
+
+#endif // COCCO_SERVE_EVENTS_H

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * A minimal blocking-socket HTTP/1.1 server for `cocco serve` — just
+ * enough protocol for the job API (request line, headers,
+ * Content-Length bodies, Connection: close responses), built on raw
+ * POSIX sockets so the service adds no dependency. One thread per
+ * connection; the listener binds 127.0.0.1 only (this is a local
+ * service endpoint, not an internet-facing daemon).
+ *
+ * Streaming: a handler may return a response with `streamer` set
+ * instead of `body`; the server then writes the header and hands the
+ * connection to the callback, which pushes chunks (NDJSON lines for
+ * the event stream) until it returns or a write fails (client went
+ * away). The connection always closes after one exchange — keep-alive
+ * buys nothing for a job API and costs protocol surface.
+ *
+ * httpFetch() is the matching one-shot client, used by the CLI's
+ * tests and the serve bench to hammer a server in-process.
+ */
+
+#ifndef COCCO_SERVE_HTTP_SERVER_H
+#define COCCO_SERVE_HTTP_SERVER_H
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace cocco {
+
+/** One parsed request. Header names are lowercased. */
+struct HttpRequest
+{
+    std::string method; ///< "GET", "POST", ...
+    std::string path;   ///< "/jobs/3/result" (no query parsing)
+    std::string body;
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** First value of a (lowercase) header name; "" when absent. */
+    std::string header(const std::string &name) const;
+};
+
+/** One response. Set `streamer` (and leave body empty) to stream. */
+struct HttpResponse
+{
+    int status = 200;
+    std::string contentType = "application/json";
+    std::string body;
+
+    /** When set, called after the header is written; push chunks via
+     *  the write callback, which returns false once the client is
+     *  gone (stop pushing then). */
+    std::function<void(const std::function<bool(const std::string &)> &)>
+        streamer;
+};
+
+/** The server (see file comment). start() spawns the accept loop;
+ *  stop()/destruction joins everything. */
+class HttpServer
+{
+  public:
+    using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+    explicit HttpServer(Handler handler);
+    ~HttpServer();
+
+    /**
+     * Bind 127.0.0.1:@p port (0 = ephemeral) and start accepting.
+     * @return false with *err set when the socket cannot be set up.
+     */
+    bool start(int port, std::string *err);
+
+    /** The bound port (resolves an ephemeral request); 0 before
+     *  start(). */
+    int port() const { return port_; }
+
+    /** Stop accepting, unblock in-flight connections, join. */
+    void stop();
+
+  private:
+    struct Conn
+    {
+        std::thread thread;
+        int fd = -1;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    void reapLocked();
+
+    Handler handler_;
+    std::atomic<bool> running_{false};
+    int listenFd_ = -1;
+    int port_ = 0;
+    std::thread acceptThread_;
+
+    std::mutex connMu_;
+    std::vector<Conn> conns_;
+};
+
+/**
+ * One-shot HTTP client: connect, send one request, read to EOF.
+ * @p response receives the body only. @return false with *err on
+ * connect/send failures or an unparseable status line; HTTP error
+ * statuses are reported via *status, not as failures.
+ */
+bool httpFetch(const std::string &host, int port,
+               const std::string &method, const std::string &path,
+               const std::string &body, int *status,
+               std::string *response, std::string *err);
+
+} // namespace cocco
+
+#endif // COCCO_SERVE_HTTP_SERVER_H

@@ -33,6 +33,19 @@ Rng::Rng(uint64_t seed)
         s = splitmix64(sm);
 }
 
+std::array<uint64_t, 4>
+Rng::state() const
+{
+    return {s_[0], s_[1], s_[2], s_[3]};
+}
+
+void
+Rng::setState(const std::array<uint64_t, 4> &s)
+{
+    for (size_t i = 0; i < 4; ++i)
+        s_[i] = s[i];
+}
+
 uint64_t
 Rng::next()
 {

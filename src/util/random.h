@@ -12,6 +12,7 @@
 #ifndef COCCO_UTIL_RANDOM_H
 #define COCCO_UTIL_RANDOM_H
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
@@ -28,6 +29,13 @@ class Rng
 
     /** Next raw 64-bit value. */
     uint64_t next();
+
+    /** The raw generator state (for checkpointing a search run). */
+    std::array<uint64_t, 4> state() const;
+
+    /** Restore a state captured by state(); the subsequent draw
+     *  sequence continues exactly where the captured one left off. */
+    void setState(const std::array<uint64_t, 4> &s);
 
     /** Uniform integer in [lo, hi] inclusive; requires lo <= hi. */
     int64_t uniformInt(int64_t lo, int64_t hi);

@@ -51,16 +51,24 @@
  * first-class citizens of every mode.
  */
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/cocco.h"
 #include "core/metrics.h"
 #include "core/serialize.h"
+#include "serve/batch.h"
+#include "serve/events.h"
+#include "serve/http_server.h"
+#include "serve/job_manager.h"
+#include "serve/service.h"
 #include "graph/dot.h"
 #include "graph/graph_json.h"
 #include "graph/stats.h"
@@ -106,7 +114,28 @@ struct CliArgs
     std::string cacheFile;  ///< warm-start / persist path ("" = none)
     std::string metricsOut; ///< JSON metrics path ("" = none)
     std::string specFile;   ///< declarative run spec ("" = none)
+    bool progress = false;  ///< NDJSON progress events on stderr
+    std::string checkpointFile; ///< search checkpoint path ("" = none)
+    bool stdio = false;     ///< serve: NDJSON over stdin/stdout
+    int port = -1;          ///< serve: HTTP port (0 = ephemeral)
+    int serveWorkers = 2;   ///< serve: concurrently running jobs
+    int serveQueue = 64;    ///< serve: max queued jobs
+    int jobs = 2;           ///< batch: concurrently running specs
+    std::string outDir;     ///< batch: output directory ("" = spec dir)
 };
+
+/** SIGINT latch for `run` / `batch` / `serve`: the first interrupt
+ *  requests a cooperative stop (drivers cancel at the next batch
+ *  boundary, partial metrics and checkpoints still flush); a second
+ *  interrupt hard-exits — the escape hatch when a run is stuck. */
+std::atomic<bool> g_interrupted{false};
+
+extern "C" void
+onSigint(int)
+{
+    if (g_interrupted.exchange(true))
+        std::_Exit(130);
+}
 
 [[noreturn]] void
 usage()
@@ -124,7 +153,10 @@ usage()
         "  dot       <model> [--runs L]\n"
         "  partition <model> --algo greedy|dp|enum|<search driver>\n"
         "  coexplore <model> [--style shared|separate] [--algo DRIVER]\n"
-        "  run       --spec FILE\n"
+        "  run       --spec FILE [--progress] [--checkpoint F]\n"
+        "  batch     <dir> [--jobs N] [--out DIR] [--progress]\n"
+        "  serve     --port N | --stdio  [--serve-workers N] "
+        "[--serve-queue N]\n"
         "  validate-metrics FILE\n"
         "workload/platform: --model-file F --model-seed N\n"
         "       --platform NAME --platform-file F\n"
@@ -210,6 +242,22 @@ parse(int argc, char **argv)
             a.metricsOut = next();
         else if (f == "--spec")
             a.specFile = next();
+        else if (f == "--progress")
+            a.progress = true;
+        else if (f == "--checkpoint")
+            a.checkpointFile = next();
+        else if (f == "--stdio")
+            a.stdio = true;
+        else if (f == "--port")
+            a.port = std::atoi(next());
+        else if (f == "--serve-workers")
+            a.serveWorkers = std::atoi(next());
+        else if (f == "--serve-queue")
+            a.serveQueue = std::atoi(next());
+        else if (f == "--jobs")
+            a.jobs = std::atoi(next());
+        else if (f == "--out")
+            a.outDir = next();
         else if (f == "--metric")
             a.metric = std::string(next()) == "ema" ? Metric::EMA
                                                     : Metric::Energy;
@@ -646,6 +694,52 @@ runSpec(CliArgs a)
         makeFramework(g, accel, spec.deployment, ctx.c_str(),
                       spec.workload.params.batch);
 
+    // The progress/interrupt observer: --progress streams NDJSON
+    // events (serve/events.h vocabulary, job id 0) to stderr; either
+    // way a trapped SIGINT cancels the search at the next batch
+    // boundary, so partial metrics and checkpoints still flush.
+    NdjsonProgress progress(a.progress ? stderr : nullptr, 0,
+                            &g_interrupted);
+    spec.eval.observer = &progress;
+
+    // --checkpoint FILE: resume from the file when it exists, persist
+    // the search state there when the run is cancelled or times out.
+    CheckpointHooks hooks;
+    SearchCheckpoint resume;
+    if (!a.checkpointFile.empty()) {
+        std::string ckerr;
+        if (std::FILE *probe =
+                std::fopen(a.checkpointFile.c_str(), "r")) {
+            std::fclose(probe);
+            // An existing-but-corrupt checkpoint is fatal, not a
+            // silent cold start: the user asked to resume.
+            if (!loadCheckpoint(a.checkpointFile, &resume, &ckerr))
+                fatal("%s", ckerr.c_str());
+            hooks.resume = &resume;
+            std::fprintf(stderr,
+                         "checkpoint: resuming \"%s\" from %s at %lld "
+                         "samples\n",
+                         resume.algo.c_str(), a.checkpointFile.c_str(),
+                         static_cast<long long>(resume.samples));
+        }
+        hooks.save = [&a, &progress](const SearchCheckpoint &c) {
+            if (!saveCheckpoint(c, a.checkpointFile)) {
+                std::fprintf(stderr, "checkpoint: could not write %s\n",
+                             a.checkpointFile.c_str());
+                return;
+            }
+            std::fprintf(stderr,
+                         "checkpoint: saved %s at %lld samples\n",
+                         a.checkpointFile.c_str(),
+                         static_cast<long long>(c.samples));
+            JobEvent e;
+            e.kind = JobEvent::Kind::Checkpoint;
+            e.sample = c.samples;
+            progress.emit(e);
+        };
+        spec.eval.checkpoint = &hooks;
+    }
+
     std::shared_ptr<EvalCache> cache;
     if (spec.eval.cacheEnabled) {
         a.cacheSize = static_cast<int64_t>(spec.eval.cacheCapacity);
@@ -675,7 +769,96 @@ runSpec(CliArgs a)
     printTimeline(a, cocco->model(), r.partition, r.buffer);
     emitMetrics(a, "spec-" + spec.algo, wall, r.samples, r.objective,
                 cache != nullptr, r.cacheStats, &r.deployment);
-    return 0;
+
+    // A run that ended for good (budget/stall) leaves no checkpoint
+    // behind — resuming a finished run would be a silent no-op.
+    if (!a.checkpointFile.empty() &&
+        (r.stop == StopReason::BudgetExhausted ||
+         r.stop == StopReason::Stalled))
+        std::remove(a.checkpointFile.c_str());
+    return g_interrupted.load(std::memory_order_relaxed) ? 130 : 0;
+}
+
+/** `cocco batch <dir>`: drain a directory of run specs through one
+ *  JobManager (serve/batch.h); per-spec metrics/result documents plus
+ *  a batch summary land in --out (default: the spec directory). */
+int
+runBatch(const CliArgs &a)
+{
+    if (a.model.empty())
+        fatal("batch needs a directory of run specs");
+    BatchOptions opts;
+    opts.outDir = a.outDir;
+    opts.jobs = a.jobs;
+    opts.threadBudget = a.threads;
+    opts.cacheEnabled = a.cacheSize > 0;
+    opts.cacheCapacity =
+        a.cacheSize > 0 ? static_cast<size_t>(a.cacheSize) : 0;
+    opts.cacheFile = a.cacheFile;
+    opts.progress = a.progress;
+    opts.interrupt = &g_interrupted;
+
+    BatchSummary summary;
+    std::string err;
+    bool ok = runBatchDir(a.model, opts, &summary, &err);
+    if (!ok && summary.entries.empty())
+        fatal("%s", err.c_str());
+    if (!ok)
+        std::fprintf(stderr, "batch: %s\n", err.c_str());
+    std::printf("batch: %d done, %d cancelled, %d failed of %zu spec(s) "
+                "in %.1fs (cache hit-rate %.1f%%)\n",
+                summary.done, summary.cancelled, summary.failed,
+                summary.entries.size(), summary.wallSeconds,
+                100.0 * summary.cache.hitRate());
+    if (summary.interrupted)
+        return 130;
+    return ok && summary.failed == 0 ? 0 : 1;
+}
+
+/** `cocco serve`: the long-lived exploration service — the stdio
+ *  NDJSON protocol with --stdio, the local HTTP job API with --port
+ *  (0 = ephemeral; the bound port is printed). --threads is the
+ *  total evaluation-thread budget shared by running jobs. */
+int
+runServe(const CliArgs &a)
+{
+    if (!a.stdio && a.port < 0)
+        fatal("serve needs --port N (0 = ephemeral) or --stdio");
+
+    JobManagerOptions opts;
+    opts.workers = a.serveWorkers;
+    opts.threadBudget = a.threads;
+    opts.queueCapacity = a.serveQueue;
+    opts.cacheEnabled = a.cacheSize > 0;
+    if (a.cacheSize > 0)
+        opts.cacheCapacity = static_cast<size_t>(a.cacheSize);
+    opts.cache = openCache(a);
+    JobManager manager(opts);
+
+    int rc = 0;
+    if (a.stdio) {
+        rc = runStdioServe(manager, stdin, stdout);
+    } else {
+        std::atomic<bool> shutdown{false};
+        HttpServer server([&manager, &shutdown](const HttpRequest &req) {
+            return serveHttpRequest(manager, req, &shutdown);
+        });
+        std::string err;
+        if (!server.start(a.port, &err))
+            fatal("%s", err.c_str());
+        std::printf("cocco serve: listening on 127.0.0.1:%d\n",
+                    server.port());
+        std::fflush(stdout);
+        while (!shutdown.load(std::memory_order_relaxed) &&
+               !g_interrupted.load(std::memory_order_relaxed))
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        std::fprintf(stderr, "serve: shutting down\n");
+        server.stop();
+        manager.cancelAll();
+        manager.drain();
+    }
+    closeCache(a, manager.cache());
+    return rc;
 }
 
 /** `cocco validate-metrics FILE`: structural check of a metrics
@@ -745,6 +928,26 @@ validateMetrics(const std::string &path)
                       path.c_str(), i, util->array().size(),
                       static_cast<int>(dep->find("cores")->number()));
         }
+        // The job block is optional too (serve/batch documents); when
+        // present it must carry the full serving context.
+        if (const JsonValue *job = run.find("job")) {
+            if (!job->isObject())
+                fatal("%s: runs[%d] \"job\" is not an object",
+                      path.c_str(), i);
+            static const char *job_numbers[] = {"id", "queued_seconds"};
+            for (const char *f : job_numbers)
+                if (!job->find(f) || !job->find(f)->isNumber())
+                    fatal("%s: runs[%d] job missing number \"%s\"",
+                          path.c_str(), i, f);
+            static const char *job_strings[] = {"tenant", "state"};
+            for (const char *f : job_strings)
+                if (!job->find(f) || !job->find(f)->isString())
+                    fatal("%s: runs[%d] job missing string \"%s\"",
+                          path.c_str(), i, f);
+            if (!job->find("resumed") || !job->find("resumed")->isBool())
+                fatal("%s: runs[%d] job missing bool \"resumed\"",
+                      path.c_str(), i);
+        }
         ++i;
     }
     std::printf("%s: ok (%s, %d run%s)\n", path.c_str(),
@@ -758,6 +961,12 @@ int
 main(int argc, char **argv)
 {
     CliArgs a = parse(argc, argv);
+
+    // Graceful-interrupt modes only: elsewhere the default SIGINT
+    // disposition (kill) is the right behavior.
+    if (a.command == "run" || a.command == "batch" ||
+        a.command == "serve")
+        std::signal(SIGINT, onSigint);
 
     if (a.command == "models" || a.command == "--list-models") {
         const ModelRegistry &reg = ModelRegistry::instance();
@@ -803,6 +1012,10 @@ main(int argc, char **argv)
     }
     if (a.command == "run")
         return runSpec(a);
+    if (a.command == "batch")
+        return runBatch(a);
+    if (a.command == "serve")
+        return runServe(a);
     if (a.command == "validate-metrics") {
         if (a.model.empty())
             usage();
