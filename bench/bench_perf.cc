@@ -4,8 +4,9 @@
  *
  * Runs a fixed set of timed workloads — cold/warm GA evaluation
  * throughput, raw partitionCost assembly rate, a co-exploration wall
- * clock, and incumbent-screened evaluation (pruning) vs. exhaustive
- * evaluation — and writes one flat JSON snapshot:
+ * clock, incumbent-screened evaluation (pruning) vs. exhaustive
+ * evaluation, the exploration-service drain rate, and multi-tenant
+ * schedule evaluation throughput — and writes one flat JSON snapshot:
  *
  *   {"schema_version":1, "generator":"bench_perf", "date":"...",
  *    "series":{"<name>":{"value":N,"unit":"...",
@@ -33,7 +34,9 @@
 
 #include "bench_common.h"
 #include "core/cocco.h"
+#include "core/serialize.h"
 #include "partition/repair.h"
+#include "schedule/co_scheduler.h"
 #include "search/operators.h"
 #include "serve/job_manager.h"
 #include "util/json.h"
@@ -383,6 +386,83 @@ main(int argc, char **argv)
                     n_jobs, best_rate);
         series.push_back({"serve_jobs_per_sec", best_rate, "jobs/s",
                           true});
+    }
+
+    // --- Co-schedule evaluation throughput (ScheduleCostModel). ---
+    // A 2-tenant set on the big-little preset: search once per
+    // strategy (asserting the searched placement is no worse than the
+    // myopic baseline), then time pure schedule evaluations over
+    // every placement of the searched buffer/partitions.
+    {
+        WorkloadSet set;
+        TenantSpec vision;
+        vision.name = "vision";
+        vision.workload.model = "GoogleNet";
+        vision.arrivalRateHz = 40.0;
+        vision.slaLatencyMs = 18.0;
+        TenantSpec mobile;
+        mobile.name = "mobile";
+        mobile.workload.model = "MobileNetV2";
+        mobile.arrivalRateHz = 25.0;
+        mobile.slaLatencyMs = 30.0;
+        set.tenants = {vision, mobile};
+        std::vector<Graph> graphs;
+        graphs.push_back(buildModel("GoogleNet"));
+        graphs.push_back(buildModel("MobileNetV2"));
+
+        DeploymentSpec dspec;
+        dspec.enabled = true;
+        dspec.preset = "big-little";
+        DeploymentConfig dep;
+        std::string err;
+        if (!resolveDeployment(dspec, accel, &dep, &err)) {
+            std::fprintf(stderr, "FAIL: coschedule deployment: %s\n",
+                         err.c_str());
+            failed = true;
+        } else {
+            SearchSpec sspec;
+            sspec.eval.sampleBudget = args.full ? 2000 : 400;
+            sspec.eval.seed = args.seed;
+            sspec.ga.population = 12;
+
+            sspec.algo = "greedy-place";
+            ScheduleResult greedy =
+                CoScheduler(graphs, set, dep).explore(sspec);
+            sspec.algo = "ga";
+            CoScheduler sched(graphs, set, dep);
+            ScheduleResult searched = sched.explore(sspec);
+            if (searched.objective > greedy.objective) {
+                std::fprintf(stderr,
+                             "FAIL: searched schedule (%.17g) worse "
+                             "than greedy-place (%.17g)\n",
+                             searched.objective, greedy.objective);
+                failed = true;
+            }
+
+            ScheduleCostModel &model = sched.model();
+            const int cores = model.cores();
+            double best_rate = 0.0;
+            for (int r = 0; r < repeats; ++r) {
+                int64_t evals = 0;
+                double t0 = now(), elapsed = 0.0;
+                while (elapsed < 0.2) {
+                    Schedule s = searched.schedule;
+                    for (int c0 = 0; c0 < cores; ++c0)
+                        for (int c1 = 0; c1 < cores; ++c1) {
+                            s.coreOf = {c0, c1};
+                            model.evaluate(s);
+                            ++evals;
+                        }
+                    elapsed = now() - t0;
+                }
+                best_rate = std::max(best_rate, evals / elapsed);
+            }
+            std::printf("coschedule: %.0f schedule evals/s "
+                        "(2 tenants on big-little)\n",
+                        best_rate);
+            series.push_back({"coschedule_evals_per_sec", best_rate,
+                              "evals/s", true});
+        }
     }
 
     if (!writeSnapshot(out, series)) {

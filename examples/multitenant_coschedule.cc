@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Multi-tenant co-scheduling walkthrough: two tenants (a vision
+ * service and a mobile model) share one big-little deployment. The
+ * myopic greedy-place baseline stacks both tenants onto the fastest
+ * core; the joint placement search (any registered driver) spreads
+ * them and wins on contention-scaled latency. The example prints the
+ * side-by-side outcome and the searched schedule's per-tenant
+ * timeline lanes.
+ *
+ * Usage: multitenant_coschedule [algo] [sample_budget]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/cocco.h"
+#include "core/serialize.h"
+#include "schedule/co_scheduler.h"
+#include "sim/platform.h"
+#include "util/logging.h"
+#include "util/table.h"
+
+using namespace cocco;
+
+namespace {
+
+TenantSpec
+tenant(const char *name, const char *model, double rateHz, double slaMs)
+{
+    TenantSpec t;
+    t.name = name;
+    t.workload.model = model;
+    t.arrivalRateHz = rateHz;
+    t.slaLatencyMs = slaMs;
+    return t;
+}
+
+ScheduleResult
+explore(const std::vector<Graph> &graphs, const WorkloadSet &set,
+        const DeploymentConfig &dep, const std::string &algo,
+        int64_t budget)
+{
+    SearchSpec spec;
+    spec.algo = algo;
+    spec.eval.sampleBudget = budget;
+    spec.eval.seed = 7;
+    spec.ga.population = 12;
+    return CoScheduler(graphs, set, dep).explore(spec);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string algo = argc > 1 ? argv[1] : "ga";
+    int64_t budget = argc > 2 ? std::atoll(argv[2]) : 800;
+
+    // The tenancy: a throughput-hungry vision service with a tight
+    // SLA next to a lighter mobile model with a relaxed one.
+    WorkloadSet set;
+    set.tenants.push_back(tenant("vision", "GoogleNet", 40.0, 18.0));
+    set.tenants.push_back(tenant("mobile", "MobileNetV2", 25.0, 30.0));
+
+    std::string err;
+    if (!validateWorkloadSet(set, &err))
+        fatal("%s", err.c_str());
+    std::vector<Graph> graphs;
+    for (const TenantSpec &t : set.tenants)
+        graphs.push_back(buildModel(t.workload.model));
+
+    // The silicon: 2x simba + 2x edge behind one crossbar.
+    AcceleratorConfig accel = platformPreset("simba");
+    DeploymentSpec dspec;
+    dspec.enabled = true;
+    dspec.preset = "big-little";
+    DeploymentConfig dep;
+    if (!resolveDeployment(dspec, accel, &dep, &err))
+        fatal("%s", err.c_str());
+
+    std::printf("co-scheduling %d tenants on big-little (%d cores), "
+                "budget %lld/tenant-class\n\n",
+                set.size(), dep.cores(),
+                static_cast<long long>(budget));
+
+    ScheduleResult greedy =
+        explore(graphs, set, dep, "greedy-place", budget);
+    ScheduleResult searched = explore(graphs, set, dep, algo, budget);
+
+    Table t({"tenant", "greedy-place", algo});
+    for (int i = 0; i < set.size(); ++i) {
+        const TenantCost &gc = greedy.cost.tenants[i];
+        const TenantCost &sc = searched.cost.tenants[i];
+        t.addRow({set.tenants[i].name,
+                  strprintf("core %d, %8.3f ms%s",
+                            greedy.schedule.coreOf[i], gc.latencyMs,
+                            gc.slaViolation ? " VIOLATED" : ""),
+                  strprintf("core %d, %8.3f ms%s",
+                            searched.schedule.coreOf[i], sc.latencyMs,
+                            sc.slaViolation ? " VIOLATED" : "")});
+    }
+    t.addRow({"SLA violations",
+              strprintf("%d", greedy.cost.slaViolations),
+              strprintf("%d", searched.cost.slaViolations)});
+    t.addRow({"mean latency",
+              strprintf("%.3f ms", greedy.cost.meanLatencyMs),
+              strprintf("%.3f ms", searched.cost.meanLatencyMs)});
+    t.addRow({"power",
+              strprintf("%.3f mW", greedy.cost.energyPjPerSec / 1e9),
+              strprintf("%.3f mW", searched.cost.energyPjPerSec / 1e9)});
+    t.print();
+
+    std::printf("\ngreedy-place is contention-blind (heaviest tenant "
+                "first onto the fastest feasible\ncore); the joint "
+                "search scores every placement under processor "
+                "sharing.\n\n");
+
+    // The searched schedule's per-tenant lanes + per-subgraph Gantt.
+    CoScheduler sched(graphs, set, dep);
+    std::printf("%s", scheduleGantt(sched.model(), searched).c_str());
+    return 0;
+}

@@ -87,6 +87,26 @@ metricsToJson(const std::string &generator,
             w.field("resumed", r.resumed);
             w.endObject();
         }
+        if (r.hasTenants) {
+            w.key("tenants").beginObject();
+            w.field("count", static_cast<int64_t>(r.tenants.size()));
+            w.field("sla_violations", r.slaViolations);
+            w.field("mean_latency_ms", r.meanLatencyMs);
+            w.key("list").beginArray();
+            for (const RunMetrics::TenantMetrics &t : r.tenants) {
+                w.beginObject();
+                w.field("name", t.name);
+                w.field("core", t.core);
+                w.field("arrival_rate_hz", t.arrivalRateHz);
+                w.field("sla_latency_ms", t.slaLatencyMs);
+                w.field("latency_ms", t.latencyMs);
+                w.field("energy_pj", t.energyPj);
+                w.field("sla_violation", t.slaViolation);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
         w.key("extra").beginObject();
         for (const auto &[key, value] : r.extra)
             w.field(key, value);

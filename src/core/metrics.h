@@ -27,6 +27,14 @@
  *                       "core_utilization": [X, ...] },   // optional
  *       "job": { "id": N, "tenant": "...", "state": "...",
  *                "queued_seconds": X, "resumed": B },     // optional
+ *       "tenants": { "count": N, "sla_violations": N,
+ *                    "mean_latency_ms": X,
+ *                    "list": [ { "name": "...", "core": N,
+ *                                "arrival_rate_hz": X,
+ *                                "sla_latency_ms": X,
+ *                                "latency_ms": X, "energy_pj": X,
+ *                                "sla_violation": B }, ... ] },
+ *                                                         // optional
  *       "extra": { "<key>": X, ... }
  *     }, ...
  *   ]
@@ -42,6 +50,11 @@
  * terminal state ("done"/"cancelled"/"failed"), queue latency, and
  * whether the run was resumed from a checkpoint. Solo `cocco run`
  * documents omit it, keeping their exact prior shape.
+ *
+ * The "tenants" object appears when the run co-scheduled a
+ * WorkloadSet (`cocco coschedule`, a `workload_set` run spec through
+ * any frontend): per-tenant effective latency/energy and SLA verdict,
+ * plus the schedule-level violation count.
  */
 
 #ifndef COCCO_CORE_METRICS_H
@@ -85,6 +98,23 @@ struct RunMetrics
     std::string jobState;      ///< terminal JobState name
     double queuedSeconds = 0.0;
     bool resumed = false;      ///< run was resumed from a checkpoint
+
+    /** Per-tenant serving metrics of a co-scheduled run; emitted only
+     *  when set (schedule/co_scheduler.h produces the numbers). */
+    struct TenantMetrics
+    {
+        std::string name;
+        int core = 0;
+        double arrivalRateHz = 0.0;
+        double slaLatencyMs = 0.0;
+        double latencyMs = 0.0;
+        double energyPj = 0.0;
+        bool slaViolation = false;
+    };
+    bool hasTenants = false;
+    int slaViolations = 0;
+    double meanLatencyMs = 0.0;
+    std::vector<TenantMetrics> tenants;
 
     /** Free-form numeric side channel ("speedup", "budget", ...). */
     std::vector<std::pair<std::string, double>> extra;

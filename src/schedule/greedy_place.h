@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The `greedy-place` baseline searcher (registered like ga/sa/ts-*).
+ *
+ * A deterministic, search-free constructor in the spirit of greedy
+ * fusion solvers: pick the buffer configuration by two independent
+ * axis sweeps over the capacity grids (singleton-partition objective
+ * decides), then grow the partition from singletons by repeatedly
+ * taking the best improving merge of two adjacent blocks until no
+ * merge improves the objective or the sample budget runs out. Each
+ * objective evaluation goes through the shared EvalEngine, so cache
+ * sharing, salting and observers behave exactly as in the other
+ * strategies.
+ *
+ * It is intentionally myopic — no backtracking, no buffer/partition
+ * interleaving — which is what gives GA/SA/two-step (and the
+ * co-scheduler's joint placement search) a meaningful baseline to
+ * beat. CoScheduler uses it per tenant for its greedy placement.
+ */
+
+#ifndef COCCO_SCHEDULE_GREEDY_PLACE_H
+#define COCCO_SCHEDULE_GREEDY_PLACE_H
+
+#include "search/driver.h"
+
+namespace cocco {
+
+/** Run the greedy constructor (the "greedy-place" strategy). */
+SearchResult greedyPlaceSearch(CostModel &model, const DseSpace &space,
+                               const EvalOptions &opts);
+
+/** Registration hook, called from SearcherRegistry's constructor. */
+void registerGreedyPlaceSearcher(SearcherRegistry &r);
+
+} // namespace cocco
+
+#endif // COCCO_SCHEDULE_GREEDY_PLACE_H

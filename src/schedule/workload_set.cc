@@ -1,0 +1,165 @@
+#include "schedule/workload_set.h"
+
+#include <cmath>
+
+#include "util/json.h"
+#include "util/logging.h"
+
+namespace cocco {
+
+namespace {
+
+/** Set *err (when empty) and return false, parser style. */
+bool
+bad(std::string *err, const std::string &msg)
+{
+    if (err && err->empty())
+        *err = msg;
+    return false;
+}
+
+bool
+finitePositive(double v)
+{
+    return std::isfinite(v) && v > 0.0;
+}
+
+} // namespace
+
+bool
+validateWorkloadSet(const WorkloadSet &set, std::string *err)
+{
+    if (set.tenants.empty())
+        return bad(err, "\"workload_set\" must declare at least one tenant");
+    for (int i = 0; i < set.size(); ++i) {
+        const TenantSpec &t = set.tenants[i];
+        std::string who = strprintf("workload_set[%d]", i);
+        if (t.name.empty())
+            return bad(err, who + ": tenant \"name\" must be non-empty");
+        for (int j = 0; j < i; ++j)
+            if (set.tenants[j].name == t.name)
+                return bad(err, strprintf("duplicate tenant name \"%s\"",
+                                          t.name.c_str()));
+        who = strprintf("tenant \"%s\"", t.name.c_str());
+        bool has_model = !t.workload.model.empty();
+        bool has_file = !t.workload.file.empty();
+        if (has_model == has_file)
+            return bad(err, who + " must address exactly one of "
+                            "\"model\" or \"file\"");
+        if (has_model && !ModelRegistry::instance().contains(t.workload.model))
+            return bad(err, strprintf("%s: unknown model \"%s\"",
+                                      who.c_str(),
+                                      t.workload.model.c_str()));
+        if (!finitePositive(t.arrivalRateHz))
+            return bad(err, who + ": \"arrival_rate_hz\" must be > 0");
+        if (!finitePositive(t.slaLatencyMs))
+            return bad(err, who + ": \"sla_latency_ms\" must be > 0");
+    }
+    return true;
+}
+
+bool
+workloadSetFromJson(const JsonValue &v, WorkloadSet *out, std::string *err)
+{
+    WorkloadSet set;
+    if (!v.isArray())
+        return bad(err, "\"workload_set\" must be an array of tenants");
+    for (size_t i = 0; i < v.array().size(); ++i) {
+        const JsonValue &tv = v.array()[i];
+        std::string who = strprintf("workload_set[%zu]", i);
+        if (!tv.isObject())
+            return bad(err, who + " must be an object");
+        TenantSpec t;
+        bool saw_rate = false, saw_sla = false;
+        for (const auto &[k, mv] : tv.members()) {
+            std::string key = who + "." + k;
+            if (k == "name") {
+                if (!jsonReadString(mv, key.c_str(), &t.name, err))
+                    return false;
+            } else if (k == "model") {
+                if (!jsonReadString(mv, key.c_str(), &t.workload.model,
+                                    err))
+                    return false;
+            } else if (k == "file") {
+                if (!jsonReadString(mv, key.c_str(), &t.workload.file,
+                                    err))
+                    return false;
+            } else if (k == "params") {
+                if (!modelParamsFromJson(mv, &t.workload.params, err))
+                    return false;
+            } else if (k == "arrival_rate_hz") {
+                if (!jsonReadNumber(mv, key.c_str(), &t.arrivalRateHz,
+                                    err))
+                    return false;
+                saw_rate = true;
+            } else if (k == "sla_latency_ms") {
+                if (!jsonReadNumber(mv, key.c_str(), &t.slaLatencyMs, err))
+                    return false;
+                saw_sla = true;
+            } else {
+                return bad(err, strprintf("unknown workload_set key "
+                                          "\"%s\" (tenant %zu)",
+                                          k.c_str(), i));
+            }
+        }
+        if (!saw_rate)
+            return bad(err, who + " is missing \"arrival_rate_hz\"");
+        if (!saw_sla)
+            return bad(err, who + " is missing \"sla_latency_ms\"");
+        set.tenants.push_back(std::move(t));
+    }
+    if (!validateWorkloadSet(set, err))
+        return false;
+    *out = std::move(set);
+    return true;
+}
+
+void
+workloadSetToJson(JsonWriter &w, const WorkloadSet &set)
+{
+    const ModelParams defaults;
+    w.beginArray();
+    for (const TenantSpec &t : set.tenants) {
+        w.beginObject();
+        w.field("name", t.name);
+        if (!t.workload.model.empty())
+            w.field("model", t.workload.model);
+        if (!t.workload.file.empty())
+            w.field("file", t.workload.file);
+        const ModelParams &p = t.workload.params;
+        if (p.batch != defaults.batch ||
+            p.resolution != defaults.resolution ||
+            p.seqLen != defaults.seqLen || p.depth != defaults.depth ||
+            p.widthMult != defaults.widthMult ||
+            p.seed != defaults.seed) {
+            w.key("params").beginObject();
+            if (p.batch != defaults.batch)
+                w.field("batch", p.batch);
+            if (p.resolution != defaults.resolution)
+                w.field("resolution", p.resolution);
+            if (p.seqLen != defaults.seqLen)
+                w.field("seqLen", p.seqLen);
+            if (p.depth != defaults.depth)
+                w.field("depth", p.depth);
+            if (p.widthMult != defaults.widthMult)
+                w.field("widthMult", p.widthMult);
+            if (p.seed != defaults.seed)
+                w.field("seed", p.seed);
+            w.endObject();
+        }
+        w.field("arrival_rate_hz", t.arrivalRateHz);
+        w.field("sla_latency_ms", t.slaLatencyMs);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+std::string
+workloadSetJson(const WorkloadSet &set)
+{
+    JsonWriter w;
+    workloadSetToJson(w, set);
+    return w.str();
+}
+
+} // namespace cocco

@@ -4,6 +4,7 @@
 #include <limits>
 #include <utility>
 
+#include "schedule/greedy_place.h"
 #include "util/json.h"
 #include "util/logging.h"
 
@@ -187,6 +188,9 @@ SearcherRegistry::SearcherRegistry()
     add("sa", "simulated annealing", makeSa);
     add("ts-random", "two-step: random capacity sampling + GA", makeTsRandom);
     add("ts-grid", "two-step: grid capacity sweep + GA", makeTsGrid);
+    // Plain function call, like the model registry's hooks: no
+    // static-initialization-order hazards.
+    registerGreedyPlaceSearcher(*this);
 }
 
 SearcherRegistry &
@@ -481,7 +485,7 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             *err = "run spec must be a JSON object";
         return false;
     }
-    bool model_key = false, workload_key = false;
+    bool model_key = false, workload_key = false, set_key = false;
     for (const auto &[k, v] : doc.members()) {
         bool ok = true;
         if (k == "model") {
@@ -491,6 +495,9 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
         } else if (k == "workload") {
             ok = r.readWorkload(v, &spec->workload);
             workload_key = true;
+        } else if (k == "workload_set") {
+            ok = workloadSetFromJson(v, &spec->workloadSet, &r.err);
+            set_key = true;
         } else if (k == "platform") {
             ok = r.readPlatform(v, &spec->platform);
         } else if (k == "deployment") {
@@ -556,6 +563,18 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             *err = "give \"model\" (shorthand) or a \"workload\" "
                    "section, not both";
         return false;
+    }
+    if (set_key && (model_key || workload_key)) {
+        if (err)
+            *err = "\"workload_set\" replaces \"model\"/\"workload\"; "
+                   "give one or the other, not both";
+        return false;
+    }
+    // A one-tenant set degenerates to the plain workload spelling, so
+    // every frontend treats the two identically (bit-for-bit).
+    if (spec->workloadSet.size() == 1) {
+        spec->workload = spec->workloadSet.tenants[0].workload;
+        spec->workloadSet.tenants.clear();
     }
     return true;
 }

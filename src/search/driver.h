@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "models/models.h"
+#include "schedule/workload_set.h"
 #include "search/ga.h"
 #include "search/sa.h"
 #include "search/two_step.h"
@@ -71,6 +72,15 @@ struct SearchSpec
     std::string algo = "ga";     ///< SearcherRegistry key
 
     WorkloadSpec workload;       ///< what to run (model/file + params)
+
+    /** Multi-tenant alternative to `workload`: N named workloads with
+     *  arrival rates and latency SLAs, co-scheduled over the
+     *  deployment (schedule/co_scheduler.h). Mutually exclusive with
+     *  `workload`/`model` in a spec document; a one-tenant set is
+     *  normalized into `workload` at parse time, so it is
+     *  bit-identical to the plain spelling on every frontend. */
+    WorkloadSet workloadSet;
+
     PlatformSpec platform;       ///< where to run it (default "simba")
     DeploymentSpec deployment;   ///< how many cores / which mix (off by
                                  ///< default; "cores": 1 is exactly the

@@ -74,6 +74,8 @@ summaryJson(const BatchSummary &s)
     w.field("failed", s.failed);
     w.field("interrupted", s.interrupted);
     w.field("wall_seconds", s.wallSeconds);
+    w.field("jobs_wall_seconds", s.jobsWallSeconds);
+    w.field("samples_total", s.samplesTotal);
     w.key("cache").beginObject();
     w.field("hits", s.cache.hits);
     w.field("misses", s.cache.misses);
@@ -216,6 +218,8 @@ runBatchDir(const std::string &dir, const BatchOptions &opts,
             e.bestCost = s.progressBest;
             e.wallSeconds = s.runSeconds;
             e.error = s.error;
+            out->jobsWallSeconds += e.wallSeconds;
+            out->samplesTotal += e.samples;
             switch (s.state) {
               case JobState::Done:
                 ++out->done;

@@ -63,7 +63,9 @@ struct BatchSummary
     int done = 0;
     int cancelled = 0;
     int failed = 0;
-    double wallSeconds = 0.0;
+    double wallSeconds = 0.0;     ///< batch wall clock, end to end
+    double jobsWallSeconds = 0.0; ///< sum of per-job run times
+    int64_t samplesTotal = 0;     ///< sum of per-job sample counts
     bool interrupted = false;
     EvalCacheStats cache; ///< shared-cache lifetime counters
 };

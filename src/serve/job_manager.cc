@@ -7,6 +7,7 @@
 #include "core/cocco.h"
 #include "core/metrics.h"
 #include "core/serialize.h"
+#include "schedule/co_scheduler.h"
 #include "util/thread_pool.h"
 
 namespace cocco {
@@ -86,6 +87,15 @@ struct JobManager::Job
     CoccoResult result;
     bool hasResult = false;
     double wallSeconds = 0.0;
+
+    /** Co-schedule jobs (workload_set specs): the result document and
+     *  the metrics "tenants" snapshot are materialized when the run
+     *  completes, so nothing schedule-sized has to outlive it. The
+     *  scalar outcome (samples/objective/stop/cacheStats) is folded
+     *  into `result` above so status/events need no second path. */
+    bool hasSchedule = false;
+    std::string scheduleJson;
+    RunMetrics scheduleMetrics;
 
     std::vector<JobEvent> events;
 };
@@ -218,8 +228,13 @@ JobManager::submit(const SearchSpec &spec, const std::string &tenant,
         return reject("unknown algorithm \"" + spec.algo + "\"");
     if (spec.eval.sampleBudget < 1)
         return reject("sample budget must be >= 1");
-    if (spec.workload.model.empty() && spec.workload.file.empty())
+    if (spec.workloadSet.enabled()) {
+        std::string why;
+        if (!validateWorkloadSet(spec.workloadSet, &why))
+            return reject(why);
+    } else if (spec.workload.model.empty() && spec.workload.file.empty()) {
         return reject("spec addresses no workload (model or file)");
+    }
     if (spec.algo == "ga" &&
         (spec.ga.population < 2 || spec.ga.tournament < 1))
         return reject("degenerate GA parameters (population >= 2, "
@@ -241,9 +256,16 @@ JobManager::submit(const SearchSpec &spec, const std::string &tenant,
     job->id = nextId_++;
     job->tenant = tenant;
     job->spec = spec;
-    job->name = spec.algo + ":" +
-                (spec.workload.model.empty() ? spec.workload.file
-                                             : spec.workload.model);
+    if (spec.workloadSet.enabled()) {
+        std::string joined;
+        for (size_t i = 0; i < spec.workloadSet.tenants.size(); ++i)
+            joined += (i ? "+" : "") + spec.workloadSet.tenants[i].name;
+        job->name = spec.algo + ":" + joined;
+    } else {
+        job->name = spec.algo + ":" +
+                    (spec.workload.model.empty() ? spec.workload.file
+                                                 : spec.workload.model);
+    }
     job->submitted = Clock::now();
     JobEvent e;
     e.kind = JobEvent::Kind::Accepted;
@@ -352,6 +374,8 @@ JobManager::resultJson(int64_t id) const
     const Job *job = findLocked(id);
     if (!job || !jobStateTerminal(job->state) || !job->hasResult)
         return "";
+    if (job->hasSchedule)
+        return job->scheduleJson;
     return resultToJson(job->graph, job->result);
 }
 
@@ -375,8 +399,16 @@ JobManager::metricsJson(int64_t id) const
     m.wallSeconds = job->wallSeconds;
     m.cacheEnabled = cache_ != nullptr && job->spec.eval.cacheEnabled;
     m.cache = job->result.cacheStats;
-    m.hasDeployment = true;
+    // Co-schedule jobs report per-tenant serving metrics instead of a
+    // single-result deployment breakdown.
+    m.hasDeployment = !job->hasSchedule;
     m.deployment = job->result.deployment;
+    if (job->hasSchedule) {
+        m.hasTenants = job->scheduleMetrics.hasTenants;
+        m.slaViolations = job->scheduleMetrics.slaViolations;
+        m.meanLatencyMs = job->scheduleMetrics.meanLatencyMs;
+        m.tenants = job->scheduleMetrics.tenants;
+    }
     m.hasJob = true;
     m.jobId = job->id;
     m.tenant = job->tenant;
@@ -492,6 +524,61 @@ JobManager::runJob(Job &job)
     }
 
     std::string err;
+
+    // A workload_set spec runs the co-scheduler instead of the solo
+    // framework; the branch mirrors the CLI's coschedule path.
+    if (spec.workloadSet.enabled()) {
+        std::vector<Graph> graphs(spec.workloadSet.size());
+        std::string names;
+        for (int t = 0; t < spec.workloadSet.size(); ++t) {
+            if (!resolveWorkload(spec.workloadSet.tenants[t].workload,
+                                 &graphs[t], &err)) {
+                finishJob(job, JobState::Failed, err);
+                return;
+            }
+            names += (t ? "+" : "") + graphs[t].name();
+        }
+        AcceleratorConfig accel;
+        if (!resolvePlatform(spec.platform, &accel, &err)) {
+            finishJob(job, JobState::Failed, err);
+            return;
+        }
+        DeploymentConfig dep;
+        if (spec.deployment.enabled) {
+            if (!resolveDeployment(spec.deployment, accel, &dep, &err)) {
+                finishJob(job, JobState::Failed, err);
+                return;
+            }
+        } else {
+            dep = homogeneousDeployment(accel, 1);
+        }
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            job.modelName = names;
+        }
+
+        CoScheduler sched(graphs, spec.workloadSet, dep);
+        ScheduleResult r = sched.explore(spec);
+        double wall = secondsBetween(t0, Clock::now());
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            job.scheduleJson = scheduleResultToJson(sched.model(), r);
+            fillTenantMetrics(sched.model(), r, &job.scheduleMetrics);
+            job.hasSchedule = true;
+            job.result.samples = r.samples;
+            job.result.objective = r.objective;
+            job.result.stop = r.stop;
+            job.result.cacheStats = r.cacheStats;
+            job.hasResult = true;
+            job.wallSeconds = wall;
+        }
+        finishJob(job,
+                  r.stop == StopReason::Cancelled ? JobState::Cancelled
+                                                  : JobState::Done,
+                  "");
+        return;
+    }
+
     Graph g;
     if (!resolveWorkload(spec.workload, &g, &err)) {
         finishJob(job, JobState::Failed, err);

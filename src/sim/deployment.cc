@@ -9,9 +9,6 @@
 
 namespace cocco {
 
-namespace {
-
-/** Field-wise equality over everything the cost model reads. */
 bool
 accelEqual(const AcceleratorConfig &a, const AcceleratorConfig &b)
 {
@@ -30,6 +27,8 @@ accelEqual(const AcceleratorConfig &a, const AcceleratorConfig &b)
            a.energy.crossbarPjPerByte == b.energy.crossbarPjPerByte &&
            a.energy.sramAreaMm2PerMB == b.energy.sramAreaMm2PerMB;
 }
+
+namespace {
 
 std::string
 knownDeployments()

@@ -71,6 +71,10 @@ struct InterconnectConfig
 InterconnectConfig resolveInterconnect(const InterconnectConfig &ic,
                                        const AcceleratorConfig &core0);
 
+/** Field-wise equality over everything the cost model reads (used to
+ *  dedup per-core models here and in the co-scheduler). */
+bool accelEqual(const AcceleratorConfig &a, const AcceleratorConfig &b);
+
 /**
  * A declarative deployment description. Core platforms are addresses
  * (resolved against the registry / files / the run's own platform by

@@ -63,6 +63,18 @@ Timeline::gantt(int width) const
     return out;
 }
 
+std::string
+ganttLane(const std::string &label, double fraction, int width)
+{
+    double f = std::min(1.0, std::max(0.0, fraction));
+    int fill = static_cast<int>(std::lround(f * width));
+    if (f > 0.0 && fill == 0)
+        fill = 1; // a non-empty lane is always visible
+    std::string lane(static_cast<size_t>(fill), '+');
+    return strprintf("%s|%-*s| %5.1f%%\n", label.c_str(), width,
+                     lane.c_str(), 100.0 * f);
+}
+
 Timeline
 buildTimeline(CostModel &model, const Partition &p, const BufferConfig &buf)
 {

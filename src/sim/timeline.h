@@ -67,6 +67,15 @@ struct Timeline
 Timeline buildTimeline(CostModel &model, const Partition &p,
                        const BufferConfig &buf);
 
+/**
+ * One proportional occupancy lane: "<label> |++++      |" with
+ * @p fraction of @p width columns filled (clamped to [0, 1]). The
+ * building block for the co-scheduler's per-tenant lanes; the
+ * per-core lanes inside gantt() render the same way.
+ */
+std::string ganttLane(const std::string &label, double fraction,
+                      int width = 60);
+
 } // namespace cocco
 
 #endif // COCCO_SIM_TIMELINE_H

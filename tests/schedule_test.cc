@@ -230,3 +230,363 @@ TEST_P(ScheduleSweep, WindowsStayInBounds)
 
 INSTANTIATE_TEST_SUITE_P(Ops, ScheduleSweep,
                          ::testing::Values(0, 1, 2, 5, 10, 15, 16));
+
+// ---------------------------------------------------------------------------
+// Multi-tenant co-scheduling (schedule/workload_set.h, co_scheduler.h)
+// ---------------------------------------------------------------------------
+
+#include "core/cocco.h"
+#include "core/serialize.h"
+#include "schedule/co_scheduler.h"
+#include "schedule/workload_set.h"
+#include "search/driver.h"
+#include "serve/service.h"
+#include "util/json.h"
+
+namespace {
+
+WorkloadSet
+parseSet(const std::string &text, std::string *err)
+{
+    JsonValue v;
+    std::string perr;
+    EXPECT_TRUE(parseJson(text, &v, &perr)) << perr;
+    WorkloadSet set;
+    if (!workloadSetFromJson(v, &set, err))
+        return WorkloadSet{};
+    return set;
+}
+
+void
+expectRejected(const std::string &text, const std::string &needle)
+{
+    std::string err;
+    JsonValue v;
+    std::string perr;
+    ASSERT_TRUE(parseJson(text, &v, &perr)) << perr;
+    WorkloadSet set;
+    EXPECT_FALSE(workloadSetFromJson(v, &set, &err)) << text;
+    EXPECT_NE(err.find(needle), std::string::npos)
+        << "error \"" << err << "\" lacks \"" << needle << "\"";
+}
+
+} // namespace
+
+TEST(WorkloadSetParse, ValidTwoTenantSet)
+{
+    std::string err;
+    WorkloadSet set = parseSet(
+        R"([{"name": "vision", "model": "GoogleNet",
+             "arrival_rate_hz": 40, "sla_latency_ms": 18},
+            {"name": "mobile", "model": "MobileNetV2",
+             "params": {"batch": 2},
+             "arrival_rate_hz": 25, "sla_latency_ms": 30}])",
+        &err);
+    ASSERT_EQ(set.size(), 2) << err;
+    EXPECT_TRUE(set.enabled());
+    EXPECT_EQ(set.tenants[0].name, "vision");
+    EXPECT_EQ(set.tenants[0].workload.model, "GoogleNet");
+    EXPECT_DOUBLE_EQ(set.tenants[0].arrivalRateHz, 40.0);
+    EXPECT_DOUBLE_EQ(set.tenants[0].slaLatencyMs, 18.0);
+    EXPECT_EQ(set.tenants[1].workload.params.batch, 2);
+}
+
+TEST(WorkloadSetParse, RejectsDuplicateTenantNames)
+{
+    expectRejected(
+        R"([{"name": "t", "model": "VGG16",
+             "arrival_rate_hz": 1, "sla_latency_ms": 10},
+            {"name": "t", "model": "GoogleNet",
+             "arrival_rate_hz": 1, "sla_latency_ms": 10}])",
+        "duplicate tenant name");
+}
+
+TEST(WorkloadSetParse, RejectsZeroAndNegativeArrivalRates)
+{
+    expectRejected(R"([{"name": "t", "model": "VGG16",
+                        "arrival_rate_hz": 0, "sla_latency_ms": 10}])",
+                   "arrival_rate_hz");
+    expectRejected(R"([{"name": "t", "model": "VGG16",
+                        "arrival_rate_hz": -3, "sla_latency_ms": 10}])",
+                   "arrival_rate_hz");
+}
+
+TEST(WorkloadSetParse, RejectsMissingSla)
+{
+    expectRejected(R"([{"name": "t", "model": "VGG16",
+                        "arrival_rate_hz": 5}])",
+                   "sla_latency_ms");
+}
+
+TEST(WorkloadSetParse, RejectsUnknownModel)
+{
+    expectRejected(R"([{"name": "t", "model": "NoSuchNet",
+                        "arrival_rate_hz": 5, "sla_latency_ms": 10}])",
+                   "unknown model");
+}
+
+TEST(WorkloadSetParse, RejectsUnknownKeysAndEmptySets)
+{
+    expectRejected(R"([{"name": "t", "model": "VGG16", "rate": 5,
+                        "arrival_rate_hz": 5, "sla_latency_ms": 10}])",
+                   "unknown workload_set key");
+    expectRejected(R"([])", "at least one tenant");
+    expectRejected(R"([{"name": "t", "model": "VGG16", "file": "g.json",
+                        "arrival_rate_hz": 5, "sla_latency_ms": 10}])",
+                   "model");
+}
+
+TEST(WorkloadSetParse, RoundTripsThroughJson)
+{
+    std::string err;
+    WorkloadSet set = parseSet(
+        R"([{"name": "a", "model": "GoogleNet",
+             "params": {"batch": 2, "widthMult": 0.5},
+             "arrival_rate_hz": 12.5, "sla_latency_ms": 7.25},
+            {"name": "b", "model": "RandWire-A",
+             "params": {"seed": 9},
+             "arrival_rate_hz": 3, "sla_latency_ms": 40}])",
+        &err);
+    ASSERT_EQ(set.size(), 2) << err;
+
+    JsonValue v;
+    ASSERT_TRUE(parseJson(workloadSetJson(set), &v, &err)) << err;
+    WorkloadSet back;
+    ASSERT_TRUE(workloadSetFromJson(v, &back, &err)) << err;
+    ASSERT_EQ(back.size(), set.size());
+    for (int t = 0; t < set.size(); ++t) {
+        EXPECT_EQ(back.tenants[t].name, set.tenants[t].name);
+        EXPECT_EQ(back.tenants[t].workload.model,
+                  set.tenants[t].workload.model);
+        EXPECT_EQ(back.tenants[t].workload.params.batch,
+                  set.tenants[t].workload.params.batch);
+        EXPECT_EQ(back.tenants[t].workload.params.widthMult,
+                  set.tenants[t].workload.params.widthMult);
+        EXPECT_EQ(back.tenants[t].workload.params.seed,
+                  set.tenants[t].workload.params.seed);
+        EXPECT_DOUBLE_EQ(back.tenants[t].arrivalRateHz,
+                         set.tenants[t].arrivalRateHz);
+        EXPECT_DOUBLE_EQ(back.tenants[t].slaLatencyMs,
+                         set.tenants[t].slaLatencyMs);
+    }
+}
+
+TEST(WorkloadSetSpec, ConflictsWithWorkloadSection)
+{
+    SearchSpec spec;
+    std::string err;
+    EXPECT_FALSE(parseRunSpecText(
+        R"({"workload": {"model": "VGG16"},
+            "workload_set": [{"name": "t", "model": "VGG16",
+                              "arrival_rate_hz": 1,
+                              "sla_latency_ms": 10}]})",
+        &spec, &err));
+    EXPECT_NE(err.find("workload_set"), std::string::npos) << err;
+}
+
+TEST(WorkloadSetSpec, SingleTenantNormalizesToPlainWorkload)
+{
+    SearchSpec spec;
+    std::string err;
+    ASSERT_TRUE(parseRunSpecText(
+        R"({"workload_set": [{"name": "only", "model": "GoogleNet",
+                              "params": {"batch": 2},
+                              "arrival_rate_hz": 5,
+                              "sla_latency_ms": 20}]})",
+        &spec, &err))
+        << err;
+    EXPECT_FALSE(spec.workloadSet.enabled());
+    EXPECT_EQ(spec.workload.model, "GoogleNet");
+    EXPECT_EQ(spec.workload.params.batch, 2);
+}
+
+namespace {
+
+/** A 2-tenant set on the big-little preset, small enough for tests. */
+struct CoScheduleFixtureData
+{
+    std::vector<Graph> graphs;
+    WorkloadSet set;
+    DeploymentConfig dep;
+};
+
+CoScheduleFixtureData
+bigLittleTwoTenants()
+{
+    CoScheduleFixtureData d;
+    std::string err;
+    WorkloadSet set = parseSet(
+        R"([{"name": "vision", "model": "GoogleNet",
+             "arrival_rate_hz": 40, "sla_latency_ms": 18},
+            {"name": "mobile", "model": "MobileNetV2",
+             "arrival_rate_hz": 25, "sla_latency_ms": 30}])",
+        &err);
+    EXPECT_EQ(set.size(), 2) << err;
+    d.set = set;
+    for (const TenantSpec &t : set.tenants) {
+        Graph g;
+        EXPECT_TRUE(resolveWorkload(t.workload, &g, &err)) << err;
+        d.graphs.push_back(std::move(g));
+    }
+    AcceleratorConfig accel;
+    EXPECT_TRUE(resolvePlatform(PlatformSpec{}, &accel, &err)) << err;
+    DeploymentSpec dspec;
+    dspec.enabled = true;
+    dspec.preset = "big-little";
+    EXPECT_TRUE(resolveDeployment(dspec, accel, &d.dep, &err)) << err;
+    return d;
+}
+
+SearchSpec
+smallSpec(const std::string &algo)
+{
+    SearchSpec spec;
+    spec.algo = algo;
+    spec.eval.sampleBudget = 400;
+    spec.eval.seed = 7;
+    spec.ga.population = 12;
+    return spec;
+}
+
+} // namespace
+
+TEST(CoSchedule, SearchedBeatsGreedyOnBigLittle)
+{
+    CoScheduleFixtureData d = bigLittleTwoTenants();
+    ASSERT_EQ(d.graphs.size(), 2u);
+
+    CoScheduler greedy(d.graphs, d.set, d.dep);
+    ScheduleResult gr = greedy.explore(smallSpec("greedy-place"));
+    CoScheduler searched(d.graphs, d.set, d.dep);
+    ScheduleResult sr = searched.explore(smallSpec("ga"));
+
+    ASSERT_EQ(static_cast<int>(gr.cost.tenants.size()), d.set.size());
+    ASSERT_EQ(static_cast<int>(sr.cost.tenants.size()), d.set.size());
+
+    // The ISSUE's acceptance criterion: a registered searcher finds a
+    // schedule with strictly fewer SLA violations than greedy-place,
+    // or a strictly lower mean latency when both are violation-free.
+    if (sr.cost.slaViolations == gr.cost.slaViolations) {
+        EXPECT_EQ(sr.cost.slaViolations, 0);
+        EXPECT_LT(sr.cost.meanLatencyMs, gr.cost.meanLatencyMs);
+    } else {
+        EXPECT_LT(sr.cost.slaViolations, gr.cost.slaViolations);
+    }
+    EXPECT_LE(sr.objective, gr.objective);
+}
+
+TEST(CoSchedule, GreedyIsDeterministic)
+{
+    CoScheduleFixtureData d = bigLittleTwoTenants();
+    CoScheduler a(d.graphs, d.set, d.dep);
+    CoScheduler b(d.graphs, d.set, d.dep);
+    ScheduleResult ra = a.explore(smallSpec("greedy-place"));
+    ScheduleResult rb = b.explore(smallSpec("greedy-place"));
+    EXPECT_EQ(ra.schedule.coreOf, rb.schedule.coreOf);
+    EXPECT_DOUBLE_EQ(ra.objective, rb.objective);
+    EXPECT_EQ(ra.samples, rb.samples);
+}
+
+TEST(CoSchedule, SaturatedCoreViolatesEverySla)
+{
+    std::string err;
+    WorkloadSet set = parseSet(
+        R"([{"name": "hot", "model": "VGG16",
+             "arrival_rate_hz": 100000, "sla_latency_ms": 1}])",
+        &err);
+    ASSERT_EQ(set.size(), 1) << err;
+    Graph g;
+    ASSERT_TRUE(resolveWorkload(set.tenants[0].workload, &g, &err));
+    AcceleratorConfig accel;
+    ASSERT_TRUE(resolvePlatform(PlatformSpec{}, &accel, &err));
+    std::vector<Graph> graphs;
+    graphs.push_back(std::move(g));
+    ScheduleCostModel model(graphs, set,
+                            homogeneousDeployment(accel, 1));
+
+    Schedule s;
+    s.buffer.style = BufferStyle::Separate;
+    s.buffer.actBytes = 1024 * 1024;
+    s.buffer.weightBytes = 1152 * 1024;
+    s.coreOf = {0};
+    s.parts = {Partition::singletons(graphs[0])};
+    ScheduleCost c = model.evaluate(s);
+    ASSERT_EQ(c.tenants.size(), 1u);
+    EXPECT_EQ(c.slaViolations, 1);
+    EXPECT_TRUE(c.tenants[0].slaViolation);
+    EXPECT_DOUBLE_EQ(c.tenants[0].latencyMs, kSaturatedLatencyMs);
+    EXPECT_GE(c.coreUtilization[0], 1.0);
+}
+
+TEST(CoSchedule, ViolationsDominateTheObjective)
+{
+    ScheduleCost clean;
+    clean.feasible = true;
+    clean.slaViolations = 0;
+    clean.meanLatencyMs = 900.0;
+    ScheduleCost violated;
+    violated.feasible = true;
+    violated.slaViolations = 1;
+    violated.meanLatencyMs = 1.0;
+    EXPECT_LT(scheduleObjective(clean), scheduleObjective(violated));
+
+    ScheduleCost infeasible;
+    infeasible.feasible = false;
+    infeasible.slaViolations = 0;
+    EXPECT_LT(scheduleObjective(violated),
+              scheduleObjective(infeasible));
+}
+
+TEST(CoSchedule, ContextHashSeesRatesAndSlas)
+{
+    CoScheduleFixtureData d = bigLittleTwoTenants();
+    ScheduleCostModel base(d.graphs, d.set, d.dep);
+
+    WorkloadSet bumpedRate = d.set;
+    bumpedRate.tenants[0].arrivalRateHz += 1.0;
+    ScheduleCostModel rate(d.graphs, bumpedRate, d.dep);
+
+    WorkloadSet bumpedSla = d.set;
+    bumpedSla.tenants[1].slaLatencyMs += 1.0;
+    ScheduleCostModel sla(d.graphs, bumpedSla, d.dep);
+
+    const uint64_t seed = 0x9e3779b97f4a7c15ull;
+    EXPECT_NE(base.contextHash(seed), rate.contextHash(seed));
+    EXPECT_NE(base.contextHash(seed), sla.contextHash(seed));
+    EXPECT_EQ(base.contextHash(seed),
+              ScheduleCostModel(d.graphs, d.set, d.dep)
+                  .contextHash(seed));
+}
+
+TEST(CoSchedule, SingleTenantSetMatchesPlainRunBitForBit)
+{
+    const char *plain = R"({
+        "workload": {"model": "GoogleNet"},
+        "platform": "simba",
+        "algo": "ga", "samples": 300, "seed": 3,
+        "ga": {"population": 10}
+    })";
+    const char *asSet = R"({
+        "workload_set": [{"name": "only", "model": "GoogleNet",
+                          "arrival_rate_hz": 10,
+                          "sla_latency_ms": 50}],
+        "platform": "simba",
+        "algo": "ga", "samples": 300, "seed": 3,
+        "ga": {"population": 10}
+    })";
+
+    auto runOne = [](const char *text) {
+        SearchSpec spec;
+        std::string err;
+        EXPECT_TRUE(parseRunSpecText(text, &spec, &err)) << err;
+        EXPECT_FALSE(spec.workloadSet.enabled());
+        Graph g;
+        EXPECT_TRUE(resolveWorkload(spec.workload, &g, &err)) << err;
+        AcceleratorConfig accel;
+        EXPECT_TRUE(resolvePlatform(spec.platform, &accel, &err)) << err;
+        CoccoFramework cocco(g, accel);
+        CoccoResult r = cocco.explore(spec);
+        return resultToJson(g, r);
+    };
+    EXPECT_EQ(runOne(plain), runOne(asSet));
+}

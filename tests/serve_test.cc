@@ -326,6 +326,25 @@ TEST(Serve, BatchDrainsADirectoryAndRecordsFailures)
     ASSERT_NE(doc.find("jobs"), nullptr);
     EXPECT_EQ(doc.find("jobs")->array().size(), 3u);
 
+    // Aggregate accounting: the batch's own wall clock, the summed
+    // per-job wall clock / sample counts, and the shared cache's
+    // lifetime hit rate, all in the summary document.
+    ASSERT_NE(doc.find("wall_seconds"), nullptr);
+    EXPECT_GT(doc.find("wall_seconds")->number(), 0.0);
+    ASSERT_NE(doc.find("jobs_wall_seconds"), nullptr);
+    EXPECT_GT(doc.find("jobs_wall_seconds")->number(), 0.0);
+    EXPECT_DOUBLE_EQ(doc.find("jobs_wall_seconds")->number(),
+                     summary.jobsWallSeconds);
+    ASSERT_NE(doc.find("samples_total"), nullptr);
+    EXPECT_EQ(doc.find("samples_total")->integer(),
+              summary.samplesTotal);
+    EXPECT_GE(summary.samplesTotal, 2 * 120);
+    const JsonValue *scache = doc.find("cache");
+    ASSERT_NE(scache, nullptr);
+    ASSERT_NE(scache->find("hit_rate"), nullptr);
+    EXPECT_GE(scache->find("hit_rate")->number(), 0.0);
+    EXPECT_LE(scache->find("hit_rate")->number(), 1.0);
+
     // An interrupted batch cancels cooperatively and says so.
     char tmpl2[] = "/tmp/cocco_batch_test_XXXXXX";
     ASSERT_NE(::mkdtemp(tmpl2), nullptr);
@@ -353,6 +372,69 @@ TEST(Serve, BatchDrainsADirectoryAndRecordsFailures)
     BatchSummary esummary;
     EXPECT_FALSE(runBatchDir(tmpl3, iopts, &esummary, &err));
     EXPECT_FALSE(err.empty());
+}
+
+// --- Co-scheduled workload_set jobs -----------------------------------------
+
+TEST(Serve, CoScheduleJobsRunThroughTheManager)
+{
+    const char *specText = R"({
+        "algo": "ga", "samples": 300, "seed": 7, "threads": 1,
+        "ga": {"population": 12},
+        "deployment": "big-little",
+        "workload_set": [
+            {"name": "vision", "model": "GoogleNet",
+             "arrival_rate_hz": 40, "sla_latency_ms": 18},
+            {"name": "mobile", "model": "MobileNetV2",
+             "arrival_rate_hz": 25, "sla_latency_ms": 30}
+        ]
+    })";
+
+    JobManagerOptions opts;
+    opts.workers = 1;
+    opts.threadBudget = 1;
+    JobManager manager(opts);
+
+    std::string err;
+    int64_t id = manager.submit(parsedSpec(specText), "tenant-a", &err);
+    ASSERT_GT(id, 0) << err;
+    ASSERT_TRUE(manager.wait(id, 60.0));
+    EXPECT_EQ(manager.status(id).state, JobState::Done);
+    EXPECT_EQ(manager.status(id).name, "ga:vision+mobile");
+    EXPECT_EQ(manager.status(id).model, "GoogleNet+MobileNetV2");
+
+    // The result document is the co-schedule analogue of resultToJson:
+    // per-tenant placements plus the schedule-level cost.
+    std::string result = manager.resultJson(id);
+    ASSERT_FALSE(result.empty());
+    JsonValue doc;
+    ASSERT_TRUE(parseJson(result, &doc, &err)) << err;
+    ASSERT_NE(doc.find("tenants"), nullptr);
+    EXPECT_EQ(doc.find("tenants")->array().size(), 2u);
+    ASSERT_NE(doc.find("cost"), nullptr);
+    ASSERT_NE(doc.find("cost")->find("sla_violations"), nullptr);
+
+    // The metrics document replaces the deployment block with the
+    // tenants block and keeps the serving context.
+    std::string metrics = manager.metricsJson(id);
+    ASSERT_FALSE(metrics.empty());
+    ASSERT_TRUE(parseJson(metrics, &doc, &err)) << err;
+    const JsonValue &run = doc.find("runs")->array()[0];
+    EXPECT_EQ(run.find("deployment"), nullptr);
+    const JsonValue *tenants = run.find("tenants");
+    ASSERT_NE(tenants, nullptr);
+    EXPECT_EQ(tenants->find("count")->integer(), 2);
+    EXPECT_EQ(tenants->find("list")->array().size(), 2u);
+    ASSERT_NE(run.find("job"), nullptr);
+
+    // Admission validates the set itself: a duplicate tenant name is
+    // shed at the front door, before it can reach a worker.
+    SearchSpec bad = parsedSpec(specText);
+    bad.workloadSet.tenants[1].name =
+        bad.workloadSet.tenants[0].name;
+    err.clear();
+    EXPECT_EQ(manager.submit(bad, "tenant-a", &err), -1);
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
 }
 
 // --- HTTP front end ---------------------------------------------------------

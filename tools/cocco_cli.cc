@@ -14,6 +14,10 @@
  *             (s = shared | separate; --algo picks the driver)
  *   run       --spec FILE           declarative JSON run spec (schema
  *                                   in the README)
+ *   coschedule --spec FILE          multi-tenant co-scheduling: the
+ *                                   spec's "workload_set" tenants
+ *                                   jointly placed on one deployment
+ *                                   (`run` takes the same documents)
  *   validate-metrics FILE           check a --metrics-out document
  * Listing: --list-algos (search drivers), --list-models,
  *          --list-platforms (accelerator presets).
@@ -64,6 +68,7 @@
 #include "core/cocco.h"
 #include "core/metrics.h"
 #include "core/serialize.h"
+#include "schedule/co_scheduler.h"
 #include "serve/batch.h"
 #include "serve/events.h"
 #include "serve/http_server.h"
@@ -154,6 +159,7 @@ usage()
         "  partition <model> --algo greedy|dp|enum|<search driver>\n"
         "  coexplore <model> [--style shared|separate] [--algo DRIVER]\n"
         "  run       --spec FILE [--progress] [--checkpoint F]\n"
+        "  coschedule --spec FILE [--progress]  (workload_set specs)\n"
         "  batch     <dir> [--jobs N] [--out DIR] [--progress]\n"
         "  serve     --port N | --stdio  [--serve-workers N] "
         "[--serve-queue N]\n"
@@ -644,6 +650,110 @@ runCoExplore(CliArgs &a)
     return 0;
 }
 
+/** The co-schedule execution path, shared by `cocco coschedule` and a
+ *  `run --spec` document with a "workload_set" section: resolve every
+ *  tenant's graph, scale out over the spec's deployment (a plain
+ *  platform is a 1-core deployment), and hand the joint placement
+ *  search to CoScheduler. @p namePrefix labels the metrics record
+ *  ("spec-" / "coschedule-") so either frontend is identifiable. */
+int
+runCoScheduleSpec(CliArgs a, SearchSpec spec,
+                  const std::string &namePrefix)
+{
+    std::string err;
+    std::vector<Graph> graphs(spec.workloadSet.size());
+    std::string names;
+    for (int t = 0; t < spec.workloadSet.size(); ++t) {
+        if (!resolveWorkload(spec.workloadSet.tenants[t].workload,
+                             &graphs[t], &err))
+            fatal("%s: %s", a.specFile.c_str(), err.c_str());
+        names += (t ? "+" : "") + graphs[t].name();
+    }
+    a.model = names;
+
+    AcceleratorConfig accel;
+    if (!resolvePlatform(spec.platform, &accel, &err))
+        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+    DeploymentConfig dep;
+    if (spec.deployment.enabled) {
+        if (!resolveDeployment(spec.deployment, accel, &dep, &err))
+            fatal("%s: %s", a.specFile.c_str(), err.c_str());
+    } else {
+        dep = homogeneousDeployment(accel, 1);
+    }
+
+    // Co-schedule runs have no checkpoint format (the inner searches
+    // are short per-tenant probes, not one long trajectory).
+    if (!a.checkpointFile.empty())
+        std::fprintf(stderr, "checkpoint: co-schedule runs do not "
+                             "checkpoint; --checkpoint ignored\n");
+
+    NdjsonProgress progress(a.progress ? stderr : nullptr, 0,
+                            &g_interrupted);
+    spec.eval.observer = &progress;
+
+    std::shared_ptr<EvalCache> cache;
+    if (spec.eval.cacheEnabled) {
+        a.cacheSize = static_cast<int64_t>(spec.eval.cacheCapacity);
+        cache = openCache(a);
+        spec.eval.cache = cache;
+        spec.eval.cacheEnabled = cache != nullptr;
+    }
+
+    CoScheduler sched(graphs, spec.workloadSet, dep);
+    auto t0 = std::chrono::steady_clock::now();
+    ScheduleResult r = sched.explore(spec);
+    double wall = secondsSince(t0);
+    closeCache(a, cache);
+
+    if (a.json) {
+        std::printf("%s\n",
+                    scheduleResultToJson(sched.model(), r).c_str());
+    } else {
+        std::printf("%s: %s placed %d tenant(s) on %d core(s) -> "
+                    "%d SLA violation(s), mean latency %.3f ms\n",
+                    a.model.c_str(), spec.algo.c_str(),
+                    sched.model().tenants(), sched.model().cores(),
+                    r.cost.slaViolations, r.cost.meanLatencyMs);
+        if (static_cast<int>(r.cost.tenants.size()) ==
+            sched.model().tenants()) {
+            for (int t = 0; t < sched.model().tenants(); ++t) {
+                const TenantSpec &ts = spec.workloadSet.tenants[t];
+                const TenantCost &tc = r.cost.tenants[t];
+                std::printf("  %-12s core %d  latency %10.3f ms "
+                            "(SLA %.3f ms) %s\n",
+                            ts.name.c_str(), r.schedule.coreOf[t],
+                            tc.latencyMs, ts.slaLatencyMs,
+                            tc.slaViolation ? "VIOLATED" : "ok");
+            }
+        }
+        printStopLine(r.stop);
+        if (cache)
+            printCacheLine(r.cacheStats);
+    }
+    if (a.timeline)
+        std::printf("%s", scheduleGantt(sched.model(), r).c_str());
+
+    if (!a.metricsOut.empty()) {
+        RunMetrics m;
+        m.name = namePrefix + spec.algo;
+        m.model = a.model;
+        m.threads = ThreadPool::resolveThreads(a.threads);
+        m.seed = a.seed;
+        m.samples = r.samples;
+        m.bestCost = r.objective;
+        m.wallSeconds = wall;
+        m.cacheEnabled = cache != nullptr;
+        m.cache = r.cacheStats;
+        fillTenantMetrics(sched.model(), r, &m);
+        if (!writeMetricsFile(a.metricsOut, "cocco_cli", {m}))
+            std::fprintf(stderr,
+                         "error: could not write metrics to %s\n",
+                         a.metricsOut.c_str());
+    }
+    return g_interrupted.load(std::memory_order_relaxed) ? 130 : 0;
+}
+
 /** `cocco run --spec FILE`: the declarative path. The document is
  *  authoritative for the search configuration; the command line only
  *  contributes output/persistence knobs (--json, --metrics-out,
@@ -668,6 +778,12 @@ runSpec(CliArgs a)
         fatal("%s: %s", a.specFile.c_str(), err.c_str());
     a.seed = spec.eval.seed;
     a.threads = spec.eval.threads;
+
+    // A "workload_set" document runs the co-scheduler; everything
+    // else about the invocation (--json, --timeline, --metrics-out,
+    // cache flags) behaves identically.
+    if (spec.workloadSet.enabled())
+        return runCoScheduleSpec(std::move(a), std::move(spec), "spec-");
 
     // The document is self-contained: it addresses the workload (a
     // registry model + params, or a graph file) and the platform (a
@@ -777,6 +893,34 @@ runSpec(CliArgs a)
          r.stop == StopReason::Stalled))
         std::remove(a.checkpointFile.c_str());
     return g_interrupted.load(std::memory_order_relaxed) ? 130 : 0;
+}
+
+/** `cocco coschedule --spec FILE`: the explicit multi-tenant
+ *  frontend. Takes the same documents as `run` but insists on a
+ *  "workload_set" (a single tenant normalizes to a plain run). */
+int
+runCoSchedule(CliArgs a)
+{
+    if (a.specFile.empty())
+        fatal("coschedule needs --spec FILE");
+    JsonValue doc;
+    std::string err;
+    if (!loadJsonFile(a.specFile, &doc, &err))
+        fatal("%s", err.c_str());
+    SearchSpec spec;
+    spec.fixedBuffer.style = BufferStyle::Separate;
+    spec.fixedBuffer.actBytes = 1024 * 1024;
+    spec.fixedBuffer.weightBytes = 1152 * 1024;
+    if (!searchSpecFromJson(doc, &spec, &err))
+        fatal("%s: %s", a.specFile.c_str(), err.c_str());
+    if (!spec.workloadSet.enabled())
+        fatal("%s: coschedule needs a \"workload_set\" with >= 2 "
+              "tenants (one tenant is a plain run; use `cocco run`)",
+              a.specFile.c_str());
+    a.seed = spec.eval.seed;
+    a.threads = spec.eval.threads;
+    return runCoScheduleSpec(std::move(a), std::move(spec),
+                             "coschedule-");
 }
 
 /** `cocco batch <dir>`: drain a directory of run specs through one
@@ -948,6 +1092,55 @@ validateMetrics(const std::string &path)
                 fatal("%s: runs[%d] job missing bool \"resumed\"",
                       path.c_str(), i);
         }
+        // The tenants block is optional (co-schedule documents); when
+        // present its list must be per-tenant complete and match the
+        // declared count.
+        if (const JsonValue *ten = run.find("tenants")) {
+            if (!ten->isObject())
+                fatal("%s: runs[%d] \"tenants\" is not an object",
+                      path.c_str(), i);
+            static const char *ten_numbers[] = {"count", "sla_violations",
+                                                "mean_latency_ms"};
+            for (const char *f : ten_numbers)
+                if (!ten->find(f) || !ten->find(f)->isNumber())
+                    fatal("%s: runs[%d] tenants missing number \"%s\"",
+                          path.c_str(), i, f);
+            const JsonValue *list = ten->find("list");
+            if (!list || !list->isArray())
+                fatal("%s: runs[%d] tenants missing \"list\" array",
+                      path.c_str(), i);
+            if (static_cast<int>(list->array().size()) !=
+                static_cast<int>(ten->find("count")->number()))
+                fatal("%s: runs[%d] tenants list has %zu entries for "
+                      "count %d",
+                      path.c_str(), i, list->array().size(),
+                      static_cast<int>(ten->find("count")->number()));
+            int j = 0;
+            for (const JsonValue &t : list->array()) {
+                if (!t.isObject())
+                    fatal("%s: runs[%d] tenants list[%d] is not an "
+                          "object",
+                          path.c_str(), i, j);
+                if (!t.find("name") || !t.find("name")->isString())
+                    fatal("%s: runs[%d] tenants list[%d] missing string "
+                          "\"name\"",
+                          path.c_str(), i, j);
+                static const char *entry_numbers[] = {
+                    "core", "arrival_rate_hz", "sla_latency_ms",
+                    "latency_ms", "energy_pj"};
+                for (const char *f : entry_numbers)
+                    if (!t.find(f) || !t.find(f)->isNumber())
+                        fatal("%s: runs[%d] tenants list[%d] missing "
+                              "number \"%s\"",
+                              path.c_str(), i, j, f);
+                if (!t.find("sla_violation") ||
+                    !t.find("sla_violation")->isBool())
+                    fatal("%s: runs[%d] tenants list[%d] missing bool "
+                          "\"sla_violation\"",
+                          path.c_str(), i, j);
+                ++j;
+            }
+        }
         ++i;
     }
     std::printf("%s: ok (%s, %d run%s)\n", path.c_str(),
@@ -964,8 +1157,8 @@ main(int argc, char **argv)
 
     // Graceful-interrupt modes only: elsewhere the default SIGINT
     // disposition (kill) is the right behavior.
-    if (a.command == "run" || a.command == "batch" ||
-        a.command == "serve")
+    if (a.command == "run" || a.command == "coschedule" ||
+        a.command == "batch" || a.command == "serve")
         std::signal(SIGINT, onSigint);
 
     if (a.command == "models" || a.command == "--list-models") {
@@ -1012,6 +1205,8 @@ main(int argc, char **argv)
     }
     if (a.command == "run")
         return runSpec(a);
+    if (a.command == "coschedule")
+        return runCoSchedule(a);
     if (a.command == "batch")
         return runBatch(a);
     if (a.command == "serve")
