@@ -5,8 +5,10 @@
  * Runs a fixed set of timed workloads — cold/warm GA evaluation
  * throughput, raw partitionCost assembly rate, a co-exploration wall
  * clock, incumbent-screened evaluation (pruning) vs. exhaustive
- * evaluation, the exploration-service drain rate, and multi-tenant
- * schedule evaluation throughput — and writes one flat JSON snapshot:
+ * evaluation, the exploration-service drain rate, multi-tenant
+ * schedule evaluation throughput, the racing portfolio's
+ * time-to-target against the best solo algorithm, and the pareto-mode
+ * frontier production rate — and writes one flat JSON snapshot:
  *
  *   {"schema_version":1, "generator":"bench_perf", "date":"...",
  *    "series":{"<name>":{"value":N,"unit":"...",
@@ -30,6 +32,7 @@
 #include <ctime>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -463,6 +466,150 @@ main(int argc, char **argv)
             series.push_back({"coschedule_evals_per_sec", best_rate,
                               "evals/s", true});
         }
+    }
+
+    // --- Portfolio time-to-target vs. the best single algorithm. ---
+    // Four solo runs (fresh model + cache each, threads=1) establish
+    // the target: the best final cost any single algorithm reaches at
+    // this budget. The portfolio then races the same four over ONE
+    // shared cache (deterministic mode, so the basket is
+    // reproducible) and must reach that target — shared-cache racing
+    // must not regress the winner. The wall-clock floor scales the
+    // best solo's time-to-target by the race overhead: with a core
+    // per racer the portfolio tracks the winning solo, while on
+    // smaller hosts the racers time-share the winner's core until the
+    // losers are culled, so the floor widens by the racer count. The
+    // committed snapshot + perf_diff tracks the raw seconds tightly.
+    {
+        struct ImproveLog final : SearchObserver
+        {
+            double t0 = 0.0;
+            std::vector<std::pair<double, double>> hits; // (sec, cost)
+            void
+            onImprove(const TracePoint &tp) override
+            {
+                hits.emplace_back(now() - t0, tp.bestCost);
+            }
+        };
+        auto timeToTarget = [](const ImproveLog &log, double target) {
+            for (const auto &h : log.hits)
+                if (h.second <= target)
+                    return h.first;
+            return -1.0;
+        };
+
+        const std::vector<std::string> racers{"ga", "sa", "ts-random",
+                                              "ts-grid"};
+        std::vector<ImproveLog> logs(racers.size());
+        double min_best = kInfeasiblePenalty;
+        for (size_t i = 0; i < racers.size(); ++i) {
+            SearchSpec spec = searchSpec(racers[i], args);
+            spec.eval.coExplore = true;
+            spec.eval.sampleBudget = budget;
+            spec.eval.threads = 1;
+            spec.eval.observer = &logs[i];
+            CoccoFramework cocco(g, accel);
+            logs[i].t0 = now();
+            CoccoResult r = cocco.explore(spec);
+            min_best = std::min(min_best, r.objective);
+        }
+        double best_solo = -1.0;
+        for (const ImproveLog &log : logs) {
+            double t = timeToTarget(log, min_best);
+            if (t >= 0.0 && (best_solo < 0.0 || t < best_solo))
+                best_solo = t;
+        }
+
+        SearchSpec pspec = searchSpec("portfolio", args);
+        pspec.eval.coExplore = true;
+        pspec.eval.sampleBudget = budget;
+        pspec.eval.threads = static_cast<int>(racers.size());
+        pspec.portfolio.racers = racers;
+        pspec.portfolio.deterministicRace = true;
+        pspec.portfolio.checkEvals = 250;
+        pspec.portfolio.warmupEvals = 500;
+        ImproveLog plog;
+        pspec.eval.observer = &plog;
+        CoccoFramework cocco(g, accel);
+        plog.t0 = now();
+        CoccoResult pr = cocco.explore(pspec);
+        double ttt = timeToTarget(plog, min_best);
+
+        const char *winner = "?";
+        for (const RacerStats &rs : pr.racers)
+            if (rs.winner)
+                winner = rs.algo.c_str();
+        std::printf("portfolio: target %.6g reached in %.2fs "
+                    "(best solo %.2fs, winner %s, %lld total evals)\n",
+                    min_best, ttt, best_solo, winner,
+                    static_cast<long long>(pr.samples));
+
+        if (pr.objective > min_best) {
+            std::fprintf(stderr,
+                         "FAIL: portfolio winner (%.17g) regressed the "
+                         "best solo result (%.17g)\n",
+                         pr.objective, min_best);
+            failed = true;
+        }
+        if (ttt < 0.0) {
+            std::fprintf(stderr, "FAIL: portfolio never reached the "
+                                 "best solo target\n");
+            failed = true;
+        } else if (best_solo >= 0.0) {
+            unsigned cores = std::thread::hardware_concurrency();
+            double oversub = cores != 0 && cores < racers.size()
+                                 ? static_cast<double>(racers.size())
+                                 : 1.0;
+            double allowed = best_solo * 1.5 * oversub;
+            if (ttt > allowed) {
+                std::fprintf(stderr,
+                             "FAIL: portfolio time-to-target %.2fs "
+                             "above the %.2fs floor (best solo %.2fs)\n",
+                             ttt, allowed, best_solo);
+                failed = true;
+            }
+        }
+        series.push_back({"portfolio_time_to_target_seconds", ttt, "s",
+                          false});
+    }
+
+    // --- Pareto frontier throughput (`"mode": "pareto"`). ---
+    // One frontier-producing co-exploration: the non-dominated
+    // {buffer, energy, latency} archive rides the eval loop, so the
+    // series prices the whole trade-off curve, not one scalarization.
+    {
+        double best_rate = 0.0, best_s = 0.0;
+        size_t points = 0;
+        for (int r = 0; r < repeats; ++r) {
+            SearchSpec spec = searchSpec("ga", args);
+            spec.paretoMode = true;
+            spec.eval.coExplore = true;
+            spec.eval.sampleBudget = budget;
+            spec.eval.threads = 1;
+            spec.eval.alpha = 2e-3;
+            spec.eval.metric = Metric::Energy;
+            CoccoFramework cocco(g, accel);
+            double t0 = now();
+            CoccoResult res = cocco.explore(spec);
+            double s = now() - t0;
+            double rate = static_cast<double>(res.frontier.size()) / s;
+            if (rate > best_rate) {
+                best_rate = rate;
+                best_s = s;
+                points = res.frontier.size();
+            }
+        }
+        std::printf("pareto: %zu frontier points in %.2fs "
+                    "(%.1f points/s)\n",
+                    points, best_s, best_rate);
+        if (points < 3) {
+            std::fprintf(stderr, "FAIL: pareto frontier resolved only "
+                                 "%zu points (need >= 3)\n",
+                         points);
+            failed = true;
+        }
+        series.push_back({"pareto_frontier_points_per_sec", best_rate,
+                          "points/s", true});
     }
 
     if (!writeSnapshot(out, series)) {

@@ -2,6 +2,43 @@
 
 namespace cocco {
 
+void
+fillResultMetrics(const CoccoResult &r, bool paretoMode, RunMetrics *m)
+{
+    if (!r.racers.empty()) {
+        m->hasPortfolio = true;
+        for (const RacerStats &rs : r.racers) {
+            RunMetrics::RacerMetrics rm;
+            rm.algo = rs.algo;
+            rm.samples = rs.samples;
+            rm.bestCost = rs.bestCost;
+            rm.improvements = rs.improvements;
+            rm.wallSeconds = rs.wallSeconds;
+            rm.threads = rs.threads;
+            rm.regrants = rs.regrants;
+            rm.culled = rs.culled;
+            rm.winner = rs.winner;
+            rm.stop = stopReasonName(rs.stop);
+            if (rs.winner)
+                m->portfolioWinner = rs.algo;
+            m->racers.push_back(std::move(rm));
+        }
+    }
+    if (paretoMode) {
+        m->hasPareto = true;
+        m->hypervolume = r.hypervolume;
+        for (const ParetoEntry &e : r.frontier) {
+            RunMetrics::FrontierPoint p;
+            p.bufferBytes = e.bufferBytes;
+            p.energyPj = e.energyPj;
+            p.latencyCycles = e.latencyCycles;
+            p.metric = e.metric;
+            p.sample = e.sample;
+            m->frontier.push_back(p);
+        }
+    }
+}
+
 CoccoFramework::CoccoFramework(const Graph &g, const AcceleratorConfig &accel)
     : g_(g), model_(std::make_unique<CostModel>(g, accel))
 {
@@ -29,6 +66,7 @@ CoccoFramework::package(const SearchResult &r, const DseSpace &space) const
     out.stop = r.stop;
     out.cacheStats = r.cacheStats;
     out.deltaStats = r.deltaStats;
+    out.racers = r.racers;
     // Per-core / crossbar accounting of the recommendation (pure
     // bookkeeping over the memoized profiles; no search state).
     out.deployment = model_->breakdown(out.partition, out.buffer);
@@ -63,6 +101,22 @@ CoccoFramework::explore(const SearchSpec &spec,
     DseSpace space = spec.eval.coExplore
                          ? DseSpace::paperSpace(spec.style)
                          : DseSpace::fixedSpace(spec.fixedBuffer);
+    if (spec.paretoMode && !spec.eval.pareto) {
+        // Frontier mode: materialize the archive here and hand it to
+        // the drivers through the eval core (a portfolio fans it out
+        // into per-racer archives and merges them back).
+        ParetoArchive archive;
+        SearchSpec s = spec;
+        s.eval.pareto = &archive;
+        std::unique_ptr<Searcher> searcher =
+            SearcherRegistry::instance().make(s.algo, *model_, space, s);
+        CoccoResult out =
+            package(searcher->run(wrapSeeds(seed_partitions, space)),
+                    space);
+        out.frontier = archive.entries();
+        out.hypervolume = archive.hypervolume();
+        return out;
+    }
     std::unique_ptr<Searcher> searcher =
         SearcherRegistry::instance().make(spec.algo, *model_, space, spec);
     return package(searcher->run(wrapSeeds(seed_partitions, space)), space);

@@ -35,8 +35,10 @@
 
 #include <memory>
 
+#include "core/metrics.h"
 #include "models/models.h"
 #include "search/driver.h"
+#include "search/pareto.h"
 #include "sim/cost_model.h"
 
 namespace cocco {
@@ -59,7 +61,24 @@ struct CoccoResult
     /** Per-core utilization and crossbar share of the recommendation
      *  (trivial — one core, zero crossbar — for single-core runs). */
     DeploymentBreakdown deployment;
+
+    /** Per-racer breakdown (algo = "portfolio" only; empty otherwise). */
+    std::vector<RacerStats> racers;
+
+    /** The non-dominated {buffer, energy, latency} frontier
+     *  (spec.paretoMode only; empty otherwise). */
+    std::vector<ParetoEntry> frontier;
+    double hypervolume = 0.0; ///< normalized frontier hypervolume
 };
+
+/** Copy a result's optional portfolio / pareto blocks into a metrics
+ *  record (shared by the CLI's --metrics-out and the serve API's
+ *  metricsJson, so both emit the same schema). @p paretoMode gates
+ *  the pareto block: an empty frontier from a pareto run is still a
+ *  reportable (degenerate) frontier, while non-pareto runs omit the
+ *  block entirely. */
+void fillResultMetrics(const CoccoResult &r, bool paretoMode,
+                       RunMetrics *m);
 
 /** The hardware-mapping co-exploration framework. */
 class CoccoFramework

@@ -107,6 +107,45 @@ metricsToJson(const std::string &generator,
             w.endArray();
             w.endObject();
         }
+        if (r.hasPortfolio) {
+            w.key("portfolio").beginObject();
+            w.field("winner", r.portfolioWinner);
+            w.key("racers").beginArray();
+            for (const RunMetrics::RacerMetrics &rc : r.racers) {
+                w.beginObject();
+                w.field("algo", rc.algo);
+                w.field("samples", rc.samples);
+                w.field("best_cost", rc.bestCost);
+                w.field("improvements", rc.improvements);
+                w.field("wall_seconds", rc.wallSeconds);
+                w.field("threads", rc.threads);
+                w.field("regrants", rc.regrants);
+                w.field("culled", rc.culled);
+                w.field("winner", rc.winner);
+                w.field("stop", rc.stop);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        if (r.hasPareto) {
+            w.key("pareto").beginObject();
+            w.field("frontier_size",
+                    static_cast<int64_t>(r.frontier.size()));
+            w.field("hypervolume", r.hypervolume);
+            w.key("frontier").beginArray();
+            for (const RunMetrics::FrontierPoint &p : r.frontier) {
+                w.beginObject();
+                w.field("buffer_bytes", p.bufferBytes);
+                w.field("energy_pj", p.energyPj);
+                w.field("latency_cycles", p.latencyCycles);
+                w.field("metric", p.metric);
+                w.field("sample", p.sample);
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
         w.key("extra").beginObject();
         for (const auto &[key, value] : r.extra)
             w.field(key, value);

@@ -35,6 +35,20 @@
  *                                "latency_ms": X, "energy_pj": X,
  *                                "sla_violation": B }, ... ] },
  *                                                         // optional
+ *       "portfolio": { "winner": "...",
+ *                      "racers": [ { "algo": "...", "samples": N,
+ *                                    "best_cost": X,
+ *                                    "improvements": N,
+ *                                    "wall_seconds": X, "threads": N,
+ *                                    "regrants": N, "culled": B,
+ *                                    "winner": B, "stop": "..." },
+ *                                  ... ] },                // optional
+ *       "pareto": { "frontier_size": N, "hypervolume": X,
+ *                   "frontier": [ { "buffer_bytes": N,
+ *                                   "energy_pj": X,
+ *                                   "latency_cycles": X,
+ *                                   "metric": X, "sample": N },
+ *                                 ... ] },                 // optional
  *       "extra": { "<key>": X, ... }
  *     }, ...
  *   ]
@@ -55,6 +69,16 @@
  * WorkloadSet (`cocco coschedule`, a `workload_set` run spec through
  * any frontend): per-tenant effective latency/energy and SLA verdict,
  * plus the schedule-level violation count.
+ *
+ * The "portfolio" object appears when the run raced several searchers
+ * (algo "portfolio"): the winning racer plus each racer's evaluation
+ * count, improvement count, final cost, thread grant, regrant count,
+ * cull verdict, and stop reason.
+ *
+ * The "pareto" object appears when the run asked for the frontier
+ * ("mode": "pareto"): the non-dominated {buffer, energy, latency}
+ * points collected over the whole run plus the normalized
+ * hypervolume.
  */
 
 #ifndef COCCO_CORE_METRICS_H
@@ -115,6 +139,40 @@ struct RunMetrics
     int slaViolations = 0;
     double meanLatencyMs = 0.0;
     std::vector<TenantMetrics> tenants;
+
+    /** Per-racer breakdown of a portfolio race; emitted only when
+     *  set. Self-contained mirror of search/ga.h RacerStats so the
+     *  metrics layer stays decoupled from the search headers. */
+    struct RacerMetrics
+    {
+        std::string algo;
+        int64_t samples = 0;
+        double bestCost = 0.0;
+        int64_t improvements = 0;
+        double wallSeconds = 0.0;
+        int threads = 1;
+        int regrants = 0;
+        bool culled = false;
+        bool winner = false;
+        std::string stop; ///< stopReasonName of the racer's end
+    };
+    bool hasPortfolio = false;
+    std::string portfolioWinner;
+    std::vector<RacerMetrics> racers;
+
+    /** The non-dominated frontier of a pareto-mode run; emitted only
+     *  when set. */
+    struct FrontierPoint
+    {
+        int64_t bufferBytes = 0;
+        double energyPj = 0.0;
+        double latencyCycles = 0.0;
+        double metric = 0.0;
+        int64_t sample = 0;
+    };
+    bool hasPareto = false;
+    double hypervolume = 0.0;
+    std::vector<FrontierPoint> frontier;
 
     /** Free-form numeric side channel ("speedup", "budget", ...). */
     std::vector<std::pair<std::string, double>> extra;

@@ -221,19 +221,13 @@ readTag(std::FILE *f, const char *want)
            std::string(tag) == std::string(want);
 }
 
-} // namespace
-
-bool
-saveCheckpoint(const SearchCheckpoint &c, const std::string &path)
+/** Serialize one driver's state (the A..W sections). Shared between
+ *  the top-level snapshot and the portfolio's nested racer
+ *  snapshots, which use the identical encoding (nesting is one level
+ *  deep: racer bodies never carry a Q section of their own). */
+void
+writeCheckpointBody(std::FILE *f, const SearchCheckpoint &c)
 {
-    // Write-then-rename: a crash mid-write must never replace the
-    // previous good checkpoint with a truncated one.
-    std::string tmp = path + ".tmp";
-    std::FILE *f = std::fopen(tmp.c_str(), "w");
-    if (!f)
-        return false;
-    std::fprintf(f, "%s %d\n", kCheckpointMagic,
-                 SearchCheckpoint::kVersion);
     std::fprintf(f, "A %s %" PRIx64 " %" PRIx64 "\n", c.algo.c_str(),
                  c.fence, c.seed);
     std::fprintf(f, "S %lld %a %lld %" PRIx64 "\n",
@@ -284,6 +278,137 @@ saveCheckpoint(const SearchCheckpoint &c, const std::string &path)
     } else {
         std::fprintf(f, "W 0\n");
     }
+}
+
+/** Parse one driver's state (the A..W sections) into @p out. Returns
+ *  nullptr on success, else a static failure reason. */
+const char *
+readCheckpointBody(std::FILE *f, SearchCheckpoint *out)
+{
+    SearchCheckpoint &c = *out;
+    char algo[32] = {0};
+    long long samples = 0, since = 0;
+    if (!readTag(f, "A") ||
+        std::fscanf(f, "%31s %" SCNx64 " %" SCNx64, algo, &c.fence,
+                    &c.seed) != 3)
+        return "corrupt header";
+    c.algo = algo;
+    if (!readTag(f, "S") ||
+        std::fscanf(f, "%lld %la %lld %" SCNx64, &samples, &c.bestCost,
+                    &since, &c.streamCounter) != 4 ||
+        samples < 0 || samples > kMaxPersistedSamples)
+        return "corrupt run state";
+    c.samples = samples;
+    c.sinceImprove = since;
+    if (!readTag(f, "R") ||
+        std::fscanf(f, "%" SCNx64 " %" SCNx64 " %" SCNx64 " %" SCNx64,
+                    &c.rng[0], &c.rng[1], &c.rng[2], &c.rng[3]) != 4)
+        return "corrupt RNG state";
+    if (!readTag(f, "B") || !readGenome(f, &c.best))
+        return "corrupt incumbent genome";
+
+    size_t count = 0;
+    if (!readTag(f, "T") || std::fscanf(f, "%zu", &count) != 1 ||
+        count > static_cast<size_t>(kMaxPersistedSamples))
+        return "corrupt trace header";
+    c.trace.resize(count);
+    for (TracePoint &tp : c.trace) {
+        if (!readTag(f, "t") ||
+            std::fscanf(f, "%lld %la", &samples, &tp.bestCost) != 2)
+            return "corrupt trace entry";
+        tp.sample = samples;
+    }
+    if (!readTag(f, "P") || std::fscanf(f, "%zu", &count) != 1 ||
+        count > static_cast<size_t>(kMaxPersistedSamples))
+        return "corrupt points header";
+    c.points.resize(count);
+    for (SamplePoint &sp : c.points) {
+        long long bytes = 0;
+        if (!readTag(f, "p") ||
+            std::fscanf(f, "%lld %la %lld", &samples, &sp.metric,
+                        &bytes) != 3)
+            return "corrupt points entry";
+        sp.sample = samples;
+        sp.bufferBytes = bytes;
+    }
+    if (!readTag(f, "G") || std::fscanf(f, "%zu", &count) != 1 ||
+        count > static_cast<size_t>(1 << 20))
+        return "corrupt population header";
+    c.population.resize(count);
+    c.popCosts.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+        if (!readTag(f, "g") ||
+            std::fscanf(f, "%la", &c.popCosts[i]) != 1 ||
+            !readGenome(f, &c.population[i]))
+            return "corrupt population entry";
+    }
+
+    int flag = 0;
+    if (!readTag(f, "V") || std::fscanf(f, "%d", &flag) != 1)
+        return "corrupt SA section";
+    if (flag) {
+        c.hasSa = true;
+        if (std::fscanf(f, "%la %la", &c.saCurCost, &c.saT0) != 2 ||
+            !readGenome(f, &c.saCur))
+            return "corrupt SA section";
+    }
+    if (!readTag(f, "W") || std::fscanf(f, "%d", &flag) != 1)
+        return "corrupt two-step section";
+    if (flag) {
+        c.hasTs = true;
+        long long cand = 0, act = 0, wgt = 0, shr = 0;
+        int style = 0;
+        if (std::fscanf(f,
+                        "%lld %" SCNx64 " %" SCNu64 " %" SCNu64
+                        " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
+                        " %" SCNu64 " %" SCNu64 " %d %lld %lld %lld",
+                        &cand, &c.tsSubSeed, &c.tsBoundRejections,
+                        &c.tsBoundSkippedSamples, &c.tsIncReused,
+                        &c.tsIncRecost, &c.tsDelta.reports,
+                        &c.tsDelta.nodesTouched, &c.tsDelta.hwOnly,
+                        &c.tsDelta.rewrites, &style, &act, &wgt,
+                        &shr) != 14 ||
+            cand < 0 || (style != 0 && style != 1))
+            return "corrupt two-step section";
+        c.tsCandidate = cand;
+        c.tsBestBuffer.style = static_cast<BufferStyle>(style);
+        c.tsBestBuffer.actBytes = act;
+        c.tsBestBuffer.weightBytes = wgt;
+        c.tsBestBuffer.sharedBytes = shr;
+    }
+    return nullptr;
+}
+
+/** Racer-count ceiling in a persisted portfolio checkpoint. The
+ *  registry holds a handful of algorithms; anything beyond this is a
+ *  corrupt or hostile file, not a real race. */
+constexpr size_t kMaxPersistedRacers = 64;
+
+} // namespace
+
+bool
+saveCheckpoint(const SearchCheckpoint &c, const std::string &path)
+{
+    // Write-then-rename: a crash mid-write must never replace the
+    // previous good checkpoint with a truncated one.
+    std::string tmp = path + ".tmp";
+    std::FILE *f = std::fopen(tmp.c_str(), "w");
+    if (!f)
+        return false;
+    std::fprintf(f, "%s %d\n", kCheckpointMagic,
+                 SearchCheckpoint::kVersion);
+    writeCheckpointBody(f, c);
+    // Portfolio section: racer state + one nested body per racer (one
+    // nesting level only — racer snapshots never carry a Q of their
+    // own, matching the struct contract).
+    size_t nracers =
+        c.hasPortfolio ? std::min(c.racers.size(), c.racerState.size())
+                       : 0;
+    std::fprintf(f, "Q %zu\n", nracers);
+    for (size_t i = 0; i < nracers; ++i) {
+        std::fprintf(f, "q %d\n", c.racerState[i]);
+        writeCheckpointBody(f, c.racers[i]);
+    }
     std::fprintf(f, "END\n");
     bool ok = std::fclose(f) == 0;
     if (ok)
@@ -316,95 +441,26 @@ loadCheckpoint(const std::string &path, SearchCheckpoint *out,
         return fail("unsupported checkpoint format version");
 
     SearchCheckpoint c;
-    char algo[32] = {0};
-    long long samples = 0, since = 0;
-    if (!readTag(f, "A") ||
-        std::fscanf(f, "%31s %" SCNx64 " %" SCNx64, algo, &c.fence,
-                    &c.seed) != 3)
-        return fail("corrupt header");
-    c.algo = algo;
-    if (!readTag(f, "S") ||
-        std::fscanf(f, "%lld %la %lld %" SCNx64, &samples, &c.bestCost,
-                    &since, &c.streamCounter) != 4 ||
-        samples < 0 || samples > kMaxPersistedSamples)
-        return fail("corrupt run state");
-    c.samples = samples;
-    c.sinceImprove = since;
-    if (!readTag(f, "R") ||
-        std::fscanf(f, "%" SCNx64 " %" SCNx64 " %" SCNx64 " %" SCNx64,
-                    &c.rng[0], &c.rng[1], &c.rng[2], &c.rng[3]) != 4)
-        return fail("corrupt RNG state");
-    if (!readTag(f, "B") || !readGenome(f, &c.best))
-        return fail("corrupt incumbent genome");
-
-    size_t count = 0;
-    if (!readTag(f, "T") || std::fscanf(f, "%zu", &count) != 1 ||
-        count > static_cast<size_t>(kMaxPersistedSamples))
-        return fail("corrupt trace header");
-    c.trace.resize(count);
-    for (TracePoint &tp : c.trace) {
-        if (!readTag(f, "t") ||
-            std::fscanf(f, "%lld %la", &samples, &tp.bestCost) != 2)
-            return fail("corrupt trace entry");
-        tp.sample = samples;
-    }
-    if (!readTag(f, "P") || std::fscanf(f, "%zu", &count) != 1 ||
-        count > static_cast<size_t>(kMaxPersistedSamples))
-        return fail("corrupt points header");
-    c.points.resize(count);
-    for (SamplePoint &sp : c.points) {
-        long long bytes = 0;
-        if (!readTag(f, "p") ||
-            std::fscanf(f, "%lld %la %lld", &samples, &sp.metric,
-                        &bytes) != 3)
-            return fail("corrupt points entry");
-        sp.sample = samples;
-        sp.bufferBytes = bytes;
-    }
-    if (!readTag(f, "G") || std::fscanf(f, "%zu", &count) != 1 ||
-        count > static_cast<size_t>(1 << 20))
-        return fail("corrupt population header");
-    c.population.resize(count);
-    c.popCosts.resize(count);
-    for (size_t i = 0; i < count; ++i) {
-        if (!readTag(f, "g") ||
-            std::fscanf(f, "%la", &c.popCosts[i]) != 1 ||
-            !readGenome(f, &c.population[i]))
-            return fail("corrupt population entry");
-    }
-
-    int flag = 0;
-    if (!readTag(f, "V") || std::fscanf(f, "%d", &flag) != 1)
-        return fail("corrupt SA section");
-    if (flag) {
-        c.hasSa = true;
-        if (std::fscanf(f, "%la %la", &c.saCurCost, &c.saT0) != 2 ||
-            !readGenome(f, &c.saCur))
-            return fail("corrupt SA section");
-    }
-    if (!readTag(f, "W") || std::fscanf(f, "%d", &flag) != 1)
-        return fail("corrupt two-step section");
-    if (flag) {
-        c.hasTs = true;
-        long long cand = 0, act = 0, wgt = 0, shr = 0;
-        int style = 0;
-        if (std::fscanf(f,
-                        "%lld %" SCNx64 " %" SCNu64 " %" SCNu64
-                        " %" SCNu64 " %" SCNu64 " %" SCNu64 " %" SCNu64
-                        " %" SCNu64 " %" SCNu64 " %d %lld %lld %lld",
-                        &cand, &c.tsSubSeed, &c.tsBoundRejections,
-                        &c.tsBoundSkippedSamples, &c.tsIncReused,
-                        &c.tsIncRecost, &c.tsDelta.reports,
-                        &c.tsDelta.nodesTouched, &c.tsDelta.hwOnly,
-                        &c.tsDelta.rewrites, &style, &act, &wgt,
-                        &shr) != 14 ||
-            cand < 0 || (style != 0 && style != 1))
-            return fail("corrupt two-step section");
-        c.tsCandidate = cand;
-        c.tsBestBuffer.style = static_cast<BufferStyle>(style);
-        c.tsBestBuffer.actBytes = act;
-        c.tsBestBuffer.weightBytes = wgt;
-        c.tsBestBuffer.sharedBytes = shr;
+    if (const char *why = readCheckpointBody(f, &c))
+        return fail(why);
+    size_t nracers = 0;
+    if (!readTag(f, "Q") || std::fscanf(f, "%zu", &nracers) != 1 ||
+        nracers > kMaxPersistedRacers)
+        return fail("corrupt portfolio header");
+    if (nracers > 0) {
+        c.hasPortfolio = true;
+        c.racers.resize(nracers);
+        c.racerState.resize(nracers);
+        for (size_t i = 0; i < nracers; ++i) {
+            int state = 0;
+            if (!readTag(f, "q") || std::fscanf(f, "%d", &state) != 1 ||
+                state < SearchCheckpoint::kRacerActive ||
+                state > SearchCheckpoint::kRacerFinished)
+                return fail("corrupt racer state");
+            c.racerState[i] = state;
+            if (const char *why = readCheckpointBody(f, &c.racers[i]))
+                return fail(why);
+        }
     }
     if (!readTag(f, "END"))
         return fail("truncated checkpoint file");

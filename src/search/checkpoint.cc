@@ -67,4 +67,19 @@ twoStepCheckpointFence(const CostModel &model, const DseSpace &space,
     return hashFinalize(h);
 }
 
+uint64_t
+portfolioCheckpointFence(const CostModel &model, const DseSpace &space,
+                         const EvalOptions &opts,
+                         const PortfolioParams &params)
+{
+    uint64_t h = baseFence(model, space, opts, "portfolio");
+    h = hashI64(h, static_cast<int64_t>(params.racers.size()));
+    for (const std::string &racer : params.racers)
+        h = hashString(h, racer);
+    h = hashU64(h, params.deterministicRace ? 1 : 0);
+    h = hashI64(h, params.checkEvals);
+    h = hashI64(h, params.warmupEvals);
+    return hashFinalize(h);
+}
+
 } // namespace cocco

@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "search/ga.h"
+#include "search/portfolio.h"
 #include "search/sa.h"
 #include "search/two_step.h"
 
@@ -57,7 +58,7 @@ struct SearchCheckpoint
     /** Persisted-format version (core/serialize). Bump on ANY change
      *  to this struct or its encoding; loaders reject other versions
      *  (a half-understood resume state would fork the run). */
-    static constexpr int kVersion = 1;
+    static constexpr int kVersion = 2; ///< v2: portfolio racer section
 
     std::string algo;   ///< driver key ("ga", "sa", "ts-random", ...)
     uint64_t fence = 0; ///< run-identity hash (checkpointFence below)
@@ -93,6 +94,20 @@ struct SearchCheckpoint
     uint64_t tsIncReused = 0;
     uint64_t tsIncRecost = 0;
     DeltaStats tsDelta;
+
+    // --- Portfolio: one nested per-racer snapshot each (never nested
+    //     twice — racer snapshots are plain single-driver ones). ---
+    /** Racer checkpoint state: still racing (resumed by its driver,
+     *  sub-fence validated), culled by the monitor, or finished. */
+    enum RacerState
+    {
+        kRacerActive = 0,
+        kRacerCulled = 1,
+        kRacerFinished = 2,
+    };
+    bool hasPortfolio = false;
+    std::vector<SearchCheckpoint> racers; ///< index-parallel to spec
+    std::vector<int> racerState;          ///< RacerState per racer
 };
 
 /** Driver-facing checkpoint wiring (EvalOptions::checkpoint). */
@@ -130,6 +145,15 @@ uint64_t twoStepCheckpointFence(const CostModel &model,
                                 const DseSpace &space,
                                 const TwoStepOptions &opts,
                                 const std::string &algo);
+
+/** Fence hash for a portfolio race: the shared evaluation core plus
+ *  the racer line-up and race knobs (each racer's own parameters are
+ *  fenced by its nested snapshot, validated when that racer
+ *  resumes). */
+uint64_t portfolioCheckpointFence(const CostModel &model,
+                                  const DseSpace &space,
+                                  const EvalOptions &opts,
+                                  const PortfolioParams &params);
 
 } // namespace cocco
 

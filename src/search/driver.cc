@@ -191,6 +191,7 @@ SearcherRegistry::SearcherRegistry()
     // Plain function call, like the model registry's hooks: no
     // static-initialization-order hazards.
     registerGreedyPlaceSearcher(*this);
+    registerPortfolioSearcher(*this);
 }
 
 SearcherRegistry &
@@ -452,6 +453,45 @@ struct SpecReader
     }
 
     bool
+    readPortfolio(const JsonValue &v, PortfolioParams *out)
+    {
+        if (!v.isObject())
+            return bad("\"portfolio\" must be an object");
+        for (const auto &[k, val] : v.members()) {
+            bool ok = true;
+            if (k == "racers") {
+                if (!val.isArray())
+                    return bad("\"portfolio.racers\" must be an array "
+                               "of algorithm names");
+                out->racers.clear();
+                for (const JsonValue &e : val.array()) {
+                    std::string racer;
+                    if (!readString(e, "portfolio.racers[]", &racer))
+                        return false;
+                    out->racers.push_back(std::move(racer));
+                }
+                if (out->racers.empty())
+                    return bad("\"portfolio.racers\" must not be empty");
+            } else if (k == "deterministicRace") {
+                ok = readBool(val, "portfolio.deterministicRace",
+                              &out->deterministicRace);
+            } else if (k == "checkEvals") {
+                ok = readInt(val, "portfolio.checkEvals",
+                             &out->checkEvals);
+            } else if (k == "warmupEvals") {
+                ok = readInt(val, "portfolio.warmupEvals",
+                             &out->warmupEvals);
+            } else {
+                return bad(strprintf("unknown \"portfolio\" key \"%s\"",
+                                     k.c_str()));
+            }
+            if (!ok)
+                return false;
+        }
+        return true;
+    }
+
+    bool
     readTwoStep(const JsonValue &v, TwoStepParams *out)
     {
         if (!v.isObject())
@@ -508,13 +548,20 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             std::string mode;
             ok = r.readString(v, "mode", &mode);
             if (ok) {
-                if (mode == "coexplore" || mode == "co-explore")
+                if (mode == "coexplore" || mode == "co-explore") {
                     spec->eval.coExplore = true;
-                else if (mode == "partition" || mode == "partition-only")
+                } else if (mode == "partition" ||
+                           mode == "partition-only") {
                     spec->eval.coExplore = false;
-                else
-                    ok = r.bad("\"mode\" must be \"coexplore\" or "
-                               "\"partition\"");
+                } else if (mode == "pareto") {
+                    // Frontier mode is co-exploration by definition:
+                    // the archive spans the capacity grid.
+                    spec->eval.coExplore = true;
+                    spec->paretoMode = true;
+                } else {
+                    ok = r.bad("\"mode\" must be \"coexplore\", "
+                               "\"partition\", or \"pareto\"");
+                }
             }
         } else if (k == "style") {
             ok = r.readStyle(v, "style", &spec->style);
@@ -549,6 +596,8 @@ searchSpecFromJson(const JsonValue &doc, SearchSpec *spec, std::string *err)
             ok = r.readSa(v, &spec->sa);
         } else if (k == "twoStep") {
             ok = r.readTwoStep(v, &spec->twoStep);
+        } else if (k == "portfolio") {
+            ok = r.readPortfolio(v, &spec->portfolio);
         } else {
             ok = r.bad(strprintf("unknown run-spec key \"%s\"", k.c_str()));
         }

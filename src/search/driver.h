@@ -31,6 +31,7 @@
 #include "models/models.h"
 #include "schedule/workload_set.h"
 #include "search/ga.h"
+#include "search/portfolio.h"
 #include "search/sa.h"
 #include "search/two_step.h"
 #include "sim/deployment.h"
@@ -93,6 +94,14 @@ struct SearchSpec
     GaParams ga;                 ///< read by "ga" (and two-step inners)
     SaParams sa;                 ///< read by "sa"
     TwoStepParams twoStep;       ///< read by "ts-random" / "ts-grid"
+    PortfolioParams portfolio;   ///< read by "portfolio"
+
+    /** `"mode": "pareto"`: co-explore while maintaining a
+     *  non-dominated {buffer, energy, latency} archive in the eval
+     *  loop; the frontier lands in CoccoResult::frontier. Implies
+     *  eval.coExplore (a frontier over one frozen capacity is a
+     *  line). Works under any algo, including "portfolio". */
+    bool paretoMode = false;
 };
 
 /** Assemble full per-algorithm options from a spec (core + block). */

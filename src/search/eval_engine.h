@@ -50,6 +50,7 @@
 namespace cocco {
 
 struct CheckpointHooks; // search/checkpoint.h
+class ParetoArchive;    // search/pareto.h
 
 /**
  * The evaluation-environment core shared by every search driver:
@@ -103,6 +104,16 @@ struct EvalOptions
      *  owned, must outlive the run). Read by the GA/SA/two-step
      *  drivers, ignored by the engine itself. Null = none. */
     CheckpointHooks *checkpoint = nullptr;
+
+    /**
+     * Optional non-dominated archive (search/pareto.h; not owned,
+     * must outlive the run). When set, every feasible recorded sample
+     * is offered as a {buffer, energy, latency} point on the driver
+     * thread — this is `"mode": "pareto"`. Like the observer, it
+     * never changes results, so it is absent from the evaluation-
+     * context salt. Null = off.
+     */
+    ParetoArchive *pareto = nullptr;
 };
 
 /** Operator-reported gene-change accounting (see GeneDelta). */

@@ -5,6 +5,7 @@
 #include "partition/repair.h"
 #include "search/checkpoint.h"
 #include "search/operators.h"
+#include "search/pareto.h"
 #include "util/logging.h"
 
 namespace cocco {
@@ -69,11 +70,18 @@ GeneticSearch::run(const std::vector<Genome> &seeds)
         }
         res.trace.push_back({res.samples, res.bestCost});
         mon.recordSample(res.trace.back(), improved);
-        if (opts_.recordPoints) {
+        if (opts_.recordPoints || opts_.pareto) {
             BufferConfig buf = s.genome.buffer(space_);
             GraphCost gc = model_.partitionCost(s.genome.part, buf);
-            res.points.push_back({res.samples, gc.metricValue(opts_.metric),
-                                  buf.totalBytes()});
+            if (opts_.recordPoints)
+                res.points.push_back({res.samples,
+                                      gc.metricValue(opts_.metric),
+                                      buf.totalBytes()});
+            if (opts_.pareto && gc.feasible)
+                opts_.pareto->offer({buf.totalBytes(), gc.energyPj,
+                                     gc.latencyCycles,
+                                     gc.metricValue(opts_.metric),
+                                     res.samples});
         }
     };
 

@@ -10,6 +10,7 @@
 #define COCCO_SEARCH_GA_H
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "search/eval_engine.h"
@@ -18,6 +19,27 @@
 #include "util/random.h"
 
 namespace cocco {
+
+/**
+ * Per-racer accounting of a portfolio run (search/portfolio.h): how
+ * each concurrent searcher fared before it won, lost its thread
+ * grant, or was early-stopped by the PortfolioMonitor.
+ */
+struct RacerStats
+{
+    std::string algo;
+    int64_t samples = 0;
+    double bestCost = kInfeasiblePenalty;
+    int64_t improvements = 0; ///< incumbent improvements observed
+    double wallSeconds = 0.0; ///< racer wall clock (across regrants)
+    int threads = 1;          ///< final evaluation-thread grant
+    int regrants = 0;         ///< times the racer absorbed freed threads
+    bool culled = false;      ///< early-stopped by the monitor
+    bool winner = false;
+
+    /** The racer's own stop reason (Cancelled when culled). */
+    StopReason stop = StopReason::BudgetExhausted;
+};
 
 /** Result of any search driver (GA, SA, two-step). */
 struct SearchResult
@@ -39,6 +61,9 @@ struct SearchResult
 
     /** Operator gene-change accounting for this run. */
     DeltaStats deltaStats;
+
+    /** Per-racer breakdown (portfolio runs only; empty otherwise). */
+    std::vector<RacerStats> racers;
 };
 
 /**

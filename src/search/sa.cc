@@ -5,6 +5,7 @@
 
 #include "search/checkpoint.h"
 #include "search/operators.h"
+#include "search/pareto.h"
 #include "util/logging.h"
 
 namespace cocco {
@@ -40,6 +41,15 @@ simulatedAnnealing(CostModel &model, const DseSpace &space,
         }
         res.trace.push_back({res.samples, res.bestCost});
         mon.recordSample(res.trace.back(), improved);
+        if (opts.pareto) {
+            BufferConfig buf = genome.buffer(space);
+            GraphCost gc = model.partitionCost(genome.part, buf);
+            if (gc.feasible)
+                opts.pareto->offer({buf.totalBytes(), gc.energyPj,
+                                    gc.latencyCycles,
+                                    gc.metricValue(opts.metric),
+                                    res.samples});
+        }
     };
 
     // --- Checkpointing at sweep boundaries (see GA): `boundary` is

@@ -221,6 +221,7 @@ runCandidates(CostModel &model, const DseSpace &space,
         ga.cacheEnabled = opts.cacheEnabled;
         ga.cacheCapacity = opts.cacheCapacity;
         ga.cache = cache;
+        ga.pareto = opts.pareto; // frontier offers from every candidate
         // Early stop propagates as cancellation + remaining wall
         // clock; the stall limit stays an outer concern (it counts
         // folded global samples, not inner ones).

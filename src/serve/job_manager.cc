@@ -245,6 +245,20 @@ JobManager::submit(const SearchSpec &spec, const std::string &tenant,
         (spec.twoStep.population < 2 || spec.twoStep.samplesPerCandidate < 1))
         return reject("degenerate two-step parameters (population >= 2, "
                       "samplesPerCandidate >= 1)");
+    if (spec.algo == "portfolio") {
+        if (spec.portfolio.racers.empty())
+            return reject("portfolio needs at least one racer");
+        for (const std::string &r : spec.portfolio.racers) {
+            if (r == "portfolio")
+                return reject("a portfolio cannot race itself");
+            if (!SearcherRegistry::instance().contains(r))
+                return reject("unknown portfolio racer \"" + r + "\"");
+        }
+        if (spec.portfolio.checkEvals < 1 ||
+            spec.portfolio.warmupEvals < 0)
+            return reject("degenerate portfolio parameters (checkEvals "
+                          ">= 1, warmupEvals >= 0)");
+    }
 
     std::lock_guard<std::mutex> lk(mu_);
     if (shutdown_.load(std::memory_order_relaxed))
@@ -409,6 +423,8 @@ JobManager::metricsJson(int64_t id) const
         m.meanLatencyMs = job->scheduleMetrics.meanLatencyMs;
         m.tenants = job->scheduleMetrics.tenants;
     }
+    if (!job->hasSchedule)
+        fillResultMetrics(job->result, job->spec.paretoMode, &m);
     m.hasJob = true;
     m.jobId = job->id;
     m.tenant = job->tenant;

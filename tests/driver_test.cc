@@ -117,12 +117,13 @@ TEST(Registry, BuiltinsRegistered)
 {
     const SearcherRegistry &reg = SearcherRegistry::instance();
     std::vector<std::string> keys = reg.keys();
-    ASSERT_EQ(keys.size(), 5u);
+    ASSERT_EQ(keys.size(), 6u);
     EXPECT_EQ(keys[0], "ga");
     EXPECT_EQ(keys[1], "sa");
     EXPECT_EQ(keys[2], "ts-random");
     EXPECT_EQ(keys[3], "ts-grid");
     EXPECT_EQ(keys[4], "greedy-place");
+    EXPECT_EQ(keys[5], "portfolio");
     for (const std::string &k : keys) {
         EXPECT_TRUE(reg.contains(k));
         EXPECT_FALSE(reg.summary(k).empty());

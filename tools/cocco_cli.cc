@@ -81,6 +81,7 @@
 #include "partition/enumeration.h"
 #include "partition/greedy.h"
 #include "sim/timeline.h"
+#include "util/csv.h"
 #include "util/json.h"
 #include "util/logging.h"
 #include "util/table.h"
@@ -121,6 +122,8 @@ struct CliArgs
     std::string specFile;   ///< declarative run spec ("" = none)
     bool progress = false;  ///< NDJSON progress events on stderr
     std::string checkpointFile; ///< search checkpoint path ("" = none)
+    bool deterministicRace = false; ///< pin portfolio culls to eval counts
+    std::string frontierOut; ///< pareto frontier CSV path ("" = none)
     bool stdio = false;     ///< serve: NDJSON over stdin/stdout
     int port = -1;          ///< serve: HTTP port (0 = ephemeral)
     int serveWorkers = 2;   ///< serve: concurrently running jobs
@@ -159,6 +162,7 @@ usage()
         "  partition <model> --algo greedy|dp|enum|<search driver>\n"
         "  coexplore <model> [--style shared|separate] [--algo DRIVER]\n"
         "  run       --spec FILE [--progress] [--checkpoint F]\n"
+        "            [--deterministic-race] [--frontier-out F]\n"
         "  coschedule --spec FILE [--progress]  (workload_set specs)\n"
         "  batch     <dir> [--jobs N] [--out DIR] [--progress]\n"
         "  serve     --port N | --stdio  [--serve-workers N] "
@@ -252,6 +256,10 @@ parse(int argc, char **argv)
             a.progress = true;
         else if (f == "--checkpoint")
             a.checkpointFile = next();
+        else if (f == "--deterministic-race")
+            a.deterministicRace = true;
+        else if (f == "--frontier-out")
+            a.frontierOut = next();
         else if (f == "--stdio")
             a.stdio = true;
         else if (f == "--port")
@@ -472,7 +480,8 @@ void
 emitMetrics(const CliArgs &a, const std::string &name, double wall_seconds,
             int64_t samples, double best_cost, bool cache_enabled,
             const EvalCacheStats &stats,
-            const DeploymentBreakdown *dep = nullptr)
+            const DeploymentBreakdown *dep = nullptr,
+            const CoccoResult *result = nullptr, bool pareto_mode = false)
 {
     if (a.metricsOut.empty())
         return;
@@ -490,6 +499,8 @@ emitMetrics(const CliArgs &a, const std::string &name, double wall_seconds,
         m.hasDeployment = true;
         m.deployment = *dep;
     }
+    if (result)
+        fillResultMetrics(*result, pareto_mode, &m);
     if (!writeMetricsFile(a.metricsOut, "cocco_cli", {m}))
         std::fprintf(stderr, "error: could not write metrics to %s\n",
                      a.metricsOut.c_str());
@@ -529,6 +540,49 @@ printCost(const Graph &g, const GraphCost &c, const BufferConfig &buf,
     t.addRow({"objective", Table::fmtSci(objective(c, buf, alpha, metric))});
     t.print();
     (void)g;
+}
+
+/** Human-mode per-racer summary of a portfolio run. */
+void
+printRacerLines(const std::vector<RacerStats> &racers)
+{
+    for (const RacerStats &r : racers)
+        std::fprintf(stderr,
+                     "racer: %-10s %8lld evals  %5lld improvements  "
+                     "best %.6g  %s%s%s\n",
+                     r.algo.c_str(), static_cast<long long>(r.samples),
+                     static_cast<long long>(r.improvements), r.bestCost,
+                     stopReasonName(r.stop), r.culled ? " (culled)" : "",
+                     r.winner ? " <- winner" : "");
+}
+
+/** Human-mode one-liner for a pareto-mode frontier. */
+void
+printFrontierLine(const CoccoResult &r)
+{
+    std::fprintf(stderr,
+                 "frontier: %zu non-dominated points, hypervolume %.4f\n",
+                 r.frontier.size(), r.hypervolume);
+}
+
+/** Write a pareto-mode frontier to --frontier-out as CSV. */
+void
+emitFrontierCsv(const std::string &path, const CoccoResult &r)
+{
+    CsvWriter csv({"buffer_bytes", "energy_pj", "latency_cycles",
+                   "metric", "sample"});
+    for (const ParetoEntry &e : r.frontier)
+        csv.addRow({std::to_string(e.bufferBytes),
+                    strprintf("%.17g", e.energyPj),
+                    strprintf("%.17g", e.latencyCycles),
+                    strprintf("%.17g", e.metric),
+                    std::to_string(e.sample)});
+    if (csv.writeFile(path))
+        std::fprintf(stderr, "frontier: wrote %zu points to %s\n",
+                     r.frontier.size(), path.c_str());
+    else
+        std::fprintf(stderr, "error: could not write frontier to %s\n",
+                     path.c_str());
 }
 
 /** Early-stop note for human-mode output. */
@@ -778,6 +832,16 @@ runSpec(CliArgs a)
         fatal("%s: %s", a.specFile.c_str(), err.c_str());
     a.seed = spec.eval.seed;
     a.threads = spec.eval.threads;
+    if (a.deterministicRace)
+        spec.portfolio.deterministicRace = true;
+    if (!a.frontierOut.empty() && !spec.paretoMode)
+        std::fprintf(stderr, "frontier: spec is not \"mode\": "
+                             "\"pareto\"; --frontier-out ignored\n");
+    if (!a.checkpointFile.empty() && spec.paretoMode)
+        std::fprintf(stderr,
+                     "checkpoint: the pareto archive is not part of "
+                     "the checkpoint format; a resumed run's frontier "
+                     "only covers samples after the resume point\n");
 
     // A "workload_set" document runs the co-scheduler; everything
     // else about the invocation (--json, --timeline, --metrics-out,
@@ -878,13 +942,19 @@ runSpec(CliArgs a)
                     static_cast<long long>(r.samples));
         printCost(g, r.cost, r.buffer, spec.eval.alpha, spec.eval.metric);
         printDeploymentLine(r.deployment);
+        printRacerLines(r.racers);
+        if (spec.paretoMode)
+            printFrontierLine(r);
         printStopLine(r.stop);
         if (cache)
             printCacheLine(r.cacheStats);
     }
     printTimeline(a, cocco->model(), r.partition, r.buffer);
+    if (!a.frontierOut.empty() && spec.paretoMode)
+        emitFrontierCsv(a.frontierOut, r);
     emitMetrics(a, "spec-" + spec.algo, wall, r.samples, r.objective,
-                cache != nullptr, r.cacheStats, &r.deployment);
+                cache != nullptr, r.cacheStats, &r.deployment, &r,
+                spec.paretoMode);
 
     // A run that ended for good (budget/stall) leaves no checkpoint
     // behind — resuming a finished run would be a silent no-op.
@@ -1138,6 +1208,101 @@ validateMetrics(const std::string &path)
                     fatal("%s: runs[%d] tenants list[%d] missing bool "
                           "\"sla_violation\"",
                           path.c_str(), i, j);
+                ++j;
+            }
+        }
+        // The portfolio block is optional (portfolio runs); when
+        // present it must name the winner and carry a complete
+        // per-racer record list.
+        if (const JsonValue *pf = run.find("portfolio")) {
+            if (!pf->isObject())
+                fatal("%s: runs[%d] \"portfolio\" is not an object",
+                      path.c_str(), i);
+            if (!pf->find("winner") || !pf->find("winner")->isString())
+                fatal("%s: runs[%d] portfolio missing string "
+                      "\"winner\"",
+                      path.c_str(), i);
+            const JsonValue *racers = pf->find("racers");
+            if (!racers || !racers->isArray() ||
+                racers->array().empty())
+                fatal("%s: runs[%d] portfolio missing non-empty "
+                      "\"racers\" array",
+                      path.c_str(), i);
+            int j = 0;
+            bool winner_seen = false;
+            for (const JsonValue &rc : racers->array()) {
+                if (!rc.isObject())
+                    fatal("%s: runs[%d] portfolio racers[%d] is not an "
+                          "object",
+                          path.c_str(), i, j);
+                static const char *racer_strings[] = {"algo", "stop"};
+                for (const char *f : racer_strings)
+                    if (!rc.find(f) || !rc.find(f)->isString())
+                        fatal("%s: runs[%d] portfolio racers[%d] "
+                              "missing string \"%s\"",
+                              path.c_str(), i, j, f);
+                static const char *racer_numbers[] = {
+                    "samples", "best_cost", "improvements",
+                    "wall_seconds", "threads", "regrants"};
+                for (const char *f : racer_numbers)
+                    if (!rc.find(f) || !rc.find(f)->isNumber())
+                        fatal("%s: runs[%d] portfolio racers[%d] "
+                              "missing number \"%s\"",
+                              path.c_str(), i, j, f);
+                static const char *racer_bools[] = {"culled", "winner"};
+                for (const char *f : racer_bools)
+                    if (!rc.find(f) || !rc.find(f)->isBool())
+                        fatal("%s: runs[%d] portfolio racers[%d] "
+                              "missing bool \"%s\"",
+                              path.c_str(), i, j, f);
+                if (rc.find("winner")->boolean() &&
+                    rc.find("algo")->str() == pf->find("winner")->str())
+                    winner_seen = true;
+                ++j;
+            }
+            if (!winner_seen)
+                fatal("%s: runs[%d] portfolio \"winner\" names no "
+                      "winning racer",
+                      path.c_str(), i);
+        }
+        // The pareto block is optional (pareto-mode runs); when
+        // present its frontier must match the declared size and every
+        // point must be complete.
+        if (const JsonValue *pa = run.find("pareto")) {
+            if (!pa->isObject())
+                fatal("%s: runs[%d] \"pareto\" is not an object",
+                      path.c_str(), i);
+            static const char *pareto_numbers[] = {"frontier_size",
+                                                   "hypervolume"};
+            for (const char *f : pareto_numbers)
+                if (!pa->find(f) || !pa->find(f)->isNumber())
+                    fatal("%s: runs[%d] pareto missing number \"%s\"",
+                          path.c_str(), i, f);
+            const JsonValue *front = pa->find("frontier");
+            if (!front || !front->isArray())
+                fatal("%s: runs[%d] pareto missing \"frontier\" array",
+                      path.c_str(), i);
+            if (static_cast<int>(front->array().size()) !=
+                static_cast<int>(pa->find("frontier_size")->number()))
+                fatal("%s: runs[%d] pareto frontier has %zu entries "
+                      "for frontier_size %d",
+                      path.c_str(), i, front->array().size(),
+                      static_cast<int>(
+                          pa->find("frontier_size")->number()));
+            int j = 0;
+            for (const JsonValue &pt : front->array()) {
+                if (!pt.isObject())
+                    fatal("%s: runs[%d] pareto frontier[%d] is not an "
+                          "object",
+                          path.c_str(), i, j);
+                static const char *point_numbers[] = {
+                    "buffer_bytes", "energy_pj", "latency_cycles",
+                    "metric", "sample"};
+                for (const char *f : point_numbers)
+                    if (!pt.find(f) || !pt.find(f)->isNumber())
+                        fatal("%s: runs[%d] pareto frontier[%d] "
+                              "missing number \"%s\"",
+                              path.c_str(), i, j, f);
                 ++j;
             }
         }
