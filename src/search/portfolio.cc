@@ -72,6 +72,11 @@ class RaceController
         // recorded-sample count crossed m * checkEvals (index 0 = the
         // start of the run).
         int64_t reached = 0;
+        // Milestone at which a cull froze this racer's say in later
+        // decisions (-1 = not culled). The driver overruns its stop
+        // flag by a timing-dependent number of samples, so ledger
+        // entries past this point must not feed decisions.
+        int64_t endMilestone = -1;
         std::vector<double> snapBest{kInfeasiblePenalty};
         std::vector<int64_t> snapImp{0};
         std::vector<int64_t> snapSamples{0};
@@ -283,6 +288,12 @@ class RaceController
             // snapshots resume bit-identically at any thread count,
             // so the restart cannot change this racer's results.
             r.grant = r.pendingGrant;
+            if (headroom_ > 0) {
+                // Headroom released while this racer was already
+                // stopping rides along on the same restart.
+                r.grant += headroom_;
+                headroom_ = 0;
+            }
             r.lastGrant = r.grant;
             r.pendingGrant = 0;
             ++r.regrants;
@@ -297,6 +308,15 @@ class RaceController
         r.samples = res.samples;
         r.best = std::min(r.best, res.bestCost);
         r.result = std::move(res);
+        if (r.why == StopWhy::Regrant) {
+            // The racer ended for real before its regrant restart
+            // could happen: reclaim the headroom it had absorbed so
+            // releaseGrantLocked can hand it to a survivor instead of
+            // losing those threads for the rest of the race.
+            headroom_ += r.pendingGrant - r.grant;
+            r.pendingGrant = 0;
+            r.why = StopWhy::None;
+        }
         if (r.why == StopWhy::Cull &&
             r.result.stop == StopReason::Cancelled) {
             r.checkpointState = SearchCheckpoint::kRacerCulled;
@@ -377,6 +397,15 @@ class RaceController
                 }
             }
         }
+        // All racers are terminal now, so every stash can be
+        // synthesized from a final result: a request that was still
+        // in flight (or arrived just as the race ended) must not be
+        // silently dropped.
+        if (userCk) {
+            bool pending = userCk->request.exchange(false);
+            if ((collecting || pending) && userCk->save)
+                userCk->save(assembleLocked(fence, seed));
+        }
     }
 
     /** Assemble the portfolio snapshot after the race ended (the
@@ -417,6 +446,17 @@ class RaceController
     blocking(const Racer &r)
     {
         return !r.done && r.why != StopWhy::Cull;
+    }
+
+    /** The ledger prefix that counts for decisions: everything a
+     *  culled racer registered past its cull milestone is stop-
+     *  boundary overrun, not trajectory. */
+    static int64_t
+    decisionReach(const Racer &r)
+    {
+        if (r.endMilestone >= 0)
+            return std::min(r.reached, r.endMilestone);
+        return r.reached;
     }
 
     /**
@@ -463,14 +503,19 @@ class RaceController
         int64_t leaderRate = 0;
         for (size_t i = 0; i < racers_.size(); ++i) {
             const Racer &r = racers_[i];
+            int64_t reach = decisionReach(r);
             double b;
             int64_t rate;
-            if (r.reached >= m) {
+            if (reach >= m) {
                 b = r.snapBest[static_cast<size_t>(m)];
                 rate = r.snapImp[static_cast<size_t>(m)] -
                        r.snapImp[static_cast<size_t>(m - 1)];
             } else {
-                b = r.best; // ended before m
+                // Ended (or was culled) before m: judge it by its
+                // last counted milestone snapshot, never by live
+                // state — where the stop boundary landed is timing
+                // dependent, the ledger is not.
+                b = r.snapBest[static_cast<size_t>(reach)];
                 rate = 0;
             }
             if (b < leaderBest) {
@@ -481,8 +526,15 @@ class RaceController
         }
         for (size_t i = 0; i < racers_.size(); ++i) {
             Racer &r = racers_[i];
-            if (i == leader || !blocking(r) || r.stopFlag.load() ||
-                r.reached < m)
+            if (i == leader || r.endMilestone >= 0 || r.reached < m)
+                continue;
+            // A racer resumed already-culled replays the same rule so
+            // its decision cap lands on the same milestone as in the
+            // original run; any other non-blocking racer is exempt.
+            bool replay = r.done &&
+                          r.checkpointState ==
+                              SearchCheckpoint::kRacerCulled;
+            if (!replay && (!blocking(r) || r.stopFlag.load()))
                 continue;
             if (r.snapSamples[static_cast<size_t>(m)] <
                 params_.warmupEvals)
@@ -490,8 +542,12 @@ class RaceController
             if (r.snapBest[static_cast<size_t>(m)] > leaderBest &&
                 r.snapImp[static_cast<size_t>(m)] -
                         r.snapImp[static_cast<size_t>(m - 1)] <=
-                    leaderRate)
-                cullLocked(i);
+                    leaderRate) {
+                if (replay)
+                    r.endMilestone = m;
+                else
+                    cullLocked(i, m);
+            }
         }
     }
 
@@ -522,15 +578,16 @@ class RaceController
         const Racer &lr = racers_[leader];
         int64_t leaderRate = lr.done ? 0 : window(lr);
         if (window(r) <= leaderRate)
-            cullLocked(idx);
+            cullLocked(idx, r.reached);
     }
 
     void
-    cullLocked(size_t idx)
+    cullLocked(size_t idx, int64_t milestone)
     {
         Racer &r = racers_[idx];
         r.why = StopWhy::Cull;
         r.checkpointState = SearchCheckpoint::kRacerCulled;
+        r.endMilestone = milestone;
         r.stopFlag = true;
         cv_.notify_all();
     }

@@ -248,11 +248,17 @@ JobManager::submit(const SearchSpec &spec, const std::string &tenant,
     if (spec.algo == "portfolio") {
         if (spec.portfolio.racers.empty())
             return reject("portfolio needs at least one racer");
-        for (const std::string &r : spec.portfolio.racers) {
+        const std::vector<std::string> &racers = spec.portfolio.racers;
+        for (size_t i = 0; i < racers.size(); ++i) {
+            const std::string &r = racers[i];
             if (r == "portfolio")
                 return reject("a portfolio cannot race itself");
             if (!SearcherRegistry::instance().contains(r))
                 return reject("unknown portfolio racer \"" + r + "\"");
+            for (size_t j = 0; j < i; ++j)
+                if (racers[j] == r)
+                    return reject("duplicate portfolio racer \"" + r +
+                                  "\"");
         }
         if (spec.portfolio.checkEvals < 1 ||
             spec.portfolio.warmupEvals < 0)

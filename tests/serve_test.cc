@@ -266,6 +266,15 @@ TEST(Serve, AdmissionControlShedsAtTheFrontDoor)
     bad.eval.sampleBudget = 0;
     EXPECT_EQ(manager.submit(bad, "t", &err), -1);
 
+    // A duplicate racer would hit the portfolio searcher's own
+    // fatal() on a worker thread — shed it at the front door too.
+    bad = parsedSpec(gaSpecText(1));
+    bad.algo = "portfolio";
+    bad.portfolio.racers = {"ga", "sa", "ga"};
+    err.clear();
+    EXPECT_EQ(manager.submit(bad, "t", &err), -1);
+    EXPECT_NE(err.find("duplicate"), std::string::npos) << err;
+
     // Occupy the one worker, fill the one queue slot; the next
     // submission must be rejected as over-capacity.
     int64_t running = manager.submit(parsedSpec(gaSpecText(2, 50000000)),
